@@ -1,0 +1,156 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation section (DESIGN.md experiment index), plus the
+   optimization ablation and bechamel microbenchmarks of the core
+   runtime data structures.
+
+     dune exec bench/main.exe                 -- everything
+     dune exec bench/main.exe -- --table N    -- one table (1-5)
+     dune exec bench/main.exe -- --fig N      -- figure 3 or 4
+     dune exec bench/main.exe -- --ablation   -- optimization ablation
+     dune exec bench/main.exe -- --micro      -- bechamel microbenches
+*)
+
+let fmt = Format.std_formatter
+
+let section title =
+  Format.printf "@.%s@.%s@.@." title (String.make (String.length title) '=')
+
+let run_table1 () =
+  section "Experiment: Table I";
+  Harness.Tables.table1 fmt ()
+
+let run_table2 () =
+  section "Experiment: Table II (985 cases x 6 sanitizers, bad+good)";
+  let d = Harness.Tables.run_table2 () in
+  Harness.Tables.table2 fmt d
+
+let run_table3 () =
+  section "Experiment: Table III (Linux-Flaw models under CECSan)";
+  Harness.Tables.table3 fmt ()
+
+let run_table4 () =
+  section "Experiment: Table IV (SPEC2006-like kernels)";
+  let rows = Harness.Overhead.measure Workloads.Spec2006.all in
+  Harness.Tables.table4 fmt rows
+
+let run_table5 () =
+  section "Experiment: Table V (SPEC2017-like kernels)";
+  let rows = Harness.Overhead.measure Workloads.Spec2017.all in
+  Harness.Tables.table5 fmt rows
+
+let run_fig3 () =
+  section "Experiment: Figure 3";
+  Harness.Figures.fig3 fmt ()
+
+let run_fig4 () =
+  section "Experiment: Figure 4";
+  Harness.Figures.fig4 fmt ()
+
+let run_ablation () =
+  section "Experiment: optimization ablation (section II.F)";
+  Harness.Tables.ablation fmt Workloads.Spec2006.all
+
+(* --- bechamel microbenchmarks of the core data structures ----------------- *)
+
+let microbenches () =
+  let open Bechamel in
+  let open Toolkit in
+  (* one Test.make per experiment family: the core operation dominating
+     that experiment's inner loop *)
+  let st = Vm.State.create () in
+  let tbl = Cecsan.Meta_table.create st in
+  let t_meta_alloc_release =
+    (* Tables I-III: metadata entry create/release (Figure 2 free list) *)
+    Test.make ~name:"meta_table.alloc+release (tables 1-3)"
+      (Staged.stage (fun () ->
+           let p = Cecsan.Meta_table.alloc tbl ~base:0x2000_0000 ~size:64 in
+           Cecsan.Meta_table.release tbl (Vm.Layout46.tag_of p)))
+  in
+  let st_check = Vm.State.create () in
+  let rt, _vrt = Cecsan.Runtime.create () in
+  let tagged = Cecsan.Runtime.cecsan_malloc rt st_check 64 in
+  let t_check =
+    (* Table IV: Algorithm 1 dereference check *)
+    Test.make ~name:"cecsan.check_deref (table 4)"
+      (Staged.stage (fun () ->
+           ignore
+             (Cecsan.Runtime.check_deref rt st_check ~write:false ~size:8
+                tagged)))
+  in
+  let st2 = Vm.State.create () in
+  let shadow_addr = Vm.Layout46.heap_base in
+  Baselines.Shadow.unpoison st2 shadow_addr 64;
+  let t_shadow =
+    (* Table IV baseline: ASan shadow check *)
+    Test.make ~name:"asan.shadow_check (table 4)"
+      (Staged.stage (fun () ->
+           ignore (Baselines.Shadow.access_ok st2 shadow_addr 8)))
+  in
+  let quick_md =
+    Sanitizer.Driver.build (Cecsan.sanitizer ())
+      "int main() { int s = 0; for (int i = 0; i < 100; i++) s += i; \
+       return s & 255; }"
+  in
+  let t_vm =
+    (* Table V: end-to-end instrumented execution throughput *)
+    Test.make ~name:"vm.run instrumented loop (table 5)"
+      (Staged.stage (fun () ->
+           ignore
+             (Sanitizer.Driver.run_module (Cecsan.sanitizer ()) quick_md)))
+  in
+  let tests = [ t_meta_alloc_release; t_check; t_shadow; t_vm ] in
+  section "Microbenchmarks (bechamel, ns/run)";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:None ()
+  in
+  List.iter
+    (fun test ->
+       let results = Benchmark.all cfg instances test in
+       let results = Analyze.all ols Instance.monotonic_clock results in
+       Hashtbl.iter
+         (fun name ols_result ->
+            match Analyze.OLS.estimates ols_result with
+            | Some [ est ] ->
+              Format.printf "  %-42s %10.1f ns/run@." name est
+            | _ -> Format.printf "  %-42s (no estimate)@." name)
+         results)
+    tests
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let has flag = List.mem flag args in
+  let arg_after flag =
+    let rec go = function
+      | a :: b :: _ when String.equal a flag -> Some b
+      | _ :: rest -> go rest
+      | [] -> None
+    in
+    go args
+  in
+  match (arg_after "--table", arg_after "--fig") with
+  | Some "1", _ -> run_table1 ()
+  | Some "2", _ -> run_table2 ()
+  | Some "3", _ -> run_table3 ()
+  | Some "4", _ -> run_table4 ()
+  | Some "5", _ -> run_table5 ()
+  | _, Some "3" -> run_fig3 ()
+  | _, Some "4" -> run_fig4 ()
+  | _ ->
+    if has "--ablation" then run_ablation ()
+    else if has "--micro" then microbenches ()
+    else begin
+      run_table1 ();
+      run_table2 ();
+      run_table3 ();
+      run_table4 ();
+      run_table5 ();
+      run_fig3 ();
+      run_fig4 ();
+      run_ablation ();
+      microbenches ();
+      Format.printf "@.All experiments completed.@."
+    end

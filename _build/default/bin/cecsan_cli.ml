@@ -1,0 +1,124 @@
+(* cecsan_cli: the `clang -fsanitize=` analog for the simulated stack.
+
+   Compile a MiniC source file, instrument it with a chosen sanitizer,
+   and run it on the VM:
+
+     dune exec bin/cecsan_cli.exe -- program.c
+     dune exec bin/cecsan_cli.exe -- program.c -s asan --stats
+     dune exec bin/cecsan_cli.exe -- program.c --dump-ir
+     dune exec bin/cecsan_cli.exe -- program.c --stdin "line1" --packet "B"
+*)
+
+open Cmdliner
+
+let sanitizer_of_name = function
+  | "cecsan" -> Ok (Cecsan.sanitizer ())
+  | "cecsan-nosubobj" ->
+    Ok (Cecsan.sanitizer ~config:Cecsan.Config.no_subobject ())
+  | "cecsan-noopt" -> Ok (Cecsan.sanitizer ~config:Cecsan.Config.no_opts ())
+  | "asan" -> Ok (Baselines.Asan.sanitizer ())
+  | "asan--" -> Ok (Baselines.Asan_minus.sanitizer ())
+  | "hwasan" -> Ok (Baselines.Hwasan.sanitizer ())
+  | "softbound" -> Ok (Baselines.Softbound_cets.sanitizer ())
+  | "pacmem" -> Ok (Baselines.Pacmem.sanitizer ())
+  | "cryptsan" -> Ok (Baselines.Cryptsan.sanitizer ())
+  | "none" -> Ok Sanitizer.Spec.none
+  | s -> Error (`Msg ("unknown sanitizer: " ^ s))
+
+let sanitizer_conv =
+  Arg.conv
+    ( (fun s -> sanitizer_of_name s),
+      fun fmt (s : Sanitizer.Spec.t) -> Fmt.string fmt s.name )
+
+let file =
+  Arg.(required & pos 0 (some file) None
+       & info [] ~docv:"FILE" ~doc:"MiniC source file to compile and run.")
+
+let sanitizer =
+  Arg.(value
+       & opt sanitizer_conv (Cecsan.sanitizer ())
+       & info [ "s"; "sanitizer" ] ~docv:"NAME"
+           ~doc:
+             "Sanitizer: cecsan (default), cecsan-nosubobj, cecsan-noopt, \
+              asan, asan--, hwasan, softbound, pacmem, cryptsan, none.")
+
+let stdin_lines =
+  Arg.(value & opt_all string []
+       & info [ "stdin" ] ~docv:"LINE"
+           ~doc:"Line served to fgets/getchar by the dummy input server \
+                 (repeatable).")
+
+let packets =
+  Arg.(value & opt_all string []
+       & info [ "packet" ] ~docv:"DATA"
+           ~doc:"Packet served to recv by the dummy input server \
+                 (repeatable).")
+
+let dump_ir =
+  Arg.(value & flag
+       & info [ "dump-ir" ]
+           ~doc:"Print the instrumented IR instead of running.")
+
+let stats =
+  Arg.(value & flag
+       & info [ "stats" ] ~doc:"Print cycle and memory statistics.")
+
+let no_opt =
+  Arg.(value & flag
+       & info [ "O0" ] ~doc:"Disable the -O2 model (slot promotion).")
+
+let budget =
+  Arg.(value & opt int 2_000_000_000
+       & info [ "budget" ] ~docv:"CYCLES" ~doc:"Cycle budget for the run.")
+
+let run_cmd (san : Sanitizer.Spec.t) src_file lines packets dump_ir stats
+    no_opt budget =
+  let src =
+    let ic = open_in_bin src_file in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  match Sanitizer.Driver.build san ~optimize:(not no_opt) src with
+  | exception Minic.Sema.Error (m, l) ->
+    Fmt.epr "%s:%d: error: %s@." src_file l m;
+    exit 2
+  | exception Tir.Lower.Error m ->
+    Fmt.epr "%s: lowering error: %s@." src_file m;
+    exit 2
+  | exception Sanitizer.Spec.Unsupported m ->
+    Fmt.epr "%s: %s cannot compile this program: %s@." src_file
+      san.Sanitizer.Spec.name m;
+    exit 3
+  | md ->
+    if dump_ir then begin
+      print_string (Tir.Pp.module_to_string md);
+      exit 0
+    end;
+    let r = Sanitizer.Driver.run_module san ~lines ~packets ~budget md in
+    print_string r.Sanitizer.Driver.output;
+    if not (String.equal r.Sanitizer.Driver.output "") then print_newline ();
+    (match r.Sanitizer.Driver.outcome with
+     | Vm.Machine.Exit c ->
+       if stats then
+         Fmt.pr "[%s] exit %d, %d cycles, %d bytes resident@."
+           san.Sanitizer.Spec.name c r.Sanitizer.Driver.cycles
+           r.Sanitizer.Driver.resident;
+       exit (c land 0x7f)
+     | Vm.Machine.Bug b ->
+       Fmt.epr "==ERROR== %a@." Vm.Report.pp b;
+       exit 99
+     | Vm.Machine.Fault t ->
+       Fmt.epr "==CRASH== %a@." Vm.Report.pp_trap t;
+       exit 98)
+
+let cmd =
+  let doc = "compile and run a MiniC program under a memory-safety \
+             sanitizer (CECSan reproduction)" in
+  Cmd.v
+    (Cmd.info "cecsan_cli" ~version:"1.0" ~doc)
+    Term.(const run_cmd $ sanitizer $ file $ stdin_lines $ packets
+          $ dump_ir $ stats $ no_opt $ budget)
+
+let () = exit (Cmd.eval cmd)

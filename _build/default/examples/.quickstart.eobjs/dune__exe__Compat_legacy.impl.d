@@ -1,0 +1,1 @@
+examples/compat_legacy.ml: Array Cecsan Format Sanitizer Vm

@@ -1,0 +1,1 @@
+examples/compat_legacy.mli:

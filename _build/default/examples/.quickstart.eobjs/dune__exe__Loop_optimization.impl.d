@@ -1,0 +1,1 @@
+examples/loop_optimization.ml: Cecsan Format Harness Option Sanitizer String Tir

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cecsan Format Sanitizer Tir Vm

@@ -1,0 +1,1 @@
+examples/subobject_overflow.ml: Cecsan Format Harness Sanitizer Vm

@@ -1,0 +1,1 @@
+examples/subobject_overflow.mli:

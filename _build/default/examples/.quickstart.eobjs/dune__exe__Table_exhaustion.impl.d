@@ -1,0 +1,1 @@
+examples/table_exhaustion.ml: Cecsan Format Sanitizer Vm

@@ -1,0 +1,1 @@
+examples/uaf_detective.ml: Cecsan Format List Sanitizer Vm

@@ -1,0 +1,65 @@
+(* Quickstart: the whole CECSan pipeline on one buggy C program.
+
+     dune exec examples/quickstart.exe
+
+   This walks Figure 1 of the paper: MiniC source is compiled to the
+   IR, instrumented at link time (metadata creation at allocations,
+   Algorithm-1 checks at dereferences, Algorithm-2 checks at frees), and
+   run on the VM with the CECSan runtime (pointer tagging + the compact
+   metadata table). *)
+
+let buggy_source = {|
+#include <stdlib.h>
+
+int main() {
+  int *prices = (int*)malloc(10 * sizeof(int));
+  for (int i = 0; i < 10; i++) {
+    prices[i] = 100 + i;
+  }
+  /* off-by-one: writes prices[10] */
+  int total = 0;
+  for (int i = 0; i <= 10; i++) {
+    total += prices[i];
+  }
+  free(prices);
+  return total & 0xff;
+}
+|}
+
+let fixed_source = {|
+int main() {
+  int *prices = (int*)malloc(10 * sizeof(int));
+  int total = 0;
+  for (int i = 0; i < 10; i++) {
+    prices[i] = 100 + i;
+    total += prices[i];
+  }
+  free(prices);
+  printf("total=%d", total);
+  return total & 0xff;
+}
+|}
+
+let () =
+  let cecsan = Cecsan.sanitizer () in
+  Format.printf "=== CECSan quickstart ===@.@.";
+  Format.printf "1. Compiling and instrumenting the buggy program...@.";
+  let md = Sanitizer.Driver.build cecsan buggy_source in
+  Format.printf "   %d IR instructions after instrumentation@."
+    (Tir.Ir.module_size md);
+  Format.printf "2. Running under CECSan:@.";
+  let r = Sanitizer.Driver.run_module cecsan md in
+  Format.printf "   -> %a@.@." Vm.Machine.pp_outcome
+    r.Sanitizer.Driver.outcome;
+  Format.printf "3. Running the FIXED program under CECSan:@.";
+  let r = Sanitizer.Driver.run cecsan fixed_source in
+  Format.printf "   -> %a (stdout: %S)@." Vm.Machine.pp_outcome
+    r.Sanitizer.Driver.outcome r.Sanitizer.Driver.output;
+  Format.printf "   cycles=%d resident=%d bytes@.@."
+    r.Sanitizer.Driver.cycles r.Sanitizer.Driver.resident;
+  Format.printf
+    "4. The same fixed program uninstrumented, for comparison:@.";
+  let base = Sanitizer.Driver.run Sanitizer.Spec.none fixed_source in
+  Format.printf "   -> %a, cycles=%d resident=%d bytes@."
+    Vm.Machine.pp_outcome base.Sanitizer.Driver.outcome
+    base.Sanitizer.Driver.cycles base.Sanitizer.Driver.resident

@@ -1,0 +1,52 @@
+(* The paper's first limitation (section V.1) and our implementation of
+   its sketched fix:
+
+   The 17 tag bits cap the metadata table at 2^17 entries.  The in-table
+   free list recycles aggressively, but a program that keeps more than
+   131071 objects LIVE exhausts it, and the prototype degrades new
+   allocations to unprotected entry-0 pointers.  The paper proposes
+   "techniques like linked lists for storing conflicted metadata";
+   [Cecsan.Config.with_chain] implements exactly that: exhausted
+   allocations share indices, with the extra bounds kept in per-index
+   chains searched on the check's slow path.
+
+     dune exec examples/table_exhaustion.exe *)
+
+let hoarder = {|
+int main() {
+  /* keep 131100 allocations live: past the 2^17-entry table */
+  int count = 131100;
+  char **held = (char**)malloc(count * sizeof(char*));
+  for (int i = 0; i < count; i++) {
+    held[i] = (char*)malloc(16);
+    held[i][0] = (char)i;
+  }
+  /* overflow through an object allocated AFTER exhaustion */
+  char *victim = held[count - 10];
+  victim[20] = 'X';
+  /* (no frees: the point is the live-object count) */
+  return 0;
+}
+|}
+
+let () =
+  Format.printf "=== Metadata table exhaustion (paper section V.1) ===@.@.";
+  Format.printf
+    "131100 live objects vs a 131071-entry table; the overflow happens@.";
+  Format.printf "through an object allocated after exhaustion.@.@.";
+  let run config label =
+    let r =
+      Sanitizer.Driver.run
+        (Cecsan.sanitizer ~config ())
+        ~budget:2_000_000_000 hoarder
+    in
+    Format.printf "  %-28s -> %a  (%d cycles)@." label
+      Vm.Machine.pp_outcome r.Sanitizer.Driver.outcome
+      r.Sanitizer.Driver.cycles
+  in
+  run Cecsan.Config.default "CECSan (paper prototype)";
+  run Cecsan.Config.with_chain "CECSan + overflow chains";
+  Format.printf
+    "@.The default design degrades silently; the chain extension keeps@.";
+  Format.printf
+    "full protection, paying a chain walk only on the check slow path.@."

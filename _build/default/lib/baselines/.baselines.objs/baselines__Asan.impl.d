@@ -1,0 +1,1 @@
+lib/baselines/asan.ml: Array Bytes Hashtbl List Minic Printf Queue Sanitizer Shadow Tir Vm

@@ -1,0 +1,1 @@
+lib/baselines/asan.mli: Sanitizer Tir Vm

@@ -1,0 +1,1 @@
+lib/baselines/asan_minus.ml: Asan Sanitizer Tir

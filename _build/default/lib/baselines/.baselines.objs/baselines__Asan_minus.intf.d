@@ -1,0 +1,1 @@
+lib/baselines/asan_minus.mli: Sanitizer Tir

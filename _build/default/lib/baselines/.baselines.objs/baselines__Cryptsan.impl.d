@@ -1,0 +1,1 @@
+lib/baselines/cryptsan.ml: Pa_common Sanitizer

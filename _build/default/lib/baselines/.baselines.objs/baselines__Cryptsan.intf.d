@@ -1,0 +1,1 @@
+lib/baselines/cryptsan.mli: Pa_common Sanitizer

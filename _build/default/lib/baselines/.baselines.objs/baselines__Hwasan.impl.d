@@ -1,0 +1,1 @@
+lib/baselines/hwasan.ml: Array Bytes Hashtbl List Option Printf Sanitizer Tir Vm

@@ -1,0 +1,1 @@
+lib/baselines/hwasan.mli: Sanitizer Tir Vm

@@ -1,0 +1,1 @@
+lib/baselines/pa_common.ml: Array Hashtbl List Option Printf Sanitizer Tir Vm

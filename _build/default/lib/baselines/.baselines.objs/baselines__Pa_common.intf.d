@@ -1,0 +1,1 @@
+lib/baselines/pa_common.mli: Hashtbl Sanitizer Tir Vm

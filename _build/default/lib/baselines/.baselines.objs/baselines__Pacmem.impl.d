@@ -1,0 +1,1 @@
+lib/baselines/pacmem.ml: Pa_common Sanitizer

@@ -1,0 +1,1 @@
+lib/baselines/pacmem.mli: Pa_common Sanitizer

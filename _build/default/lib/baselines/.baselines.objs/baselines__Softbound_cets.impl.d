@@ -1,0 +1,1 @@
+lib/baselines/softbound_cets.ml: Array Hashtbl List Minic Printf Sanitizer Tir Vm

@@ -1,0 +1,1 @@
+lib/baselines/softbound_cets.mli: Sanitizer Tir Vm

@@ -1,0 +1,28 @@
+(** AddressSanitizer: the redzone/shadow-memory baseline, faithful to
+    the real architecture: a CUSTOM allocator (the compatibility cost
+    the paper holds against it) laying chunks out as
+    [left redzone | payload | right redzone], a FIFO quarantine, shadow
+    checks on every access, in-frame stack redzones, trailing global
+    redzones, and narrow-string interceptors (no wide-character family).
+
+    Structural misses, each pinned by a test: sub-object overflows, far
+    strides over the redzone into the next payload, wide-char libc,
+    use-after-free past quarantine eviction. *)
+
+val name : string
+val default_quarantine_cap : int
+
+type t
+
+val asan_malloc : t -> Vm.State.t -> int -> int
+val asan_free : t -> Vm.State.t -> int -> unit
+val check : t -> Vm.State.t -> write:bool -> int -> int -> unit
+val check_region : t -> Vm.State.t -> write:bool -> int -> int -> unit
+
+val protect_stack : Tir.Ir.modul -> Tir.Ir.func -> unit
+val protect_globals : Tir.Ir.modul -> Tir.Ir.instr list
+val insert_checks : Tir.Ir.modul -> Tir.Ir.func -> unit
+val instrument : Tir.Ir.modul -> unit
+
+val fresh_runtime : ?quarantine_cap:int -> unit -> Vm.Runtime.t
+val sanitizer : ?quarantine_cap:int -> unit -> Sanitizer.Spec.t

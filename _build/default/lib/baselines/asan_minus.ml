@@ -1,0 +1,58 @@
+(* ASan-- ("Debloating Address Sanitizer", USENIX Security 2022): the
+   same runtime as ASan, with compile-time check debloating:
+
+   - redundant checks within a block are removed;
+   - loop-invariant checks are hoisted -- but ONLY for loads: a hoisted
+     store check can be invalidated by the store itself overwriting a
+     redzone, the asymmetry the paper uses to motivate CECSan's ability
+     to hoist both (section II.F.1);
+   - statically in-bounds accesses (the [safe] flag) are not checked. *)
+
+let name = "ASan--"
+
+let spec : Sanitizer.Checkopt.spec = {
+  check_load = "__asan_check_load";
+  check_store = "__asan_check_store";
+  produces_addr = false;
+  strip_mask = -1;
+  may_hoist_stores = false;
+  hazard_intrinsics = [ "__asan_poison"; "__asan_unpoison" ];
+}
+
+(* Unlike plain ASan, skip instrumenting accesses proven in-bounds. *)
+let insert_checks_elided (md : Tir.Ir.modul) (f : Tir.Ir.func) : unit =
+  Tir.Rewrite.map_instrs
+    (function
+      | Tir.Ir.Iload { addr; size; safe = false; _ } as i ->
+        [ Tir.Ir.Iintrin { dst = None; name = "__asan_check_load";
+                           args = [ addr; Tir.Ir.Imm size ];
+                           site = Tir.Ir.fresh_site md };
+          i ]
+      | Tir.Ir.Istore { addr; size; safe = false; _ } as i ->
+        [ Tir.Ir.Iintrin { dst = None; name = "__asan_check_store";
+                           args = [ addr; Tir.Ir.Imm size ];
+                           site = Tir.Ir.fresh_site md };
+          i ]
+      | i -> [ i ])
+    f
+
+let instrument (md : Tir.Ir.modul) : unit =
+  Tir.Analysis.run md;
+  Tir.Ir.iter_funcs md (fun f ->
+      if not f.Tir.Ir.f_external then begin
+        Asan.protect_stack md f;
+        insert_checks_elided md f;
+        ignore (Sanitizer.Checkopt.redundant spec f);
+        ignore (Sanitizer.Checkopt.loops spec md f)
+      end);
+  let init = Asan.protect_globals md in
+  match Tir.Ir.find_func md "main" with
+  | Some main -> Tir.Rewrite.insert_prologue main init
+  | None -> ()
+
+let sanitizer () : Sanitizer.Spec.t =
+  {
+    Sanitizer.Spec.name;
+    instrument;
+    fresh_runtime = (fun () -> Asan.fresh_runtime ());
+  }

@@ -1,0 +1,16 @@
+(* CryptSan (SAC 2023): ARM PA-based memory safety with per-object
+   signatures.  Identifiers are minted monotonically (no free-list
+   recycling: a retired id stays dead until the 17-bit space wraps),
+   which makes its temporal detection marginally different from
+   PACMem's.  Same structural blind spots: no sub-object narrowing, no
+   wide-character interceptors. *)
+
+let policy : Pa_common.policy = {
+  p_name = "CryptSan";
+  p_prefix = "__cryptsan";
+  p_tag_bits = 17;
+  p_reuse = false;
+  p_check_cost = 9;
+}
+
+let sanitizer () : Sanitizer.Spec.t = Pa_common.sanitizer policy

@@ -1,0 +1,495 @@
+(* Shared machinery for the two ARM-Pointer-Authentication baselines,
+   PACMem (CCS 2022) and CryptSan (SAC 2023).
+
+   Both seal a metadata identifier into the free upper bits of each
+   pointer and validate object-granularity bounds + liveness at every
+   dereference.  They differ in how identifiers are managed (PACMem
+   recycles table slots through a free list; CryptSan mints monotonically
+   increasing ids and keeps per-object salts) -- and they share the two
+   structural blind spots the paper's Table II shows: no sub-object
+   narrowing and no wide-character interceptors. *)
+
+open Tir.Ir
+
+type entry = {
+  e_base : int;
+  e_bound : int;
+  e_salt : int;      (* per-allocation auth value *)
+  e_alive : bool;
+}
+
+type policy = {
+  p_name : string;
+  p_prefix : string;               (* intrinsic namespace, e.g. "__pacmem" *)
+  p_tag_bits : int;                (* id field width *)
+  p_reuse : bool;                  (* recycle freed ids (PACMem) *)
+  p_check_cost : int;
+}
+
+type t = {
+  pol : policy;
+  entries : (int, entry) Hashtbl.t;
+  mutable next_id : int;
+  mutable free_ids : int list;
+  mutable salt_src : int;
+}
+
+let create pol = {
+  pol;
+  entries = Hashtbl.create 256;
+  next_id = 1;
+  free_ids = [];
+  salt_src = 0x5A17;
+}
+
+let tag_shift = Vm.Layout46.tag_shift
+
+let tag_of rt p = (p lsr tag_shift) land ((1 lsl rt.pol.p_tag_bits) - 1)
+let strip p = Vm.Layout46.strip p
+let seal _rt p id = strip p lor (id lsl tag_shift)
+
+let fresh_id rt =
+  match rt.free_ids with
+  | id :: rest when rt.pol.p_reuse ->
+    rt.free_ids <- rest;
+    id
+  | _ ->
+    let id = rt.next_id in
+    rt.next_id <-
+      (if id + 1 >= 1 lsl rt.pol.p_tag_bits then 1 else id + 1);
+    id
+
+let register rt base size =
+  let id = fresh_id rt in
+  rt.salt_src <- rt.salt_src + 0x9E37;
+  Hashtbl.replace rt.entries id
+    { e_base = base; e_bound = base + size; e_salt = rt.salt_src;
+      e_alive = true };
+  seal rt base id
+
+let retire rt id =
+  (match Hashtbl.find_opt rt.entries id with
+   | Some e -> Hashtbl.replace rt.entries id { e with e_alive = false }
+   | None -> ());
+  if rt.pol.p_reuse then rt.free_ids <- id :: rt.free_ids
+
+let auth rt (st : Vm.State.t) ~write p size =
+  Vm.State.tick st rt.pol.p_check_cost;
+  let id = tag_of rt p in
+  let raw = strip p in
+  if id = 0 then raw  (* foreign/untagged pointer: used as-is *)
+  else
+    match Hashtbl.find_opt rt.entries id with
+    | None ->
+      Vm.Report.bug ~by:rt.pol.p_name ~addr:raw
+        (Vm.Report.Other "authentication-failure")
+        ~detail:"pointer authentication failed (no metadata)"
+    | Some e ->
+      if not e.e_alive then
+        Vm.Report.bug ~by:rt.pol.p_name ~addr:raw Vm.Report.Use_after_free
+          ~detail:"authentication failed: object retired";
+      if raw < e.e_base || raw + size > e.e_bound then
+        Vm.Report.bug ~by:rt.pol.p_name ~addr:raw
+          ~detail:
+            (Printf.sprintf "bounds [0x%x,0x%x)" e.e_base e.e_bound)
+          (if write then Vm.Report.Oob_write else Vm.Report.Oob_read);
+      raw
+
+let pa_malloc rt (st : Vm.State.t) size =
+  let p = Vm.Heap.malloc st size in
+  Vm.State.tick st 14;
+  register rt p size
+
+let pa_free rt (st : Vm.State.t) p =
+  Vm.State.tick st 10;
+  if p = 0 then ()
+  else begin
+    let id = tag_of rt p in
+    let raw = strip p in
+    if id = 0 then Vm.Heap.free st raw
+    else
+      match Hashtbl.find_opt rt.entries id with
+      | None ->
+        Vm.Report.bug ~by:rt.pol.p_name ~addr:raw Vm.Report.Invalid_free
+          ~detail:"free: authentication failed"
+      | Some e ->
+        if not e.e_alive then
+          Vm.Report.bug ~by:rt.pol.p_name ~addr:raw Vm.Report.Double_free
+            ~detail:"free of retired object";
+        if raw <> e.e_base then
+          Vm.Report.bug ~by:rt.pol.p_name ~addr:raw Vm.Report.Invalid_free
+            ~detail:"free of non-base pointer";
+        if raw < Vm.Layout46.heap_base || raw >= Vm.Layout46.heap_limit then
+          Vm.Report.bug ~by:rt.pol.p_name ~addr:raw Vm.Report.Invalid_free
+            ~detail:"free of non-heap object";
+        retire rt id;
+        Vm.Heap.free st raw
+  end
+
+(* --- instrumentation (object granularity only; no sub-object pass) ---------- *)
+
+let instrument (pol : policy) (md : modul) : unit =
+  let pre = pol.p_prefix in
+  Tir.Analysis.run md;
+  (* unsafe globals load sealed pointers from a per-tool pointer table *)
+  let slots =
+    let k = ref (-1) in
+    List.filter_map
+      (fun g ->
+         if g.g_unsafe then begin
+           incr k;
+           Some (g.g_name, g, !k)
+         end
+         else None)
+      md.m_globals
+  in
+  let slot_of : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  List.iter (fun (n, _, k) -> Hashtbl.replace slot_of n k) slots;
+  iter_funcs md (fun f ->
+      if not f.f_external then begin
+        (* downgrade safety of accesses rooted at protected objects: the
+           addresses will be sealed *)
+        let unsafe_slot = Array.make (List.length f.f_slots) false in
+        List.iter (fun s -> unsafe_slot.(s.s_id) <- s.s_unsafe) f.f_slots;
+        Array.iter
+          (fun b ->
+             let rooted : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+             let opnd_rooted = function
+               | Reg r -> Hashtbl.mem rooted r
+               | Glob g -> Hashtbl.mem slot_of g
+               | Imm _ -> false
+             in
+             b.b_instrs <-
+               List.map
+                 (fun i ->
+                    let i' =
+                      match i with
+                      | Iload ({ addr; safe = true; _ } as l)
+                        when opnd_rooted addr ->
+                        Iload { l with safe = false }
+                      | Istore ({ addr; safe = true; _ } as s)
+                        when opnd_rooted addr ->
+                        Istore { s with safe = false }
+                      | i -> i
+                    in
+                    (match i' with
+                     | Islot { dst; slot } when unsafe_slot.(slot) ->
+                       Hashtbl.replace rooted dst ()
+                     | Igep { dst; base; _ } when opnd_rooted base ->
+                       Hashtbl.replace rooted dst ()
+                     | _ ->
+                       (match defs i' with
+                        | Some d -> Hashtbl.remove rooted d
+                        | None -> ()));
+                    i')
+                 b.b_instrs)
+          f.f_blocks;
+        (* global pointer loads *)
+        Array.iter
+          (fun b ->
+             b.b_instrs <-
+               List.concat_map
+                 (fun i ->
+                    let prefix = ref [] in
+                    let fix o =
+                      match o with
+                      | Glob g when Hashtbl.mem slot_of g ->
+                        let r = fresh_reg f in
+                        prefix :=
+                          Iintrin { dst = Some r; name = pre ^ "_gpt_load";
+                                    args = [ Imm (Hashtbl.find slot_of g) ];
+                                    site = fresh_site md }
+                          :: !prefix;
+                        Reg r
+                      | o -> o
+                    in
+                    let i' =
+                      match i with
+                      | Imov c -> Imov { c with src = fix c.src }
+                      | Ibin c -> Ibin { c with a = fix c.a; b = fix c.b }
+                      | Icmp c -> Icmp { c with a = fix c.a; b = fix c.b }
+                      | Isext c -> Isext { c with src = fix c.src }
+                      | Iload c -> Iload { c with addr = fix c.addr }
+                      | Istore c ->
+                        Istore { c with addr = fix c.addr; src = fix c.src }
+                      | Islot _ -> i
+                      | Igep c ->
+                        Igep { c with base = fix c.base;
+                                      idx = Option.map fix c.idx }
+                      | Icall c ->
+                        Icall { c with args = List.map fix c.args }
+                      | Iintrin c ->
+                        Iintrin { c with args = List.map fix c.args }
+                    in
+                    List.rev (i' :: !prefix))
+                 b.b_instrs)
+          f.f_blocks;
+        (* stack sealing *)
+        let unsafe = List.filter (fun s -> s.s_unsafe) f.f_slots in
+        if unsafe <> [] then begin
+          let tag_reg : (int, int) Hashtbl.t = Hashtbl.create 4 in
+          List.iter (fun s -> Hashtbl.replace tag_reg s.s_id (fresh_reg f))
+            unsafe;
+          Tir.Rewrite.map_instrs
+            (function
+              | Islot { dst; slot } when Hashtbl.mem tag_reg slot ->
+                [ Imov { dst; src = Reg (Hashtbl.find tag_reg slot) } ]
+              | i -> [ i ])
+            f;
+          let prologue =
+            List.concat_map
+              (fun s ->
+                 let a = fresh_reg f in
+                 [ Islot { dst = a; slot = s.s_id };
+                   Iintrin { dst = Some (Hashtbl.find tag_reg s.s_id);
+                             name = pre ^ "_stack_seal";
+                             args = [ Reg a; Imm s.s_size ];
+                             site = fresh_site md } ])
+              unsafe
+          in
+          Tir.Rewrite.insert_prologue f prologue;
+          Tir.Rewrite.insert_before_rets f (fun () ->
+              List.map
+                (fun s ->
+                   Iintrin { dst = None; name = pre ^ "_stack_retire";
+                             args = [ Reg (Hashtbl.find tag_reg s.s_id) ];
+                             site = fresh_site md })
+                unsafe)
+        end;
+        (* allocation family *)
+        Tir.Rewrite.map_instrs
+          (function
+            | Icall { dst; callee; args }
+              when Sanitizer.Spec.is_alloc_family callee ->
+              [ Iintrin { dst; name = pre ^ "_" ^ callee; args;
+                          site = fresh_site md } ]
+            | i -> [ i ])
+          f;
+        (* strip sealed pointers at external user calls *)
+        Tir.Rewrite.map_instrs
+          (function
+            | Icall { dst; callee; args } as i ->
+              (match find_func md callee with
+               | Some { f_external = true; f_sig_ptrs; _ } ->
+                 let prefix = ref [] in
+                 let args' =
+                   List.mapi
+                     (fun k a ->
+                        if (match List.nth_opt f_sig_ptrs k with
+                            | Some b -> b
+                            | None -> false)
+                        then begin
+                          let r = fresh_reg f in
+                          prefix :=
+                            Iintrin { dst = Some r; name = pre ^ "_strip";
+                                      args = [ a ]; site = fresh_site md }
+                            :: !prefix;
+                          Reg r
+                        end
+                        else a)
+                     args
+                 in
+                 List.rev !prefix @ [ Icall { dst; callee; args = args' } ]
+               | _ -> [ i ])
+            | i -> [ i ])
+          f;
+        (* dereference authentication *)
+        Tir.Rewrite.map_instrs
+          (function
+            | Iload ({ addr; size; safe; _ } as l) when not safe ->
+              let r = fresh_reg f in
+              [ Iintrin { dst = Some r; name = pre ^ "_auth_load";
+                          args = [ addr; Imm size ]; site = fresh_site md };
+                Iload { l with addr = Reg r } ]
+            | Istore ({ addr; size; safe; _ } as s) when not safe ->
+              let r = fresh_reg f in
+              [ Iintrin { dst = Some r; name = pre ^ "_auth_store";
+                          args = [ addr; Imm size ]; site = fresh_site md };
+                Istore { s with addr = Reg r } ]
+            | i -> [ i ])
+          f
+      end);
+  match find_func md "main" with
+  | None -> ()
+  | Some main ->
+    let init =
+      List.concat_map
+        (fun (gname, g, k) ->
+           [ Iintrin { dst = None; name = pre ^ "_global_seal";
+                       args = [ Glob gname; Imm g.g_size; Imm k ];
+                       site = fresh_site md } ])
+        slots
+    in
+    Tir.Rewrite.insert_prologue main init
+
+(* --- interceptors: narrow family only (NO wide characters) -------------------- *)
+
+let interceptors rt : string -> Vm.Runtime.interceptor option =
+  let st_check st ~write p len =
+    if len > 0 then ignore (auth rt st ~write p len)
+  in
+  let strip_all args = Array.map strip args in
+  function
+  | "memcpy" | "memmove" ->
+    Some (fun st ~raw args ->
+        st_check st ~write:true args.(0) args.(2);
+        st_check st ~write:false args.(1) args.(2);
+        let res = raw (strip_all args) in
+        if res = 0 then 0 else args.(0))
+  | "memset" ->
+    Some (fun st ~raw args ->
+        st_check st ~write:true args.(0) args.(2);
+        ignore (raw (strip_all args));
+        args.(0))
+  | "memcmp" ->
+    Some (fun st ~raw args ->
+        st_check st ~write:false args.(0) args.(2);
+        st_check st ~write:false args.(1) args.(2);
+        raw (strip_all args))
+  | "strcpy" ->
+    Some (fun st ~raw args ->
+        let n = Vm.Memory.strlen st.Vm.State.mem (strip args.(1)) in
+        st_check st ~write:true args.(0) (n + 1);
+        st_check st ~write:false args.(1) (n + 1);
+        ignore (raw (strip_all args));
+        args.(0))
+  | "strncpy" ->
+    Some (fun st ~raw args ->
+        st_check st ~write:true args.(0) args.(2);
+        ignore (raw (strip_all args));
+        args.(0))
+  | "strcat" ->
+    Some (fun st ~raw args ->
+        let d = Vm.Memory.strlen st.Vm.State.mem (strip args.(0)) in
+        let s = Vm.Memory.strlen st.Vm.State.mem (strip args.(1)) in
+        st_check st ~write:true args.(0) (d + s + 1);
+        ignore (raw (strip_all args));
+        args.(0))
+  | "strlen" | "atoi" | "puts" ->
+    Some (fun st ~raw args ->
+        let n = Vm.Memory.strlen st.Vm.State.mem (strip args.(0)) in
+        st_check st ~write:false args.(0) (n + 1);
+        raw (strip_all args))
+  | "strcmp" | "strncmp" ->
+    Some (fun st ~raw args ->
+        let a = Vm.Memory.strlen st.Vm.State.mem (strip args.(0)) in
+        let b = Vm.Memory.strlen st.Vm.State.mem (strip args.(1)) in
+        st_check st ~write:false args.(0) (a + 1);
+        st_check st ~write:false args.(1) (b + 1);
+        raw (strip_all args))
+  | "printf" ->
+    Some (fun st ~raw args ->
+        Vm.State.tick st 3;
+        raw (strip_all args))
+  | "strchr" ->
+    Some (fun _st ~raw args ->
+        let res = raw (strip_all args) in
+        if res = 0 then 0 else args.(0) + (res - strip args.(0)))
+  | "fgets" ->
+    Some (fun st ~raw args ->
+        st_check st ~write:true args.(0) args.(1);
+        let res = raw (strip_all args) in
+        if res = 0 then 0 else args.(0))
+  | "recv" ->
+    Some (fun st ~raw args ->
+        st_check st ~write:true args.(1) args.(2);
+        raw (strip_all args))
+  | "strdup" ->
+    Some (fun st ~raw:_ args ->
+        let src = strip args.(0) in
+        let n = Vm.Memory.strlen st.Vm.State.mem src in
+        st_check st ~write:false args.(0) (n + 1);
+        let p = pa_malloc rt st (n + 1) in
+        Vm.Memory.copy st.Vm.State.mem ~src ~dst:(strip p) ~len:(n + 1);
+        p)
+  (* wcscpy / wcsncpy / wcscat ... run raw: the blind spot *)
+  | _ -> None
+
+(* --- runtime assembly ----------------------------------------------------------- *)
+
+let fresh_runtime (pol : policy) () : Vm.Runtime.t =
+  let rt = create pol in
+  let gpt : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let pre = pol.p_prefix in
+  let vrt = {
+    Vm.Runtime.rt_name = pol.p_name;
+    intrinsics = Hashtbl.create 24;
+    malloc = None;
+    free_ = None;
+    intercept = interceptors rt;
+    usable_size = None;
+    tbi_bits = 0;
+    at_exit = (fun _ -> ());
+  } in
+  let reg n f = Hashtbl.replace vrt.Vm.Runtime.intrinsics n f in
+  reg (pre ^ "_auth_load") (fun st a -> auth rt st ~write:false a.(0) a.(1));
+  reg (pre ^ "_auth_store") (fun st a -> auth rt st ~write:true a.(0) a.(1));
+  reg (pre ^ "_malloc") (fun st a -> pa_malloc rt st a.(0));
+  reg (pre ^ "_free") (fun st a -> pa_free rt st a.(0); 0);
+  reg (pre ^ "_calloc") (fun st a ->
+      let n = a.(0) * a.(1) in
+      let p = pa_malloc rt st n in
+      Vm.Memory.fill st.Vm.State.mem ~dst:(strip p) ~len:n 0;
+      Vm.State.tick st (Vm.Cost.mem_op n);
+      p);
+  reg (pre ^ "_realloc") (fun st a ->
+      let old = a.(0) and size = a.(1) in
+      if old = 0 then pa_malloc rt st size
+      else begin
+        let id = tag_of rt old in
+        let raw = strip old in
+        let old_size =
+          if id = 0 then
+            match Vm.Heap.usable_size st raw with
+            | Some s -> s
+            | None ->
+              Vm.Report.trap ~addr:raw Vm.Report.Heap_corruption
+                ~detail:"realloc(): invalid pointer"
+          else
+            match Hashtbl.find_opt rt.entries id with
+            | Some e when e.e_alive && e.e_base = raw -> e.e_bound - e.e_base
+            | Some { e_alive = false; _ } ->
+              Vm.Report.bug ~by:pol.p_name ~addr:raw Vm.Report.Double_free
+                ~detail:"realloc of retired object"
+            | _ ->
+              Vm.Report.bug ~by:pol.p_name ~addr:raw Vm.Report.Invalid_free
+                ~detail:"realloc authentication failed"
+        in
+        let p = pa_malloc rt st size in
+        Vm.Memory.copy st.Vm.State.mem ~src:raw ~dst:(strip p)
+          ~len:(min old_size size);
+        (if id <> 0 then retire rt id);
+        Vm.Heap.free st raw;
+        p
+      end);
+  reg (pre ^ "_stack_seal") (fun st a ->
+      Vm.State.tick st 9;
+      register rt a.(0) a.(1));
+  reg (pre ^ "_stack_retire") (fun st a ->
+      Vm.State.tick st 5;
+      let id = tag_of rt a.(0) in
+      (match Hashtbl.find_opt rt.entries id with
+       | Some e when e.e_alive && e.e_base = strip a.(0) -> retire rt id
+       | _ -> ());
+      0);
+  reg (pre ^ "_global_seal") (fun st a ->
+      let sealed = register rt a.(0) a.(1) in
+      Hashtbl.replace gpt a.(2) sealed;
+      Vm.State.tick st 8;
+      0);
+  reg (pre ^ "_gpt_load") (fun st a ->
+      Vm.State.tick st 2;
+      match Hashtbl.find_opt gpt a.(0) with
+      | Some v -> v
+      | None -> 0);
+  reg (pre ^ "_strip") (fun st a ->
+      Vm.State.tick st 2;
+      strip a.(0));
+  vrt
+
+let sanitizer (pol : policy) : Sanitizer.Spec.t =
+  {
+    Sanitizer.Spec.name = pol.p_name;
+    instrument = instrument pol;
+    fresh_runtime = fresh_runtime pol;
+  }

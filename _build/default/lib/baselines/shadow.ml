@@ -1,0 +1,81 @@
+(* ASan-style shadow memory: one shadow byte per 8-byte granule.
+
+   Shadow byte semantics (as in the real runtime):
+     0        all 8 bytes addressable
+     1..7     only the first k bytes addressable
+     >= 0x80  poisoned (the code identifies why)
+
+   The shadow lives in the simulated sanitizer area, so its residency is
+   accounted like real shadow pages. *)
+
+let scale = 3  (* 8-byte granules *)
+
+let heap_left = 0xfa
+let heap_right = 0xfb
+let heap_freed = 0xfd
+let stack_red = 0xf1
+let global_red = 0xf9
+
+let shadow_addr a = Vm.Layout46.shadow_base + (a lsr scale)
+
+let get (st : Vm.State.t) a =
+  Vm.Memory.load_byte st.Vm.State.mem (shadow_addr a)
+
+let set (st : Vm.State.t) a v =
+  Vm.Memory.store_byte st.Vm.State.mem (shadow_addr a) v
+
+(* Marks [addr, addr+len) addressable, encoding a partial last granule.
+   [addr] must be 8-aligned (allocators guarantee it). *)
+let unpoison st addr len =
+  let full = len / 8 in
+  for g = 0 to full - 1 do
+    set st (addr + (g * 8)) 0
+  done;
+  let rem = len land 7 in
+  if rem > 0 then set st (addr + (full * 8)) rem
+
+(* Poisons [addr, addr+len) with [code]; granule-aligned region. *)
+let poison st addr len code =
+  let g0 = addr lsr scale in
+  let g1 = (addr + len - 1) lsr scale in
+  for g = g0 to g1 do
+    Vm.Memory.store_byte st.Vm.State.mem (Vm.Layout46.shadow_base + g) code
+  done
+
+(* The fast-path check: is the [size]-byte access at [a] addressable? *)
+let access_ok st a size =
+  let s = get st a in
+  if s = 0 then
+    (* the access may still straddle into the next granule *)
+    size <= 8 - (a land 7)
+    || (let s2 = get st ((a lor 7) + 1) in
+        s2 = 0 || (s2 < 8 && (a + size - 1) land 7 < s2))
+  else if s >= 0x80 then false
+  else (a land 7) + size <= s
+
+(* Range check used by interceptors: first bad address, if any. *)
+let range_bad st a len =
+  let bad = ref None in
+  (try
+     let k = ref 0 in
+     while !k < len do
+       let a' = a + !k in
+       let s = get st a' in
+       if s = 0 then k := ((a' lor 7) + 1) - a
+       else if s >= 0x80 then begin
+         bad := Some a';
+         raise Exit
+       end
+       else if a' land 7 < s then incr k
+       else begin
+         bad := Some a';
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  !bad
+
+let classify code ~write =
+  if code = heap_freed then Vm.Report.Use_after_free
+  else if write then Vm.Report.Oob_write
+  else Vm.Report.Oob_read

@@ -1,0 +1,1 @@
+lib/core/cecsan.ml: Config Costs Instrument Meta_table Opt Runtime Sanitizer Subobject

@@ -1,0 +1,1 @@
+lib/core/instrument.ml: Array Config Hashtbl Instrument_util List Opt Option Subobject Tir

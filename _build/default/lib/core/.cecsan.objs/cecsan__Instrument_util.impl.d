@@ -1,0 +1,1 @@
+lib/core/instrument_util.ml: Sanitizer

@@ -1,0 +1,1 @@
+lib/core/meta_table.ml: Hashtbl List Vm

@@ -1,0 +1,1 @@
+lib/core/opt.ml: Config Sanitizer Tir Vm

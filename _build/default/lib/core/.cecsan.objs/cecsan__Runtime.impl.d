@@ -1,0 +1,1 @@
+lib/core/runtime.ml: Array Costs Hashtbl List Meta_table Printf String Vm

@@ -1,0 +1,1 @@
+lib/core/subobject.ml: Array Hashtbl Instrument_util List Minic Option Tir

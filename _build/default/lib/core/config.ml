@@ -1,0 +1,46 @@
+(* CECSan configuration: feature and optimization toggles.
+
+   The defaults are the paper's full system; the ablation benchmarks in
+   bench/main.ml flip individual switches (DESIGN.md experiment index). *)
+
+type t = {
+  subobject : bool;       (* section II.D: sub-object bound narrowing *)
+  protect_stack : bool;   (* section II.C.3 *)
+  protect_globals : bool; (* section II.C.3: the GPT *)
+  opt_redundant : bool;   (* section II.F: redundant check elimination *)
+  opt_loop : bool;        (* section II.F.1: invariant + monotonic checks *)
+  opt_typeinfo : bool;    (* section II.F.2: statically-safe check removal *)
+  check_step : int;       (* monotonic check grouping factor (paper: 5) *)
+  (* section V.1 future work: on table exhaustion, chain conflicting
+     metadata off shared indices instead of degrading to unprotected *)
+  chain_overflow : bool;
+}
+
+let default = {
+  subobject = true;
+  protect_stack = true;
+  protect_globals = true;
+  opt_redundant = true;
+  opt_loop = true;
+  opt_typeinfo = true;
+  check_step = 5;
+  chain_overflow = false;
+}
+
+let no_opts = {
+  default with
+  opt_redundant = false;
+  opt_loop = false;
+  opt_typeinfo = false;
+}
+
+let no_subobject = { default with subobject = false }
+
+(* the section V.1 extension enabled *)
+let with_chain = { default with chain_overflow = true }
+
+let to_string c =
+  Printf.sprintf
+    "subobject=%b stack=%b globals=%b redundant=%b loop=%b typeinfo=%b      step=%d chain=%b"
+    c.subobject c.protect_stack c.protect_globals c.opt_redundant c.opt_loop
+    c.opt_typeinfo c.check_step c.chain_overflow

@@ -1,0 +1,31 @@
+(** CECSan configuration: feature and optimization toggles used by the
+    ablation experiments. *)
+
+type t = {
+  subobject : bool;       (** sub-object bound narrowing (section II.D) *)
+  protect_stack : bool;   (** stack object protection (section II.C.3) *)
+  protect_globals : bool; (** Global Pointer Table (section II.C.3) *)
+  opt_redundant : bool;   (** redundant check elimination (II.F) *)
+  opt_loop : bool;        (** loop-invariant hoisting + monotonic
+                              grouping (II.F.1) *)
+  opt_typeinfo : bool;    (** statically-safe check removal (II.F.2) *)
+  check_step : int;       (** grouping factor of II.F.1 (paper: 5) *)
+  chain_overflow : bool;
+      (** the section V.1 future-work extension: on metadata-table
+          exhaustion, chain conflicting metadata off shared indices
+          instead of degrading to unprotected entry-0 pointers *)
+}
+
+val default : t
+(** The full system, as evaluated in the paper. *)
+
+val no_opts : t
+(** All II.F optimizations disabled (ablation). *)
+
+val no_subobject : t
+(** Object-granularity only: what ASan/PACMem-class tools see. *)
+
+val with_chain : t
+(** [default] plus the overflow-chain extension of section V.1. *)
+
+val to_string : t -> string

@@ -1,0 +1,18 @@
+(** Cycle costs of the CECSan runtime operations: what the inlined
+    instruction sequences of the real implementation cost on x86-64.
+    The dereference check is a dependent (often cache-cold) table load
+    plus the fused two-sided compare of Algorithm 1. *)
+
+val check : int
+val check_filtered : int
+val malloc_extra : int
+val free_extra : int
+val stack_make : int
+val stack_release : int
+val sub_make : int
+val sub_release : int
+val gpt_load : int
+val extcall : int
+val range_check : int
+val retag : int
+val chain_link : int   (* walking one overflow-chain link (section V.1) *)

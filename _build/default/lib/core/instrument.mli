@@ -1,0 +1,13 @@
+(** CECSan compile-time instrumentation, run over the fully linked module
+    (the LTO model of the paper: external functions are known).
+
+    Phases: safety-flag downgrade for accesses rooted at protected
+    objects, Global Pointer Table rewriting, stack object protection,
+    allocation-family rewriting, sub-object narrowing, tag stripping at
+    external calls, dereference-check insertion, and the section II.F
+    optimizations. *)
+
+val is_alloc_family : string -> bool
+
+val run : ?config:Config.t -> Tir.Ir.modul -> unit
+(** Instruments the module in place. *)

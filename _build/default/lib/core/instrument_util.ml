@@ -1,0 +1,3 @@
+(* Small shared helpers for the instrumentation phases. *)
+
+let is_alloc_family = Sanitizer.Spec.is_alloc_family

@@ -1,0 +1,3 @@
+(** Small shared helpers for the instrumentation phases. *)
+
+val is_alloc_family : string -> bool

@@ -1,0 +1,68 @@
+(** The compact, reusable metadata table (paper section II.B, Figure 2).
+
+    A linear array of [(low bound, high bound, nextID)] entries living in
+    simulated memory, indexed by the 17 tag bits of a pointer.  Freed
+    entries form an in-table free list threaded through [nextID] and are
+    reused LIFO.  Entry 0 is reserved for untagged/foreign pointers and
+    always passes checks. *)
+
+val entry_bytes : int
+(** Size of one entry: 24 bytes (8 low + 8 high + 8 nextID). *)
+
+val invalid_low : int
+(** The "very high value" written to a freed entry's low bound; it forces
+    every subsequent Algorithm-1 check against that entry to fail. *)
+
+type chain_entry = { c_lo : int; c_hi : int }
+(** One overflow-chained object (the section V.1 extension). *)
+
+type t = {
+  st : Vm.State.t;
+  mutable gmi : int;  (** the Global Metadata Index of the paper *)
+  mutable live : int;
+  mutable peak_live : int;
+  mutable total_allocated : int;
+  mutable exhausted_fallbacks : int;
+      (** allocations served untagged because the table was full
+          (paper section V.1) *)
+  mutable chain_mode : bool;
+  chains : (int, chain_entry list ref) Hashtbl.t;
+  mutable chained : int;
+  mutable chain_cursor : int;
+}
+
+val create : ?chain_mode:bool -> Vm.State.t -> t
+(** The runtime constructor: initializes entry 0 to [(0, VA_MAX)] and
+    GMI to 1.  Corresponds to the load-time constructor of section III.
+    With [chain_mode], table exhaustion chains metadata off shared
+    indices instead of degrading to unprotected pointers. *)
+
+val low : t -> int -> int
+(** [low t i] reads entry [i]'s low bound. *)
+
+val high : t -> int -> int
+(** [high t i] reads entry [i]'s high bound. *)
+
+val next_id : t -> int -> int
+(** [next_id t i] reads entry [i]'s free-list offset field. *)
+
+val set_low : t -> int -> int -> unit
+val set_high : t -> int -> int -> unit
+val set_next_id : t -> int -> int -> unit
+
+val alloc : t -> base:int -> size:int -> int
+(** [alloc t ~base ~size] creates an entry for the object
+    [base, base+size) and returns the TAGGED pointer (index embedded in
+    bits 46..62).  On table exhaustion the raw pointer is returned
+    untagged (entry 0 semantics) and [exhausted_fallbacks] is bumped. *)
+
+val chain_covers : t -> int -> raw:int -> size:int -> int option
+(** Does some overflow-chain element of index [i] cover the access?
+    Returns the number of links walked (the extension's cost). *)
+
+val chain_release : t -> int -> raw:int -> bool
+(** Removes the chain element whose base is [raw]; true on success. *)
+
+val release : t -> int -> unit
+(** [release t i] invalidates entry [i] (low := INVALID, high := 0) and
+    pushes it on the free list.  Releasing entry 0 is a no-op. *)

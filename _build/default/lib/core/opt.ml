@@ -1,0 +1,23 @@
+(* CECSan's instantiation of the shared check optimizer (section II.F).
+   Unlike redzone-based tools, CECSan can hoist checks on stores as well
+   as loads, because a store cannot corrupt the disjoint metadata
+   table. *)
+
+let spec : Sanitizer.Checkopt.spec = {
+  check_load = "__cecsan_check_load";
+  check_store = "__cecsan_check_store";
+  produces_addr = true;
+  strip_mask = Vm.Layout46.addr_mask;
+  may_hoist_stores = true;
+  hazard_intrinsics =
+    [ "__cecsan_free"; "__cecsan_realloc"; "__cecsan_stack_release";
+      "__cecsan_sub_release"; "__cecsan_sub_make"; "__cecsan_malloc";
+      "__cecsan_calloc"; "__cecsan_stack_make"; "__cecsan_global_make" ];
+}
+
+let redundant (_md : Tir.Ir.modul) (f : Tir.Ir.func) : unit =
+  ignore (Sanitizer.Checkopt.redundant spec f)
+
+let loops (md : Tir.Ir.modul) (config : Config.t) (f : Tir.Ir.func) : unit =
+  ignore
+    (Sanitizer.Checkopt.loops spec ~check_step:config.Config.check_step md f)

@@ -1,0 +1,8 @@
+(** CECSan's instantiation of the shared check optimizer (section II.F).
+    Unlike redzone tools, CECSan hoists checks on stores as well as
+    loads: a store cannot corrupt the disjoint metadata table. *)
+
+val spec : Sanitizer.Checkopt.spec
+
+val redundant : Tir.Ir.modul -> Tir.Ir.func -> unit
+val loops : Tir.Ir.modul -> Config.t -> Tir.Ir.func -> unit

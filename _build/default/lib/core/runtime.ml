@@ -1,0 +1,457 @@
+(* The CECSan runtime library: intrinsic implementations (Algorithms 1
+   and 2, metadata management) and the libc interceptors.
+
+   Crucially there is NO custom allocator here: allocation goes through
+   [Vm.Heap] (the default allocator), and CECSan only wraps it with
+   metadata bookkeeping -- the compatibility property the paper claims
+   over ASan. *)
+
+module L = Vm.Layout46
+
+let name = "CECSan"
+
+type t = {
+  mutable table : Meta_table.t option;
+  gpt : (int, int) Hashtbl.t;         (* global slot -> tagged pointer *)
+  mutable reports_sub_object : int;
+  chain_overflow : bool;              (* the section V.1 extension *)
+}
+
+let get_table rt (st : Vm.State.t) =
+  match rt.table with
+  | Some t -> t
+  | None ->
+    (* the runtime's load-time constructor: mmap + init the table *)
+    let t = Meta_table.create ~chain_mode:rt.chain_overflow st in
+    rt.table <- Some t;
+    t
+
+(* --- Algorithm 1: optimized pointer dereference check ------------------- *)
+
+let classify_oob ~write tbl idx _raw =
+  if idx <> 0 && Meta_table.low tbl idx = Meta_table.invalid_low then
+    Vm.Report.Use_after_free
+  else if write then Vm.Report.Oob_write
+  else Vm.Report.Oob_read
+[@@inline]
+
+let check_deref rt st ~write ~size ptr =
+  let tbl = get_table rt st in
+  Vm.State.tick st Costs.check;
+  let idx = L.tag_of ptr in
+  let raw = L.strip ptr in
+  let lo = Meta_table.low tbl idx in
+  let hi = Meta_table.high tbl idx in
+  (* Algorithm 1: OR the two differences; a set sign bit means either the
+     pointer is below the low bound (which INVALID forces after free) or
+     the access end is above the high bound. *)
+  if (raw - lo) lor (hi - (raw + size)) < 0 then begin
+    (* the section V.1 extension: the slow path searches the index's
+       overflow chain before reporting *)
+    match Meta_table.chain_covers tbl idx ~raw ~size with
+    | Some links -> Vm.State.tick st (Costs.chain_link * links)
+    | None ->
+      Vm.Report.bug ~by:name ~addr:raw
+        ~detail:(Printf.sprintf "access of %d bytes, entry %d" size idx)
+        (classify_oob ~write tbl idx raw)
+  end;
+  raw
+
+(* A range check used by the interceptors: validates [raw, raw+len). *)
+let check_range rt st ~write ptr len =
+  let tbl = get_table rt st in
+  Vm.State.tick st Costs.range_check;
+  let idx = L.tag_of ptr in
+  let raw = L.strip ptr in
+  if len > 0 then begin
+    let lo = Meta_table.low tbl idx in
+    let hi = Meta_table.high tbl idx in
+    if (raw - lo) lor (hi - (raw + len)) < 0 then begin
+      match Meta_table.chain_covers tbl idx ~raw ~size:len with
+      | Some links -> Vm.State.tick st (Costs.chain_link * links)
+      | None ->
+        Vm.Report.bug ~by:name ~addr:raw
+          ~detail:(Printf.sprintf "range of %d bytes, entry %d" len idx)
+          (classify_oob ~write tbl idx raw)
+    end
+  end;
+  raw
+
+(* --- allocation family ---------------------------------------------------- *)
+
+let cecsan_malloc rt st size =
+  let tbl = get_table rt st in
+  Vm.State.tick st Costs.malloc_extra;
+  let base = Vm.Heap.malloc st size in
+  Meta_table.alloc tbl ~base ~size
+
+(* Algorithm 2: pointer deallocation check. *)
+let cecsan_free rt st ptr =
+  let tbl = get_table rt st in
+  Vm.State.tick st Costs.free_extra;
+  if ptr = 0 then ()  (* free(NULL) *)
+  else begin
+    let idx = L.tag_of ptr in
+    let raw = L.strip ptr in
+    if idx = 0 then
+      (* a foreign pointer from uninstrumented code: pass through *)
+      Vm.Heap.free st raw
+    else begin
+      let lo = Meta_table.low tbl idx in
+      if lo <> raw then begin
+        (* slow path of the section V.1 extension: the object may live in
+           this index's overflow chain *)
+        if Meta_table.chain_release tbl idx ~raw then begin
+          Vm.State.tick st Costs.chain_link;
+          Vm.Heap.free st raw
+        end
+        else if lo = Meta_table.invalid_low then
+          Vm.Report.bug ~by:name ~addr:raw Vm.Report.Double_free
+            ~detail:"deallocation of a dangling pointer"
+        else
+          Vm.Report.bug ~by:name ~addr:raw Vm.Report.Invalid_free
+            ~detail:"pointer is not the base of a live object"
+      end
+      else begin
+        (* freeing a tracked non-heap object through free() *)
+        if raw < L.heap_base || raw >= L.heap_limit then
+          Vm.Report.bug ~by:name ~addr:raw Vm.Report.Invalid_free
+            ~detail:"free() of a non-heap object";
+        Meta_table.release tbl idx;
+        Vm.Heap.free st raw
+      end
+    end
+  end
+
+let cecsan_realloc rt st ptr size =
+  if ptr = 0 then cecsan_malloc rt st size
+  else begin
+    let tbl = get_table rt st in
+    let idx = L.tag_of ptr in
+    let raw = L.strip ptr in
+    let old_size =
+      if idx = 0 then
+        match Vm.Heap.usable_size st raw with
+        | Some s -> s
+        | None ->
+          Vm.Report.trap ~addr:raw Vm.Report.Heap_corruption
+            ~detail:"realloc(): invalid pointer"
+      else begin
+        let lo = Meta_table.low tbl idx in
+        if lo <> raw then begin
+          if lo = Meta_table.invalid_low then
+            Vm.Report.bug ~by:name ~addr:raw Vm.Report.Double_free
+              ~detail:"realloc() of a dangling pointer"
+          else
+            Vm.Report.bug ~by:name ~addr:raw Vm.Report.Invalid_free
+              ~detail:"realloc() of a non-base pointer"
+        end;
+        Meta_table.high tbl idx - lo
+      end
+    in
+    let fresh = cecsan_malloc rt st size in
+    let fraw = L.strip fresh in
+    Vm.Memory.copy st.Vm.State.mem ~src:raw ~dst:fraw
+      ~len:(min old_size size);
+    Vm.State.tick st (Vm.Cost.mem_op (min old_size size));
+    (if idx <> 0 then Meta_table.release tbl idx);
+    Vm.Heap.free st raw;
+    fresh
+  end
+
+(* --- stack, globals, sub-objects ----------------------------------------- *)
+
+let stack_make rt st addr size =
+  Vm.State.tick st Costs.stack_make;
+  Meta_table.alloc (get_table rt st) ~base:addr ~size
+
+let stack_release rt st tagged =
+  Vm.State.tick st Costs.stack_release;
+  let tbl = get_table rt st in
+  let idx = L.tag_of tagged in
+  (* only release if the entry still describes this object (the program
+     may have -- illegally but detectably -- freed it via free()) *)
+  if idx <> 0 then begin
+    if Meta_table.low tbl idx = L.strip tagged then
+      Meta_table.release tbl idx
+    else ignore (Meta_table.chain_release tbl idx ~raw:(L.strip tagged))
+  end
+
+let global_make rt st ~slot addr size =
+  let tagged = Meta_table.alloc (get_table rt st) ~base:addr ~size in
+  Hashtbl.replace rt.gpt slot tagged;
+  (* the GPT itself is ordinary memory (residency counts) *)
+  Vm.Memory.store st.Vm.State.mem (L.aux_base + (slot * 8)) 8 tagged;
+  tagged
+
+let gpt_load rt st slot =
+  Vm.State.tick st Costs.gpt_load;
+  match Hashtbl.find_opt rt.gpt slot with
+  | Some tagged -> tagged
+  | None -> Vm.Memory.load st.Vm.State.mem (L.aux_base + (slot * 8)) 8
+
+(* Sub-object narrowing (section II.D): validate the field range against
+   the parent entry, then mint a temporary narrowed entry. *)
+let sub_make rt st ptr fsize =
+  let tbl = get_table rt st in
+  Vm.State.tick st Costs.sub_make;
+  let idx = L.tag_of ptr in
+  let raw = L.strip ptr in
+  let lo = Meta_table.low tbl idx in
+  let hi = Meta_table.high tbl idx in
+  if (raw - lo) lor (hi - (raw + fsize)) < 0 then begin
+    match Meta_table.chain_covers tbl idx ~raw ~size:fsize with
+    | Some links -> Vm.State.tick st (Costs.chain_link * links)
+    | None ->
+      if idx <> 0 && lo = Meta_table.invalid_low then
+        Vm.Report.bug ~by:name ~addr:raw Vm.Report.Use_after_free
+          ~detail:"field access through dangling pointer"
+      else
+        Vm.Report.bug ~by:name ~addr:raw Vm.Report.Oob_read
+          ~detail:"field address outside parent object"
+  end;
+  Meta_table.alloc tbl ~base:raw ~size:fsize
+
+let sub_release rt st tagged =
+  Vm.State.tick st Costs.sub_release;
+  stack_release rt st tagged  (* same invalidation discipline *)
+
+(* External-call boundary (section II.E): check then strip. *)
+let extcall_strip rt st ptr =
+  Vm.State.tick st Costs.extcall;
+  if ptr = 0 then 0
+  else begin
+    let tbl = get_table rt st in
+    let idx = L.tag_of ptr in
+    let raw = L.strip ptr in
+    let lo = Meta_table.low tbl idx in
+    if idx <> 0 && lo = Meta_table.invalid_low then
+      Vm.Report.bug ~by:name ~addr:raw Vm.Report.Use_after_free
+        ~detail:"dangling pointer passed to external code";
+    raw
+  end
+
+(* Re-apply a stripped tag to a returned pointer argument. *)
+let retag st ~original result =
+  Vm.State.tick st Costs.retag;
+  if result = 0 then 0 else L.with_tag result (L.tag_of original)
+
+(* --- interceptors --------------------------------------------------------- *)
+
+(* strlen bounded by the object's high bound: running off the end of an
+   unterminated buffer is reported instead of silently scanned. *)
+let bounded_strlen rt st ptr ~elem =
+  let tbl = get_table rt st in
+  let idx = L.tag_of ptr in
+  let raw = L.strip ptr in
+  let hi = Meta_table.high tbl idx in
+  let lo = Meta_table.low tbl idx in
+  if idx <> 0 && lo = Meta_table.invalid_low then
+    Vm.Report.bug ~by:name ~addr:raw Vm.Report.Use_after_free
+      ~detail:"string read through dangling pointer";
+  let rec go k =
+    let a = raw + (k * elem) in
+    if a + elem > hi then
+      Vm.Report.bug ~by:name ~addr:a Vm.Report.Oob_read
+        ~detail:"unterminated string: scan reached object end";
+    Vm.State.check_mapped st a elem;
+    if Vm.Memory.load st.Vm.State.mem a elem = 0 then k else go (k + 1)
+  in
+  go 0
+
+(* The interceptor table.  CECSan's engineering-effort claim is coverage:
+   including the wide-character functions most sanitizers overlook. *)
+let interceptors rt : string -> Vm.Runtime.interceptor option =
+  let strip = L.strip in
+  let two_range ~dlen ~slen st ~raw args =
+    (* dst = arg0 (write dlen), src = arg1 (read slen) *)
+    ignore (check_range rt st ~write:true args.(0) dlen);
+    ignore (check_range rt st ~write:false args.(1) slen);
+    let res = raw (Array.map strip args) in
+    retag st ~original:args.(0) res
+  in
+  function
+  | "memcpy" | "memmove" ->
+    Some (fun st ~raw args ->
+        let n = args.(2) in
+        two_range ~dlen:n ~slen:n st ~raw args)
+  | "memset" ->
+    Some (fun st ~raw args ->
+        ignore (check_range rt st ~write:true args.(0) args.(2));
+        let res = raw (Array.map strip args) in
+        retag st ~original:args.(0) res)
+  | "memcmp" ->
+    Some (fun st ~raw args ->
+        ignore (check_range rt st ~write:false args.(0) args.(2));
+        ignore (check_range rt st ~write:false args.(1) args.(2));
+        raw (Array.map strip args))
+  | "strcpy" ->
+    Some (fun st ~raw args ->
+        let n = bounded_strlen rt st args.(1) ~elem:1 in
+        two_range ~dlen:(n + 1) ~slen:(n + 1) st ~raw args)
+  | "strncpy" ->
+    Some (fun st ~raw args ->
+        let n = args.(2) in
+        ignore (check_range rt st ~write:true args.(0) n);
+        let res = raw (Array.map strip args) in
+        retag st ~original:args.(0) res)
+  | "strcat" ->
+    Some (fun st ~raw args ->
+        let dlen = bounded_strlen rt st args.(0) ~elem:1 in
+        let slen = bounded_strlen rt st args.(1) ~elem:1 in
+        ignore (check_range rt st ~write:true args.(0) (dlen + slen + 1));
+        let res = raw (Array.map strip args) in
+        retag st ~original:args.(0) res)
+  | "strncat" ->
+    Some (fun st ~raw args ->
+        let dlen = bounded_strlen rt st args.(0) ~elem:1 in
+        let slen = min (bounded_strlen rt st args.(1) ~elem:1) args.(2) in
+        ignore (check_range rt st ~write:true args.(0) (dlen + slen + 1));
+        let res = raw (Array.map strip args) in
+        retag st ~original:args.(0) res)
+  | "strlen" ->
+    Some (fun st ~raw args ->
+        let n = bounded_strlen rt st args.(0) ~elem:1 in
+        ignore (raw (Array.map strip args));
+        n)
+  | "strcmp" | "strncmp" ->
+    Some (fun st ~raw args ->
+        ignore (bounded_strlen rt st args.(0) ~elem:1);
+        ignore (bounded_strlen rt st args.(1) ~elem:1);
+        raw (Array.map strip args))
+  | "strchr" ->
+    Some (fun st ~raw args ->
+        ignore (bounded_strlen rt st args.(0) ~elem:1);
+        let res = raw (Array.map strip args) in
+        retag st ~original:args.(0) res)
+  | "strdup" ->
+    Some (fun st ~raw:_ args ->
+        let n = bounded_strlen rt st args.(0) ~elem:1 in
+        let p = cecsan_malloc rt st (n + 1) in
+        Vm.Memory.copy st.Vm.State.mem ~src:(strip args.(0))
+          ~dst:(strip p) ~len:(n + 1);
+        Vm.State.tick st (Vm.Cost.str_op n);
+        p)
+  | "atoi" ->
+    Some (fun st ~raw args ->
+        ignore (bounded_strlen rt st args.(0) ~elem:1);
+        raw (Array.map strip args))
+  (* the wide-character family: the checks "previously overlooked by most
+     sanitizers" that let CECSan catch more of CWE122 *)
+  | "wcslen" ->
+    Some (fun st ~raw args ->
+        let n = bounded_strlen rt st args.(0) ~elem:4 in
+        ignore (raw (Array.map strip args));
+        n)
+  | "wcscpy" ->
+    Some (fun st ~raw args ->
+        let n = bounded_strlen rt st args.(1) ~elem:4 in
+        two_range ~dlen:((n + 1) * 4) ~slen:((n + 1) * 4) st ~raw args)
+  | "wcsncpy" ->
+    Some (fun st ~raw args ->
+        let n = args.(2) in
+        ignore (check_range rt st ~write:true args.(0) (n * 4));
+        let res = raw (Array.map strip args) in
+        retag st ~original:args.(0) res)
+  | "wcscat" ->
+    Some (fun st ~raw args ->
+        let dlen = bounded_strlen rt st args.(0) ~elem:4 in
+        let slen = bounded_strlen rt st args.(1) ~elem:4 in
+        ignore
+          (check_range rt st ~write:true args.(0) ((dlen + slen + 1) * 4));
+        let res = raw (Array.map strip args) in
+        retag st ~original:args.(0) res)
+  | "wcscmp" ->
+    Some (fun st ~raw args ->
+        ignore (bounded_strlen rt st args.(0) ~elem:4);
+        ignore (bounded_strlen rt st args.(1) ~elem:4);
+        raw (Array.map strip args))
+  | "puts" ->
+    Some (fun st ~raw args ->
+        ignore (bounded_strlen rt st args.(0) ~elem:1);
+        raw (Array.map strip args))
+  | "printf" ->
+    Some (fun st ~raw args ->
+        (* check and strip the format and every %s argument *)
+        ignore (bounded_strlen rt st args.(0) ~elem:1);
+        let fmt = Vm.Memory.read_string st.Vm.State.mem (strip args.(0)) in
+        let stripped = Array.copy args in
+        stripped.(0) <- strip args.(0);
+        let argi = ref 1 in
+        String.iteri
+          (fun i c ->
+             if c = '%' && i + 1 < String.length fmt then begin
+               match fmt.[i + 1] with
+               | 's' ->
+                 if !argi < Array.length stripped then begin
+                   ignore (bounded_strlen rt st stripped.(!argi) ~elem:1);
+                   stripped.(!argi) <- strip stripped.(!argi)
+                 end;
+                 incr argi
+               | '%' -> ()
+               | _ -> incr argi
+             end)
+          fmt;
+        raw stripped)
+  | "fgets" ->
+    Some (fun st ~raw args ->
+        ignore (check_range rt st ~write:true args.(0) args.(1));
+        let res = raw (Array.map strip args) in
+        retag st ~original:args.(0) res)
+  | "recv" ->
+    Some (fun st ~raw args ->
+        ignore (check_range rt st ~write:true args.(1) args.(2));
+        raw (Array.map strip args))
+  | _ -> None
+
+(* --- assembling the Vm.Runtime ------------------------------------------- *)
+
+let intrinsic_table rt : (string * Vm.Runtime.intrinsic) list =
+  [
+    (* args.(last) is always the site id appended by the machine *)
+    "__cecsan_check_load",
+    (fun st a -> check_deref rt st ~write:false ~size:a.(1) a.(0));
+    "__cecsan_check_store",
+    (fun st a -> check_deref rt st ~write:true ~size:a.(1) a.(0));
+    "__cecsan_malloc", (fun st a -> cecsan_malloc rt st a.(0));
+    "__cecsan_free", (fun st a -> cecsan_free rt st a.(0); 0);
+    "__cecsan_calloc",
+    (fun st a ->
+       let n = a.(0) * a.(1) in
+       let p = cecsan_malloc rt st n in
+       Vm.Memory.fill st.Vm.State.mem ~dst:(L.strip p) ~len:n 0;
+       Vm.State.tick st (Vm.Cost.mem_op n);
+       p);
+    "__cecsan_realloc", (fun st a -> cecsan_realloc rt st a.(0) a.(1));
+    "__cecsan_stack_make", (fun st a -> stack_make rt st a.(0) a.(1));
+    "__cecsan_stack_release", (fun st a -> stack_release rt st a.(0); 0);
+    "__cecsan_global_make",
+    (fun st a -> global_make rt st ~slot:a.(2) a.(0) a.(1));
+    "__cecsan_gpt_load", (fun st a -> gpt_load rt st a.(0));
+    "__cecsan_sub_make", (fun st a -> sub_make rt st a.(0) a.(1));
+    "__cecsan_sub_release", (fun st a -> sub_release rt st a.(0); 0);
+    "__cecsan_extcall_strip", (fun st a -> extcall_strip rt st a.(0));
+    "__cecsan_retag", (fun st a -> retag st ~original:a.(1) a.(0));
+  ]
+
+let stats rt =
+  match rt.table with
+  | None -> (0, 0)
+  | Some t -> (t.Meta_table.peak_live, t.Meta_table.total_allocated)
+
+let create ?(chain_overflow = false) () : t * Vm.Runtime.t =
+  let rt = { table = None; gpt = Hashtbl.create 17; reports_sub_object = 0;
+             chain_overflow } in
+  let vrt = {
+    Vm.Runtime.rt_name = name;
+    intrinsics = Hashtbl.create 32;
+    malloc = None;          (* the point: no custom allocator *)
+    free_ = None;
+    intercept = interceptors rt;
+    usable_size = None;
+    tbi_bits = 0;           (* x86-64: no TBI; checks strip explicitly *)
+    at_exit = (fun _ -> ());
+  } in
+  List.iter (fun (n, f) -> Hashtbl.replace vrt.Vm.Runtime.intrinsics n f)
+    (intrinsic_table rt);
+  (rt, vrt)

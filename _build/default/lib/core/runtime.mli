@@ -1,0 +1,81 @@
+(** The CECSan runtime library: metadata management, the fused
+    spatial+temporal checks of Algorithms 1 and 2, the libc interceptors
+    (including the wide-character family), and the external-call
+    boundary handling of section II.E.
+
+    There is deliberately NO custom allocator here: allocation goes
+    through the default [Vm.Heap], with CECSan only adding metadata --
+    the compatibility property the paper claims over ASan. *)
+
+val name : string
+
+type t = {
+  mutable table : Meta_table.t option;
+      (** created lazily on first use: the load-time constructor *)
+  gpt : (int, int) Hashtbl.t;
+      (** the Global Pointer Table: slot index -> tagged pointer *)
+  mutable reports_sub_object : int;
+  chain_overflow : bool;
+      (** the section V.1 overflow-chain extension *)
+}
+
+val get_table : t -> Vm.State.t -> Meta_table.t
+
+val check_deref : t -> Vm.State.t -> write:bool -> size:int -> int -> int
+(** Algorithm 1: the optimized dereference check.  Returns the STRIPPED
+    address for the access; raises [Vm.Report.Bug] on a spatial or
+    temporal violation (a freed entry's INVALID low bound makes the same
+    fused compare fail). *)
+
+val check_range : t -> Vm.State.t -> write:bool -> int -> int -> int
+(** [check_range t st ~write ptr len] validates [ptr, ptr+len) against
+    the pointer's entry; used by the libc interceptors. *)
+
+val cecsan_malloc : t -> Vm.State.t -> int -> int
+(** Default-allocator malloc plus metadata creation; returns the tagged
+    pointer. *)
+
+val cecsan_free : t -> Vm.State.t -> int -> unit
+(** Algorithm 2: validates that the pointer is the live base of a heap
+    object (catching double/invalid frees), invalidates the entry, then
+    frees through the default allocator. *)
+
+val cecsan_realloc : t -> Vm.State.t -> int -> int -> int
+
+val stack_make : t -> Vm.State.t -> int -> int -> int
+(** Prologue half of stack protection: registers an unsafe stack object
+    and returns its tagged address. *)
+
+val stack_release : t -> Vm.State.t -> int -> unit
+(** Epilogue half: releases the entry if it still describes the object. *)
+
+val global_make : t -> Vm.State.t -> slot:int -> int -> int -> int
+(** Registers an unsafe global and stores its tagged pointer in the GPT. *)
+
+val gpt_load : t -> Vm.State.t -> int -> int
+(** Loads a tagged global pointer from the GPT (not itself checked, per
+    the paper: all GPT accesses are compiler-generated). *)
+
+val sub_make : t -> Vm.State.t -> int -> int -> int
+(** Section II.D: validates a field address against its parent entry and
+    mints a temporary narrowed entry for the field. *)
+
+val sub_release : t -> Vm.State.t -> int -> unit
+
+val extcall_strip : t -> Vm.State.t -> int -> int
+(** Section II.E: checks (temporal) and strips a pointer crossing into
+    external, uninstrumented code. *)
+
+val retag : Vm.State.t -> original:int -> int -> int
+(** Re-applies [original]'s tag to a pointer returned by a libc function
+    that returns one of its pointer arguments. *)
+
+val interceptors : t -> string -> Vm.Runtime.interceptor option
+(** The checking wrappers around libc builtins; coverage includes
+    wcscpy/wcsncpy/wcscat/wcslen/wcscmp, which most sanitizers omit. *)
+
+val stats : t -> int * int
+(** [(peak live entries, total entries ever allocated)]. *)
+
+val create : ?chain_overflow:bool -> unit -> t * Vm.Runtime.t
+(** Fresh per-run runtime state plus its VM-facing interface. *)

@@ -1,0 +1,1 @@
+lib/harness/figures.ml: Baselines Cecsan Fmt List Sanitizer String Tir Vm

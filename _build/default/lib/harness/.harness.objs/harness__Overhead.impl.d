@@ -1,0 +1,1 @@
+lib/harness/overhead.ml: Baselines Cecsan List Sanitizer Stats String Vm Workloads

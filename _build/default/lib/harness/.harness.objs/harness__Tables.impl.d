@@ -1,0 +1,1 @@
+lib/harness/tables.ml: Cecsan Fmt Juliet List Overhead Printf Sanitizer Stats String Workloads

@@ -1,0 +1,116 @@
+(* Runnable reproductions of the paper's figures.
+
+   Figures 1 and 2 are architecture/code diagrams: Figure 1 is the
+   pipeline itself (see README and examples/quickstart.ml) and Figure 2
+   is implemented verbatim by [Cecsan.Meta_table].  Figures 3 and 4 are
+   code examples with observable behavior, demonstrated here. *)
+
+(* Figure 3 of the paper, verbatim modulo MiniC syntax. *)
+let fig3_source = {|
+struct CharVoid {
+  char charFirst[16];
+  void *voidSecond;
+  void *voidThird;
+};
+
+int main() {
+  struct CharVoid structCharVoid;
+  structCharVoid.voidSecond = (void*)0x434543;   /* "CEC" */
+  structCharVoid.voidThird = (void*)0x53414e;    /* "SAN" */
+  char source[32];
+  memset(source, 'A', 32);
+  /* the sizeof is taken on the WHOLE struct: memcpy overruns
+     charFirst[16] into voidSecond/voidThird */
+  memcpy(structCharVoid.charFirst, source, sizeof(structCharVoid));
+  printf("voidSecond=%p", structCharVoid.voidSecond);
+  return 0;
+}
+|}
+
+let fig3 fmt () =
+  Fmt.pf fmt "FIGURE 3: sub-object overflow (memcpy with sizeof(struct))@.";
+  Fmt.pf fmt "%s@." (String.make 72 '-');
+  List.iter
+    (fun (san : Sanitizer.Spec.t) ->
+       let r = Sanitizer.Driver.run san fig3_source in
+       Fmt.pf fmt "  %-16s -> %a@." san.Sanitizer.Spec.name
+         Vm.Machine.pp_outcome r.Sanitizer.Driver.outcome)
+    [
+      Cecsan.sanitizer ();
+      Baselines.Asan.sanitizer ();
+      Baselines.Hwasan.sanitizer ();
+      Baselines.Pacmem.sanitizer ();
+    ];
+  Fmt.pf fmt
+    "  (only CECSan narrows the field pointer to charFirst[16]; the \
+     others see one 32-byte object)@."
+
+(* Figure 4(a): monotonic loop checks grouped via the statically known
+   limit; 4(b): statically in-bounds accesses not instrumented. *)
+let fig4_source = {|
+int buf_good[16];
+
+int process(int *data) {
+  int sum = 0;
+  /* fig 4(a): monotonic accesses with a statically-determined limit */
+  for (int i = 0; i < 16; i++) {
+    sum += data[i];
+  }
+  /* fig 4(b): constant in-bounds index: statically safe */
+  sum += buf_good[15];
+  return sum;
+}
+
+int main() {
+  int data[16];
+  for (int i = 0; i < 16; i++) data[i] = i;
+  buf_good[15] = 100;
+  return process(data) & 0xff;
+}
+|}
+
+let count_checks md =
+  Tir.Ir.count_intrins md (fun n ->
+      String.length n >= 14
+      && String.equal (String.sub n 0 14) "__cecsan_check")
+
+let fig4 fmt () =
+  Fmt.pf fmt "FIGURE 4: check optimization (section II.F)@.";
+  Fmt.pf fmt "%s@." (String.make 72 '-');
+  let run_with config =
+    let san = Cecsan.sanitizer ~config () in
+    let md = Sanitizer.Driver.build san fig4_source in
+    let r = Sanitizer.Driver.run_module san md in
+    (count_checks md, r.Sanitizer.Driver.cycles, r.Sanitizer.Driver.outcome)
+  in
+  let c0, cy0, o0 = run_with Cecsan.Config.no_opts in
+  let c1, cy1, o1 = run_with Cecsan.Config.default in
+  Fmt.pf fmt "  without optimizations: %2d static check sites, %6d cycles \
+              (%a)@." c0 cy0 Vm.Machine.pp_outcome o0;
+  Fmt.pf fmt "  with optimizations:    %2d static check sites, %6d cycles \
+              (%a)@." c1 cy1 Vm.Machine.pp_outcome o1;
+  Fmt.pf fmt
+    "  the 16-iteration loop collapses to two endpoint checks in the \
+     preheader,@.";
+  Fmt.pf fmt
+    "  and buf_good[15] (constant, in bounds) is not instrumented at \
+     all.@.";
+  (* and the safety net: the same optimized build still catches the bad
+     variant *)
+  let bad =
+    Sanitizer.Driver.run (Cecsan.sanitizer ())
+      {|
+int main() {
+  int *data = (int*)malloc(16 * sizeof(int));
+  int sum = 0;
+  for (int i = 0; i < 20; i++) {  /* overruns data[16] */
+    data[i] = i;
+    sum += data[i];
+  }
+  free(data);
+  return sum;
+}
+|}
+  in
+  Fmt.pf fmt "  (safety preserved: overrunning variant -> %a)@."
+    Vm.Machine.pp_outcome bad.Sanitizer.Driver.outcome

@@ -1,0 +1,89 @@
+(* Runtime and memory overhead measurement (Tables IV and V).
+
+   Each workload runs uninstrumented and under each sanitizer; runtime
+   overhead is the cycle-count ratio, memory overhead the resident-page
+   ratio -- both deterministic, so the tables reproduce bit-for-bit. *)
+
+type measurement = {
+  m_tool : string;
+  m_runtime_pct : float;
+  m_memory_pct : float;
+  m_cycles : int;
+  m_resident : int;
+}
+
+type row = {
+  r_workload : string;
+  r_base_cycles : int;
+  r_base_resident : int;
+  r_measurements : measurement list;
+  r_correct : bool;   (* all runs returned the expected checksum *)
+}
+
+let budget = 2_000_000_000
+
+let run_workload (sans : Sanitizer.Spec.t list)
+    (w : Workloads.Spec2006.t) : row =
+  let base = Sanitizer.Driver.run Sanitizer.Spec.none ~budget w.w_source in
+  let base_ok =
+    match base.Sanitizer.Driver.outcome with
+    | Vm.Machine.Exit c -> c = w.w_expected
+    | _ -> false
+  in
+  let correct = ref base_ok in
+  let measurements =
+    List.map
+      (fun san ->
+         let r = Sanitizer.Driver.run san ~budget w.w_source in
+         (match r.Sanitizer.Driver.outcome with
+          | Vm.Machine.Exit c when c = w.w_expected -> ()
+          | _ -> correct := false);
+         {
+           m_tool = san.Sanitizer.Spec.name;
+           m_runtime_pct =
+             Stats.percent_overhead ~base:base.Sanitizer.Driver.cycles
+               ~measured:r.Sanitizer.Driver.cycles;
+           m_memory_pct =
+             Stats.percent_overhead ~base:base.Sanitizer.Driver.resident
+               ~measured:r.Sanitizer.Driver.resident;
+           m_cycles = r.Sanitizer.Driver.cycles;
+           m_resident = r.Sanitizer.Driver.resident;
+         })
+      sans
+  in
+  {
+    r_workload = w.Workloads.Spec2006.w_name;
+    r_base_cycles = base.Sanitizer.Driver.cycles;
+    r_base_resident = base.Sanitizer.Driver.resident;
+    r_measurements = measurements;
+    r_correct = !correct;
+  }
+
+(* The Table IV / V lineup. *)
+let perf_lineup () : Sanitizer.Spec.t list =
+  [
+    Baselines.Asan.sanitizer ();
+    Baselines.Asan_minus.sanitizer ();
+    Cecsan.sanitizer ();
+  ]
+
+let measure (workloads : Workloads.Spec2006.t list) : row list =
+  List.map (run_workload (perf_lineup ())) workloads
+
+(* Column extraction + aggregate rows. *)
+let column (rows : row list) (tool : string) (f : measurement -> float) :
+  float list =
+  List.map
+    (fun r ->
+       let m = List.find (fun m -> String.equal m.m_tool tool)
+           r.r_measurements
+       in
+       f m)
+    rows
+
+let aggregates (rows : row list) (tool : string) :
+  (float * float) * (float * float) =
+  let rt = column rows tool (fun m -> m.m_runtime_pct) in
+  let mem = column rows tool (fun m -> m.m_memory_pct) in
+  ( (Stats.average rt, Stats.geomean_overhead rt),
+    (Stats.average mem, Stats.geomean_overhead mem) )

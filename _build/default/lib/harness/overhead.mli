@@ -1,0 +1,33 @@
+(** Runtime and memory overhead measurement (Tables IV and V):
+    deterministic cycle-count and resident-page ratios against the
+    uninstrumented run. *)
+
+type measurement = {
+  m_tool : string;
+  m_runtime_pct : float;
+  m_memory_pct : float;
+  m_cycles : int;
+  m_resident : int;
+}
+
+type row = {
+  r_workload : string;
+  r_base_cycles : int;
+  r_base_resident : int;
+  r_measurements : measurement list;
+  r_correct : bool;  (** every run returned the expected checksum *)
+}
+
+val budget : int
+
+val run_workload : Sanitizer.Spec.t list -> Workloads.Spec2006.t -> row
+
+val perf_lineup : unit -> Sanitizer.Spec.t list
+(** ASan, ASan--, CECSan: the Table IV/V columns. *)
+
+val measure : Workloads.Spec2006.t list -> row list
+
+val column : row list -> string -> (measurement -> float) -> float list
+
+val aggregates : row list -> string -> (float * float) * (float * float)
+(** [((runtime avg, runtime geomean), (memory avg, memory geomean))]. *)

@@ -1,0 +1,24 @@
+(* Aggregates used by the performance tables: arithmetic mean and
+   geometric mean of overhead percentages, matching how the paper
+   reports "Average" and "Geometric Mean" rows. *)
+
+let average (xs : float list) : float =
+  match xs with
+  | [] -> 0.0
+  | _ -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+(* Geometric mean of overhead percentages: computed over the slowdown
+   factors (1 + x/100), reported back as a percentage, which is the
+   standard way SPEC-style geomeans of overheads are formed. *)
+let geomean_overhead (xs : float list) : float =
+  match xs with
+  | [] -> 0.0
+  | _ ->
+    let logs =
+      List.map (fun x -> log (max (1.0 +. (x /. 100.0)) 1e-9)) xs
+    in
+    ((exp (average logs)) -. 1.0) *. 100.0
+
+let percent_overhead ~base ~measured =
+  if base <= 0 then 0.0
+  else (float_of_int measured /. float_of_int base -. 1.0) *. 100.0

@@ -1,0 +1,9 @@
+(** Aggregates for the performance tables. *)
+
+val average : float list -> float
+
+val geomean_overhead : float list -> float
+(** Geometric mean of overhead percentages, computed over the slowdown
+    factors (1 + x/100) as SPEC-style geomeans are. *)
+
+val percent_overhead : base:int -> measured:int -> float

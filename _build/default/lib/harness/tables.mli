@@ -1,0 +1,17 @@
+(** Paper-style table rendering: one entry point per table of the
+    evaluation section, plus the optimization ablation. *)
+
+val table1 : Format.formatter -> unit -> unit
+
+type table2_data = { t2_tools : Juliet.Runner.tool_results list }
+
+val run_table2 : ?cases:Juliet.Case.t list -> unit -> table2_data
+val paper_table2 : (string * float list) list
+val table2 : Format.formatter -> table2_data -> unit
+
+val table3 : Format.formatter -> unit -> unit
+
+val table4 : Format.formatter -> Overhead.row list -> unit
+val table5 : Format.formatter -> Overhead.row list -> unit
+
+val ablation : Format.formatter -> Workloads.Spec2006.t list -> unit

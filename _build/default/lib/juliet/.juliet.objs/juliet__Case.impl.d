@@ -1,0 +1,1 @@
+lib/juliet/case.ml: List Printf String

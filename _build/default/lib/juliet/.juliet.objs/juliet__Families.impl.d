@@ -1,0 +1,1 @@
+lib/juliet/families.ml: Case List Printf String

@@ -1,0 +1,1 @@
+lib/juliet/families.mli: Case

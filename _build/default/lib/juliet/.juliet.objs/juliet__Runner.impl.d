@@ -1,0 +1,1 @@
+lib/juliet/runner.ml: Baselines Case Cecsan Hashtbl List Option Sanitizer Vm

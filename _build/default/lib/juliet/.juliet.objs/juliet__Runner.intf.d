@@ -1,0 +1,1 @@
+lib/juliet/runner.mli: Case Sanitizer

@@ -1,0 +1,1 @@
+lib/juliet/suite.mli: Case

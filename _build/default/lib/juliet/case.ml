@@ -1,0 +1,166 @@
+(* Juliet-style test cases.
+
+   The real Juliet Test Suite is a generated grid: a flaw "mechanism"
+   (how the memory error happens) crossed with "flow variants" (how
+   control/data reaches the flawed statement).  We regenerate the same
+   structure at 1/16 scale, with per-CWE totals proportional to Table I
+   of the paper, including the external-input variants (fgets/socket)
+   that the paper's dummy-server framework made runnable and that prior
+   evaluations excluded. *)
+
+type cwe = C121 | C122 | C124 | C126 | C127 | C415 | C416 | C761
+
+let cwe_name = function
+  | C121 -> "CWE121"
+  | C122 -> "CWE122"
+  | C124 -> "CWE124"
+  | C126 -> "CWE126"
+  | C127 -> "CWE127"
+  | C415 -> "CWE415"
+  | C416 -> "CWE416"
+  | C761 -> "CWE761"
+
+let cwe_description = function
+  | C121 -> "Stack Buffer Overflow"
+  | C122 -> "Heap Buffer Overflow"
+  | C124 -> "Buffer Underwrite"
+  | C126 -> "Buffer Overread"
+  | C127 -> "Buffer Underread"
+  | C415 -> "Double Free"
+  | C416 -> "Use After Free"
+  | C761 -> "Invalid Free"
+
+type flow =
+  | Direct          (* variant 01: straight-line *)
+  | If_true         (* if(1) around the flaw *)
+  | Global_flag     (* global int flag checked *)
+  | Fn_flag         (* predicate function returns 1 *)
+  | Helper_call     (* flaw body moved into a static helper *)
+  | Loop_once       (* flaw wrapped in a single-iteration loop *)
+  | Input_fgets     (* guarded by a line from stdin (dummy server) *)
+  | Input_socket    (* guarded by a byte from a socket (dummy server) *)
+
+let all_flows =
+  [ Direct; If_true; Global_flag; Fn_flag; Helper_call; Loop_once;
+    Input_fgets; Input_socket ]
+
+let flow_name = function
+  | Direct -> "01"
+  | If_true -> "02"
+  | Global_flag -> "05"
+  | Fn_flag -> "08"
+  | Helper_call -> "41"
+  | Loop_once -> "16"
+  | Input_fgets -> "60f"
+  | Input_socket -> "60s"
+
+let needs_fgets = function Input_fgets -> true | _ -> false
+let needs_socket = function Input_socket -> true | _ -> false
+
+(* Mechanism properties: used by the runner to explain outcomes, and by
+   DESIGN.md's capability matrix tests. *)
+type props = {
+  uses_wide : bool;       (* wide-character data / libc *)
+  subobject : bool;       (* the flaw stays inside one allocation *)
+  via_libc : bool;        (* the flawed access happens inside libc *)
+}
+
+let plain_props = { uses_wide = false; subobject = false; via_libc = false }
+
+(* One mechanism variant: produces the body of a good or bad program. *)
+type body = {
+  globals : string list;   (* top-level declarations *)
+  helpers : string list;   (* helper function definitions *)
+  setup : string list;     (* statements before the flaw site *)
+  act : string list;       (* the (potentially) flawed statements *)
+  cleanup : string list;   (* statements after *)
+}
+
+type family = {
+  cwe : cwe;
+  fam_name : string;
+  props : props;
+  mk : bad:bool -> body;
+}
+
+type t = {
+  case_id : string;
+  cwe : cwe;
+  flow : flow;
+  fam_name : string;
+  props : props;
+  good_src : string;
+  bad_src : string;
+  lines : string list;     (* dummy-server stdin lines *)
+  packets : string list;   (* dummy-server socket packets *)
+}
+
+(* --- flow composition ---------------------------------------------------- *)
+
+let indent stmts = List.map (fun s -> "  " ^ s) stmts
+
+let compose (flow : flow) (b : body) : string * string list * string list =
+  let flag_globals, guard_open, guard_close, lines, packets =
+    match flow with
+    | Direct -> [], [], [], [], []
+    | If_true -> [], [ "if (1) {" ], [ "}" ], [], []
+    | Global_flag ->
+      [ "int global_cond = 1;" ], [ "if (global_cond) {" ], [ "}" ], [], []
+    | Fn_flag ->
+      [ "static int static_returns_one() { return 1; }" ],
+      [ "if (static_returns_one()) {" ], [ "}" ], [], []
+    | Helper_call -> [], [], [], [], []
+    | Loop_once ->
+      [], [ "for (int flow_j = 0; flow_j < 1; flow_j++) {" ], [ "}" ], [], []
+    | Input_fgets ->
+      [],
+      [ "char flow_cond[16];";
+        "if (fgets(flow_cond, 16, 0) != NULL && flow_cond[0] == 'A') {" ],
+      [ "}" ],
+      [ "A" ], []
+    | Input_socket ->
+      [],
+      [ "int flow_fd = socket(2, 1, 0);";
+        "char flow_byte[2];";
+        "long flow_n = recv(flow_fd, flow_byte, 1, 0);";
+        "if (flow_n == 1 && flow_byte[0] == 'B') {" ],
+      [ "}" ],
+      [], [ "B" ]
+  in
+  let body_stmts =
+    indent (b.setup @ guard_open @ indent b.act @ guard_close @ b.cleanup)
+  in
+  let src =
+    match flow with
+    | Helper_call ->
+      String.concat "\n"
+        (b.globals @ flag_globals @ b.helpers
+         @ [ "static int case_body() {" ]
+         @ body_stmts
+         @ [ "  return 0;"; "}";
+             "int main() {"; "  case_body();"; "  return 0;"; "}" ])
+    | _ ->
+      String.concat "\n"
+        (b.globals @ flag_globals @ b.helpers
+         @ [ "int main() {" ]
+         @ body_stmts
+         @ [ "  return 0;"; "}" ])
+  in
+  (src, lines, packets)
+
+let make (fam : family) (flow : flow) (variant : int) : t =
+  let bad_src, lines, packets = compose flow (fam.mk ~bad:true) in
+  let good_src, _, _ = compose flow (fam.mk ~bad:false) in
+  {
+    case_id =
+      Printf.sprintf "%s_%s_%02d_%s" (cwe_name fam.cwe) fam.fam_name variant
+        (flow_name flow);
+    cwe = fam.cwe;
+    flow;
+    fam_name = fam.fam_name;
+    props = fam.props;
+    good_src;
+    bad_src;
+    lines;
+    packets;
+  }

@@ -1,0 +1,726 @@
+(* Mechanism families for the Juliet-style generator.
+
+   Each family is a template: given a size parameter it yields good/bad
+   program bodies.  The family mix per CWE is chosen so that each
+   baseline's structural blind spots (DESIGN.md section 3) are exercised
+   in proportions that land the Table II shape:
+
+   - [*_odd]    sizes not a multiple of 16: HWASan's granule padding
+   - [*_far]    strides that jump over ASan's redzones into a live
+                neighbor
+   - [*_libc]   the flawed access happens inside a libc function
+   - [*_wide]   wide-character libc (CECSan's interceptor coverage)
+   - [subobject_*] intra-allocation overflows (CECSan's narrowing)
+
+   Good versions are flaw-free and must run clean under every tool
+   (except SoftBound's documented wrapper false positives, which have
+   their own family). *)
+
+open Case
+
+let f cwe fam_name ?(props = plain_props) mk : family =
+  { cwe; fam_name; props; mk }
+
+let sp = Printf.sprintf
+
+(* ------------------------------------------------------------------ *)
+(* CWE121: stack buffer overflow                                       *)
+(* ------------------------------------------------------------------ *)
+
+let stack_loop_over n =
+  f C121 (sp "loop_over_%d" n) (fun ~bad ->
+      { globals = []; helpers = [];
+        setup = [ sp "char buf[%d];" n ];
+        act =
+          [ sp "for (int i = 0; i %s %d; i++) {" (if bad then "<=" else "<") n;
+            "  buf[i] = 'a';";
+            "}" ];
+        cleanup = [ "if (buf[0] != 'a') { return 1; }" ] })
+
+let stack_loop_over_odd n = (stack_loop_over n)  (* odd n: granule padding *)
+
+let stack_off_by_one n =
+  f C121 (sp "off_by_one_%d" n) (fun ~bad ->
+      { globals = []; helpers = [];
+        setup = [ sp "int buf[%d];" n;
+                  sp "for (int i = 0; i < %d; i++) buf[i] = i;" n ];
+        act = [ sp "buf[%d] = 99;" (if bad then n else n - 1) ];
+        cleanup = [ "if (buf[0] > 0) { return 1; }" ] })
+
+let stack_memcpy_oversize n =
+  f C121 (sp "memcpy_oversize_%d" n)
+    ~props:{ plain_props with via_libc = true }
+    (fun ~bad ->
+       { globals = []; helpers = [];
+         setup =
+           [ sp "char buf[%d];" n;
+             sp "char src[%d];" (2 * n);
+             sp "memset(src, 'C', %d);" (2 * n) ];
+         act = [ sp "memcpy(buf, src, %d);" (if bad then 2 * n else n) ];
+         cleanup = [ "if (buf[0] != 'C') { return 1; }" ] })
+
+let stack_strcpy_long n =
+  f C121 (sp "strcpy_long_%d" n)
+    ~props:{ plain_props with via_libc = true }
+    (fun ~bad ->
+       { globals = []; helpers = [];
+         setup = [ sp "char buf[%d];" n ];
+         act =
+           [ (if bad then
+                sp "strcpy(buf, \"%s\");" (String.make (2 * n) 'S')
+              else sp "strcpy(buf, \"%s\");" (String.make (n - 1) 's')) ];
+         cleanup = [ "if ((int)strlen(buf) < 1) { return 1; }" ] })
+
+let stack_index_far n =
+  f C121 (sp "index_far_%d" n) (fun ~bad ->
+      { globals = []; helpers = [];
+        setup =
+          [ sp "char buf[%d];" n;
+            "char other[96];";
+            "buf[0] = 'x'; other[1] = 'y';";
+            (* keep [other] unsafe so it sits among protected slots *)
+            sp "memset(other, 'o', 96);" ];
+        act =
+          [ (if bad then sp "buf[%d] = 'F';" (n + 72)
+             else sp "buf[%d] = 'F';" (n - 1)) ];
+        cleanup = [ "if (other[0] != 'o') { return 1; }" ] })
+
+let stack_subobject n =
+  f C121 (sp "subobject_%d" n)
+    ~props:{ plain_props with subobject = true; via_libc = true }
+    (fun ~bad ->
+       { globals =
+           [ sp "struct StackCharVoid_%d { char charFirst[%d]; \
+                 void *voidSecond; void *voidThird; };" n n ];
+         helpers = [];
+         setup =
+           [ sp "struct StackCharVoid_%d s;" n;
+             "s.voidSecond = (void*)0x2222;";
+             sp "char src[%d];" (n + 16);
+             sp "memset(src, 'B', %d);" (n + 16) ];
+         act =
+           [ (if bad then
+                sp "memcpy(s.charFirst, src, sizeof(struct StackCharVoid_%d));"
+                  n
+              else sp "memcpy(s.charFirst, src, sizeof(s.charFirst));") ];
+         cleanup = [ "if (s.charFirst[0] != 'B') { return 1; }" ] })
+
+let stack_wide n =
+  f C121 (sp "wide_wcsncpy_%d" n)
+    ~props:{ plain_props with uses_wide = true; via_libc = true }
+    (fun ~bad ->
+       { globals = []; helpers = [];
+         setup =
+           [ sp "wchar_t buf[%d];" n;
+             sp "wchar_t src[%d];" (2 * n);
+             sp "for (int i = 0; i < %d; i++) src[i] = 'w';" (2 * n - 1);
+             sp "src[%d] = 0;" (2 * n - 1) ];
+         act = [ sp "wcsncpy(buf, src, %d);" (if bad then 2 * n else n) ];
+         cleanup = [ "if (buf[0] != 'w') { return 1; }" ] })
+
+let cwe121_families =
+  List.map stack_loop_over
+    [ 16; 32; 48; 64; 80; 96; 112; 128; 144; 160; 176; 192; 208 ]
+  @ List.map stack_loop_over_odd [ 10; 33; 52 ]
+  @ List.map stack_off_by_one [ 4; 8; 12; 16; 24; 32 ]
+  @ List.map stack_memcpy_oversize [ 16 ]
+  @ List.map stack_strcpy_long [ 8 ]
+  @ List.map stack_index_far [ 16; 32; 48 ]
+  @ List.map stack_subobject [ 16 ]
+  @ List.map stack_wide [ 8 ]
+
+(* ------------------------------------------------------------------ *)
+(* CWE122: heap buffer overflow                                        *)
+(* ------------------------------------------------------------------ *)
+
+let heap_loop_over n =
+  f C122 (sp "loop_over_%d" n) (fun ~bad ->
+      { globals = []; helpers = [];
+        setup = [ sp "char *buf = (char*)malloc(%d);" n ];
+        act =
+          [ sp "for (int i = 0; i %s %d; i++) {" (if bad then "<=" else "<") n;
+            "  buf[i] = 'h';";
+            "}" ];
+        cleanup = [ "int r = buf[0] != 'h';"; "free(buf);";
+                    "if (r) { return 1; }" ] })
+
+let heap_off_by_one n =
+  f C122 (sp "off_by_one_%d" n) (fun ~bad ->
+      { globals = []; helpers = [];
+        setup =
+          [ sp "int *buf = (int*)malloc(%d * sizeof(int));" n;
+            sp "for (int i = 0; i < %d; i++) buf[i] = i;" n ];
+        act = [ sp "buf[%d] = 7;" (if bad then n else n - 1) ];
+        cleanup = [ "int r = buf[0];"; "free(buf);";
+                    "if (r > 0) { return 1; }" ] })
+
+(* odd byte sizes: the allocation rounds up to a granule/word, so the
+   first bytes past the end stay inside HWASan's last granule *)
+let heap_odd_over n =
+  f C122 (sp "odd_over_%d" n) (fun ~bad ->
+      { globals = []; helpers = [];
+        setup = [ sp "char *buf = (char*)malloc(%d);" n;
+                  sp "memset(buf, 'm', %d);" n ];
+        act = [ sp "buf[%d] = 'X';" (if bad then n else n - 1) ];
+        cleanup = [ "int r = buf[0] != 'm';"; "free(buf);";
+                    "if (r) { return 1; }" ] })
+
+let heap_memcpy_oversize n =
+  f C122 (sp "memcpy_oversize_%d" n)
+    ~props:{ plain_props with via_libc = true }
+    (fun ~bad ->
+       { globals = []; helpers = [];
+         setup =
+           [ sp "char *buf = (char*)malloc(%d);" n;
+             sp "char src[%d];" (2 * n);
+             sp "memset(src, 'D', %d);" (2 * n) ];
+         act = [ sp "memcpy(buf, src, %d);" (if bad then 2 * n else n) ];
+         cleanup = [ "int r = buf[0] != 'D';"; "free(buf);";
+                     "if (r) { return 1; }" ] })
+
+let heap_strcpy_long n =
+  f C122 (sp "strcpy_long_%d" n)
+    ~props:{ plain_props with via_libc = true }
+    (fun ~bad ->
+       { globals = []; helpers = [];
+         setup = [ sp "char *buf = (char*)malloc(%d);" n ];
+         act =
+           [ (if bad then
+                sp "strcpy(buf, \"%s\");" (String.make (2 * n) 'L')
+              else sp "strcpy(buf, \"%s\");" (String.make (n - 1) 'l')) ];
+         cleanup = [ "int r = (int)strlen(buf) < 1;"; "free(buf);";
+                     "if (r) { return 1; }" ] })
+
+let heap_far_stride n =
+  f C122 (sp "far_stride_%d" n) (fun ~bad ->
+      { globals = []; helpers = [];
+        setup =
+          [ sp "char *buf = (char*)malloc(%d);" n;
+            "char *neighbor = (char*)malloc(64);";
+            "neighbor[0] = 'n'; buf[0] = 'b';" ];
+        act =
+          [ (if bad then sp "buf[%d] = 'F';" (n + 56)
+             else sp "buf[%d] = 'F';" (n - 1)) ];
+        cleanup =
+          [ "int r = neighbor[0] != 'n';"; "free(buf);"; "free(neighbor);";
+            "if (r) { return 1; }" ] })
+
+let heap_subobject n =
+  f C122 (sp "subobject_%d" n)
+    ~props:{ plain_props with subobject = true; via_libc = true }
+    (fun ~bad ->
+       { globals =
+           [ sp "struct HeapCharVoid_%d { char charFirst[%d]; \
+                 void *voidSecond; void *voidThird; };" n n ];
+         helpers = [];
+         setup =
+           [ sp "struct HeapCharVoid_%d *s = (struct HeapCharVoid_%d*)\
+                 malloc(sizeof(struct HeapCharVoid_%d));" n n n;
+             "s->voidSecond = (void*)0x3333;";
+             sp "char src[%d];" (n + 16);
+             sp "memset(src, 'E', %d);" (n + 16) ];
+         act =
+           [ (if bad then
+                sp "memcpy(s->charFirst, src, \
+                    sizeof(struct HeapCharVoid_%d));" n
+              else sp "memcpy(s->charFirst, src, %d);" n) ];
+         cleanup =
+           [ "int r = s->charFirst[0] != 'E';"; "free(s);";
+             "if (r) { return 1; }" ] })
+
+let heap_wide n =
+  f C122 (sp "wide_wcsncpy_%d" n)
+    ~props:{ plain_props with uses_wide = true; via_libc = true }
+    (fun ~bad ->
+       { globals = []; helpers = [];
+         setup =
+           [ sp "wchar_t *buf = (wchar_t*)malloc(%d * sizeof(wchar_t));" n;
+             sp "wchar_t src[%d];" (2 * n);
+             sp "for (int i = 0; i < %d; i++) src[i] = 'W';" (2 * n - 1);
+             sp "src[%d] = 0;" (2 * n - 1) ];
+         act = [ sp "wcsncpy(buf, src, %d);" (if bad then 2 * n else n) ];
+         cleanup = [ "int r = buf[0] != 'W';"; "free(buf);";
+                     "if (r) { return 1; }" ] })
+
+let heap_calloc_loop n =
+  f C122 (sp "calloc_loop_%d" n) (fun ~bad ->
+      { globals = []; helpers = [];
+        setup = [ sp "long *buf = (long*)calloc(%d, sizeof(long));" n ];
+        act =
+          [ sp "for (int i = 0; i %s %d; i++) {" (if bad then "<=" else "<") n;
+            "  buf[i] = (long)i * 3;";
+            "}" ];
+        cleanup = [ "long r = buf[0];"; "free(buf);";
+                    "if (r != 0) { return 1; }" ] })
+
+let cwe122_families =
+  List.map heap_loop_over [ 16; 32; 48; 64; 96; 128; 160; 192 ]
+  @ List.map heap_off_by_one [ 4; 8; 16; 32 ]
+  @ List.map heap_odd_over [ 10; 33 ]
+  @ List.map heap_memcpy_oversize [ 16 ]
+  @ List.map heap_strcpy_long [ 8 ]
+  @ List.map heap_far_stride [ 16; 32; 48 ]
+  @ List.map heap_subobject [ 16 ]
+  @ List.map heap_wide [ 8 ]
+  @ List.map heap_calloc_loop [ 8; 24; 48 ]
+
+(* ------------------------------------------------------------------ *)
+(* CWE124: buffer underwrite                                           *)
+(* ------------------------------------------------------------------ *)
+
+let under_neg_index_heap k =
+  f C124 (sp "neg_index_heap_%d" k) (fun ~bad ->
+      { globals = []; helpers = [];
+        setup = [ "char *buf = (char*)malloc(32);"; "buf[0] = 'u';" ];
+        act = [ (if bad then sp "buf[-%d] = 'U';" k else "buf[0] = 'U';") ];
+        cleanup = [ "int r = buf[0] != 'U';"; "free(buf);";
+                    "if (r) { return 1; }" ] })
+
+let under_neg_index_stack k =
+  f C124 (sp "neg_index_stack_%d" k) (fun ~bad ->
+      { globals = []; helpers = [];
+        setup = [ "char pad[32];"; "char buf[32];";
+                  "pad[0] = 'p'; buf[0] = 'u';";
+                  "memset(pad, 'p', 32);" ];
+        act = [ (if bad then sp "buf[-%d] = 'U';" k else "buf[0] = 'U';") ];
+        cleanup = [ "if (pad[0] != 'p' && buf[0] != 'U') { return 1; }" ] })
+
+let under_far_heap k =
+  f C124 (sp "far_under_%d" k) (fun ~bad ->
+      { globals = []; helpers = [];
+        setup =
+          [ "char *first = (char*)malloc(64);";
+            "char *buf = (char*)malloc(32);";
+            "first[0] = 'f'; buf[0] = 'u';" ];
+        act = [ (if bad then sp "buf[-%d] = 'U';" k else "buf[0] = 'U';") ];
+        cleanup =
+          [ "int r = first[0] == 0;"; "free(first);"; "free(buf);";
+            "if (r) { return 1; }" ] })
+
+let under_ptr_loop n =
+  f C124 (sp "ptr_decrement_%d" n) (fun ~bad ->
+      { globals = []; helpers = [];
+        setup =
+          [ sp "int *buf = (int*)malloc(%d * sizeof(int));" n;
+            sp "int *p = buf + %d;" (n - 1) ];
+        act =
+          [ sp "for (int i = 0; i %s %d; i++) {" (if bad then "<=" else "<") n;
+            "  *p = i;";
+            "  p = p - 1;";
+            "}" ];
+        cleanup = [ sp "int r = buf[%d];" (n - 1); "free(buf);";
+                    "if (r != 0) { return 1; }" ] })
+
+let under_memcpy k =
+  f C124 (sp "memcpy_under_%d" k)
+    ~props:{ plain_props with via_libc = true }
+    (fun ~bad ->
+       { globals = []; helpers = [];
+         setup =
+           [ "char *buf = (char*)malloc(32);";
+             "char src[16];";
+             "memset(src, 'V', 16);" ];
+         act =
+           [ (if bad then sp "memcpy(buf - %d, src, 16);" k
+              else "memcpy(buf, src, 16);") ];
+         cleanup = [ "int r = buf[0] == 0;"; "free(buf);";
+                     "if (r) { return 1; }" ] })
+
+let cwe124_families =
+  List.map under_neg_index_heap [ 1; 4; 8 ]
+  @ List.map under_neg_index_stack [ 1; 8 ]
+  @ List.map under_far_heap [ 48; 64 ]
+  @ List.map under_ptr_loop [ 8; 16 ]
+  @ List.map under_memcpy [ 4; 8 ]
+
+(* ------------------------------------------------------------------ *)
+(* CWE126: buffer overread                                             *)
+(* ------------------------------------------------------------------ *)
+
+let read_loop_over n =
+  f C126 (sp "read_loop_%d" n) (fun ~bad ->
+      { globals = []; helpers = [];
+        setup =
+          [ sp "int *buf = (int*)malloc(%d * sizeof(int));" n;
+            sp "for (int i = 0; i < %d; i++) buf[i] = i;" n;
+            "int sum = 0;" ];
+        act =
+          [ sp "for (int i = 0; i %s %d; i++) {" (if bad then "<=" else "<") n;
+            "  sum += buf[i];";
+            "}" ];
+        cleanup = [ "int r = sum;"; "free(buf);";
+                    "if (r < 0) { return 1; }" ] })
+
+let read_odd_over n =
+  f C126 (sp "read_odd_%d" n) (fun ~bad ->
+      { globals = []; helpers = [];
+        setup = [ sp "char *buf = (char*)malloc(%d);" n;
+                  sp "memset(buf, 'r', %d);" n ];
+        act = [ sp "char c = buf[%d];" (if bad then n else n - 1);
+                "if (c == 1) { buf[0] = 2; }" ];
+        cleanup = [ "int r = buf[0] == 0;"; "free(buf);";
+                    "if (r) { return 1; }" ] })
+
+let read_far n =
+  f C126 (sp "read_far_%d" n) (fun ~bad ->
+      { globals = []; helpers = [];
+        setup =
+          [ sp "char *buf = (char*)malloc(%d);" n;
+            "char *neighbor = (char*)malloc(64);";
+            "memset(neighbor, 'q', 64);";
+            sp "memset(buf, 'r', %d);" n ];
+        act = [ sp "char c = buf[%d];" (if bad then n + 56 else n - 1);
+                "if (c == 1) { buf[0] = 2; }" ];
+        cleanup =
+          [ "int r = buf[0] == 0;"; "free(buf);"; "free(neighbor);";
+            "if (r) { return 1; }" ] })
+
+let read_strlen_unterminated n =
+  f C126 (sp "strlen_unterminated_%d" n)
+    ~props:{ plain_props with via_libc = true }
+    (fun ~bad ->
+       { globals = []; helpers = [];
+         setup =
+           [ sp "char *buf = (char*)malloc(%d);" n;
+             (if bad then sp "memset(buf, 'z', %d);" n
+              else
+                sp "memset(buf, 'z', %d); buf[%d] = 0;" (n - 1) (n - 1)) ];
+         act = [ "long len = strlen(buf);";
+                 "if (len < 0) { buf[0] = 1; }" ];
+         cleanup = [ "int r = buf[0] == 1;"; "free(buf);";
+                     "if (r) { return 1; }" ] })
+
+let read_memcmp_oversize n =
+  f C126 (sp "memcmp_oversize_%d" n)
+    ~props:{ plain_props with via_libc = true }
+    (fun ~bad ->
+       { globals = []; helpers = [];
+         setup =
+           [ sp "char *a = (char*)malloc(%d);" n;
+             sp "char *b = (char*)malloc(%d);" (2 * n);
+             sp "memset(a, 'k', %d);" n;
+             sp "memset(b, 'k', %d);" (2 * n) ];
+         act =
+           [ sp "int cmp = memcmp(a, b, %d);" (if bad then 2 * n else n);
+             "if (cmp > 1000) { a[0] = 1; }" ];
+         cleanup = [ "int r = a[0] == 1;"; "free(a);"; "free(b);";
+                     "if (r) { return 1; }" ] })
+
+let read_wide n =
+  f C126 (sp "wide_wcslen_%d" n)
+    ~props:{ plain_props with uses_wide = true; via_libc = true }
+    (fun ~bad ->
+       { globals = []; helpers = [];
+         setup =
+           [ sp "wchar_t *buf = (wchar_t*)malloc(%d * sizeof(wchar_t));" n;
+             (if bad then
+                sp "for (int i = 0; i < %d; i++) buf[i] = 'y';" n
+              else
+                sp "for (int i = 0; i < %d; i++) buf[i] = 'y'; buf[%d] = 0;"
+                  (n - 1) (n - 1)) ];
+         act = [ "long len = wcslen(buf);";
+                 "if (len < 0) { buf[0] = 1; }" ];
+         cleanup = [ "int r = buf[0] == 1;"; "free(buf);";
+                     "if (r) { return 1; }" ] })
+
+let read_subobject n =
+  f C126 (sp "subobject_read_%d" n)
+    ~props:{ plain_props with subobject = true; via_libc = true }
+    (fun ~bad ->
+       { globals =
+           [ sp "struct ReadRec_%d { char name[%d]; long secret; };" n n ];
+         helpers = [];
+         setup =
+           [ sp "struct ReadRec_%d rec;" n;
+             "rec.secret = 0x5EC2E7;";
+             sp "memset(rec.name, 'N', %d);" n;
+             sp "char out[%d];" (n + 16) ];
+         act =
+           [ (if bad then
+                sp "memcpy(out, rec.name, sizeof(struct ReadRec_%d));" n
+              else sp "memcpy(out, rec.name, %d);" n) ];
+         cleanup = [ "if (out[0] != 'N') { return 1; }" ] })
+
+let cwe126_families =
+  List.map read_loop_over [ 8; 16; 32; 64; 96 ]
+  @ List.map read_odd_over [ 10; 33 ]
+  @ List.map read_far [ 16; 32 ]
+  @ List.map read_strlen_unterminated [ 16; 32; 64 ]
+  @ List.map read_memcmp_oversize [ 16; 32 ]
+  @ List.map read_wide [ 8 ]
+  @ List.map read_subobject [ 16 ]
+
+(* ------------------------------------------------------------------ *)
+(* CWE127: buffer underread                                            *)
+(* ------------------------------------------------------------------ *)
+
+let uread_neg_index n k =
+  f C127 (sp "neg_read_%d_%d" n k) (fun ~bad ->
+      { globals = []; helpers = [];
+        setup = [ sp "char *buf = (char*)malloc(%d);" n;
+                  sp "memset(buf, 'd', %d);" n ];
+        act = [ (if bad then sp "char c = buf[-%d];" k
+                 else "char c = buf[0];");
+                "if (c == 1) { buf[0] = 2; }" ];
+        cleanup = [ "int r = buf[1] != 'd';"; "free(buf);";
+                    "if (r) { return 1; }" ] })
+
+let uread_far k =
+  f C127 (sp "far_underread_%d" k) (fun ~bad ->
+      { globals = []; helpers = [];
+        setup =
+          [ "char *first = (char*)malloc(64);";
+            "char *buf = (char*)malloc(32);";
+            "memset(first, 'e', 64); memset(buf, 'd', 32);" ];
+        act = [ (if bad then sp "char c = buf[-%d];" k
+                 else "char c = buf[0];");
+                "if (c == 1) { buf[0] = 2; }" ];
+        cleanup = [ "int r = buf[1] != 'd';"; "free(first);"; "free(buf);";
+                    "if (r) { return 1; }" ] })
+
+let uread_memcpy k =
+  f C127 (sp "memcpy_underread_%d" k)
+    ~props:{ plain_props with via_libc = true }
+    (fun ~bad ->
+       { globals = []; helpers = [];
+         setup =
+           [ "char *buf = (char*)malloc(32);";
+             "char dst[32];";
+             "memset(buf, 'g', 32);" ];
+         act =
+           [ (if bad then sp "memcpy(dst, buf - %d, 16);" k
+              else "memcpy(dst, buf, 16);") ];
+         cleanup = [ "int r = dst[0] == 1;"; "free(buf);";
+                     "if (r) { return 1; }" ] })
+
+let uread_loop n =
+  f C127 (sp "loop_decrement_read_%d" n) (fun ~bad ->
+      { globals = []; helpers = [];
+        setup =
+          [ sp "int *buf = (int*)malloc(%d * sizeof(int));" n;
+            sp "for (int i = 0; i < %d; i++) buf[i] = i;" n;
+            sp "int *p = buf + %d;" (n - 1);
+            "int sum = 0;" ];
+        act =
+          [ sp "for (int i = 0; i %s %d; i++) {" (if bad then "<=" else "<") n;
+            "  sum += *p;";
+            "  p = p - 1;";
+            "}" ];
+        cleanup = [ "int r = sum;"; "free(buf);";
+                    "if (r < 0) { return 1; }" ] })
+
+let cwe127_families =
+  [ uread_neg_index 32 1; uread_neg_index 32 4; uread_neg_index 16 8;
+    uread_neg_index 64 2; uread_neg_index 48 12; uread_neg_index 24 6 ]
+  @ List.map uread_far [ 48; 64 ]
+  @ List.map uread_memcpy [ 4; 8; 16 ]
+  @ List.map uread_loop [ 8; 16; 32 ]
+
+(* ------------------------------------------------------------------ *)
+(* CWE415: double free                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let df_direct n =
+  f C415 (sp "direct_%d" n) (fun ~bad ->
+      { globals = []; helpers = [];
+        setup = [ sp "char *buf = (char*)malloc(%d);" n; "buf[0] = 'a';" ];
+        act = [ "free(buf);"; (if bad then "free(buf);" else "buf = NULL;") ];
+        cleanup = [] })
+
+let df_alias n =
+  f C415 (sp "alias_%d" n) (fun ~bad ->
+      { globals = []; helpers = [];
+        setup =
+          [ sp "char *buf = (char*)malloc(%d);" n;
+            "char *alias = buf;" ];
+        act =
+          [ "free(alias);";
+            (if bad then "free(buf);" else "buf = NULL; alias = NULL;") ];
+        cleanup = [] })
+
+let df_realloc n =
+  f C415 (sp "realloc_%d" n) (fun ~bad ->
+      { globals = []; helpers = [];
+        setup = [ sp "char *buf = (char*)malloc(%d);" n ];
+        act =
+          (if bad then
+             [ "free(buf);";
+               sp "buf = (char*)realloc(buf, %d);" (2 * n);
+               "free(buf);" ]
+           else
+             [ sp "buf = (char*)realloc(buf, %d);" (2 * n);
+               "free(buf);" ]);
+        cleanup = [] })
+
+let df_helper n =
+  f C415 (sp "helper_%d" n) (fun ~bad ->
+      { globals = [];
+        helpers = [ "static void release(char *p) { free(p); }" ];
+        setup = [ sp "char *buf = (char*)malloc(%d);" n ];
+        act =
+          [ "release(buf);";
+            (if bad then "free(buf);" else "buf = NULL;") ];
+        cleanup = [] })
+
+let df_loop n =
+  f C415 (sp "loop_%d" n) (fun ~bad ->
+      { globals = []; helpers = [];
+        setup = [ sp "char *buf = (char*)malloc(%d);" n ];
+        act =
+          [ sp "for (int i = 0; i < %d; i++) {" (if bad then 2 else 1);
+            "  free(buf);";
+            "}" ];
+        cleanup = [] })
+
+let df_conditional n =
+  f C415 (sp "conditional_%d" n) (fun ~bad ->
+      { globals = []; helpers = [];
+        setup =
+          [ sp "char *buf = (char*)malloc(%d);" n;
+            "int handled = 0;" ];
+        act =
+          [ "if (buf != NULL) { free(buf); handled = 1; }";
+            (if bad then "if (handled) { free(buf); }"
+             else "if (!handled) { free(buf); }") ];
+        cleanup = [] })
+
+let cwe415_families =
+  [ df_direct 16; df_alias 16; df_realloc 16; df_helper 16; df_loop 16;
+    df_conditional 16 ]
+
+(* ------------------------------------------------------------------ *)
+(* CWE416: use after free                                              *)
+(* ------------------------------------------------------------------ *)
+
+let uaf_read n =
+  f C416 (sp "read_%d" n) (fun ~bad ->
+      { globals = []; helpers = [];
+        setup =
+          [ sp "int *buf = (int*)malloc(%d * sizeof(int));" n;
+            "buf[0] = 41;" ];
+        act =
+          (if bad then [ "free(buf);"; "int v = buf[0];";
+                         "if (v == -12345) { return 1; }" ]
+           else [ "int v = buf[0];"; "free(buf);";
+                  "if (v == -12345) { return 1; }" ]);
+        cleanup = [] })
+
+let uaf_write n =
+  f C416 (sp "write_%d" n) (fun ~bad ->
+      { globals = []; helpers = [];
+        setup = [ sp "char *buf = (char*)malloc(%d);" n ];
+        act =
+          (if bad then [ "free(buf);"; "buf[1] = 'w';" ]
+           else [ "buf[1] = 'w';"; "free(buf);" ]);
+        cleanup = [] })
+
+let uaf_arrow n =
+  f C416 (sp "arrow_%d" n) (fun ~bad ->
+      { globals = [ sp "struct UafRec_%d { int id; char name[%d]; };" n n ];
+        helpers = [];
+        setup =
+          [ sp "struct UafRec_%d *rec = (struct UafRec_%d*)\
+                malloc(sizeof(struct UafRec_%d));" n n n;
+            "rec->id = 9;" ];
+        act =
+          (if bad then [ "free(rec);"; "int v = rec->id;";
+                         "if (v == -999) { return 1; }" ]
+           else [ "int v = rec->id;"; "free(rec);";
+                  "if (v == -999) { return 1; }" ]);
+        cleanup = [] })
+
+(* the use happens inside libc: invisible to interceptor-less tools *)
+let uaf_memcpy n =
+  f C416 (sp "memcpy_%d" n)
+    ~props:{ plain_props with via_libc = true }
+    (fun ~bad ->
+       { globals = []; helpers = [];
+         setup =
+           [ sp "char *buf = (char*)malloc(%d);" n;
+             sp "memset(buf, 'u', %d);" n;
+             sp "char dst[%d];" n ];
+         act =
+           (if bad then [ "free(buf);"; sp "memcpy(dst, buf, %d);" n ]
+            else [ sp "memcpy(dst, buf, %d);" n; "free(buf);" ]);
+         cleanup = [ "if (dst[0] == 1) { return 1; }" ] })
+
+(* the use happens inside an UNWRAPPED libc function: SoftBound's missing
+   wrapper, ASan's missing strdup interceptor *)
+let uaf_strdup n =
+  f C416 (sp "strdup_%d" n)
+    ~props:{ plain_props with via_libc = true }
+    (fun ~bad ->
+       { globals = []; helpers = [];
+         setup =
+           [ sp "char *buf = (char*)malloc(%d);" n;
+             "strcpy(buf, \"alive\");" ];
+         act =
+           (if bad then [ "free(buf);"; "char *copy = strdup(buf);";
+                          "free(copy);" ]
+            else [ "char *copy = strdup(buf);"; "free(buf);";
+                   "free(copy);" ]);
+         cleanup = [] })
+
+let cwe416_families =
+  [ uaf_read 8; uaf_write 16; uaf_arrow 16; uaf_memcpy 16; uaf_strdup 16 ]
+
+(* ------------------------------------------------------------------ *)
+(* CWE761: invalid free (free of pointer not at start of buffer)        *)
+(* ------------------------------------------------------------------ *)
+
+let if_interior n k =
+  f C761 (sp "interior_%d_%d" n k) (fun ~bad ->
+      { globals = []; helpers = [];
+        setup = [ sp "char *buf = (char*)malloc(%d);" n; "buf[0] = 'i';" ];
+        act = [ (if bad then sp "free(buf + %d);" k else "free(buf);") ];
+        cleanup = [] })
+
+let if_increment n =
+  f C761 (sp "increment_%d" n) (fun ~bad ->
+      { globals = []; helpers = [];
+        setup =
+          [ sp "char *buf = (char*)malloc(%d);" n;
+            "char *p = buf;";
+            sp "for (int i = 0; i < %d; i++) { *p = 'x'; p++; }" (n / 2) ];
+        act = [ (if bad then "free(p);" else "free(buf);") ];
+        cleanup = [] })
+
+let if_stack n =
+  f C761 (sp "stack_%d" n) (fun ~bad ->
+      { globals = []; helpers = [];
+        setup =
+          [ sp "char stackbuf[%d];" n;
+            "stackbuf[0] = 's';";
+            sp "char *heapbuf = (char*)malloc(%d);" n;
+            "char *target = 0;" ];
+        act =
+          [ (if bad then "target = stackbuf;" else "target = heapbuf;");
+            "free(target);" ];
+        cleanup = [ (if bad then "free(heapbuf);" else "") ] })
+
+let if_global n =
+  f C761 (sp "global_%d" n) (fun ~bad ->
+      { globals = [ sp "char global_buf_%d[%d];" n n ];
+        helpers = [];
+        setup =
+          [ sp "char *heapbuf = (char*)malloc(%d);" n;
+            "char *target = 0;";
+            sp "global_buf_%d[0] = 'g';" n ];
+        act =
+          [ (if bad then sp "target = global_buf_%d;" n
+             else "target = heapbuf;");
+            "free(target);" ];
+        cleanup = [ (if bad then "free(heapbuf);" else "") ] })
+
+let cwe761_families =
+  [ if_interior 32 2; if_interior 32 16; if_increment 32; if_stack 32;
+    if_global 32 ]
+
+(* ------------------------------------------------------------------ *)
+
+let all : family list =
+  cwe121_families @ cwe122_families @ cwe124_families @ cwe126_families
+  @ cwe127_families @ cwe415_families @ cwe416_families @ cwe761_families
+
+let for_cwe cwe =
+  List.filter (fun (fam : family) -> fam.cwe = cwe) all

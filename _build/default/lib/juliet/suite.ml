@@ -1,0 +1,51 @@
+(* Suite assembly: Table I of the paper at 1/16 scale.
+
+   For each CWE we cross its mechanism families with the eight flow
+   variants and truncate to the target count in an interleaved order, so
+   every family appears under as many flows as the budget allows (the
+   same way Juliet's grid is denser for the common CWEs). *)
+
+open Case
+
+(* Paper Table I counts divided by 16 (rounded). *)
+let targets =
+  [ C121, 306; C122, 236; C124, 90; C126, 125; C127, 125; C415, 51;
+    C416, 25; C761, 27 ]
+
+let target_for cwe = List.assoc cwe targets
+
+let cases_for (cwe : cwe) : t list =
+  let fams = Families.for_cwe cwe in
+  let target = target_for cwe in
+  (* interleave: flow-major round robin over families *)
+  let cases = ref [] in
+  let count = ref 0 in
+  let variant = ref 0 in
+  (try
+     while true do
+       List.iter
+         (fun flow ->
+            List.iter
+              (fun fam ->
+                 if !count < target then begin
+                   cases := make fam flow !variant :: !cases;
+                   incr count
+                 end
+                 else raise Exit)
+              fams)
+         all_flows;
+       incr variant
+     done
+   with Exit -> ());
+  List.rev !cases
+
+let all () : t list = List.concat_map cases_for (List.map fst targets)
+
+(* Table I rows: (cwe name, description, count). *)
+let table1 () =
+  let cases = all () in
+  List.map
+    (fun (cwe, _) ->
+       let n = List.length (List.filter (fun c -> c.cwe = cwe) cases) in
+       (cwe_name cwe, cwe_description cwe, n))
+    targets

@@ -1,0 +1,1 @@
+lib/minic/layout.ml: Ast Hashtbl List Printf String

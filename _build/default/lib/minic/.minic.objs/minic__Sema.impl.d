@@ -1,0 +1,1 @@
+lib/minic/sema.ml: Array Ast Builtins Fmt Hashtbl Layout Lexer List Option Parser String

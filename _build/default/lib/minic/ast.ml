@@ -1,0 +1,136 @@
+(* Abstract syntax for MiniC, the C subset used throughout the reproduction.
+
+   MiniC covers the constructs that Juliet-style test cases and the
+   SPEC-like kernels need: the integer types (char/short/int/long plus
+   wchar_t), pointers, fixed-size arrays, structs, the usual expression
+   and statement forms, string and wide-string literals, and calls to
+   libc-style builtins.  Floating point is deliberately absent: numeric
+   kernels use fixed-point arithmetic so the VM has a single machine-word
+   value domain (see DESIGN.md). *)
+
+type ty =
+  | Tvoid
+  | Tchar                      (* 1 byte, signed *)
+  | Tshort                     (* 2 bytes *)
+  | Tint                       (* 4 bytes *)
+  | Tlong                      (* 8 bytes; also plays size_t *)
+  | Twchar                     (* 4 bytes, distinct for wide strings *)
+  | Tptr of ty
+  | Tarr of ty * int
+  | Tstruct of string
+  | Tfun of ty * ty list * bool  (* return, params, varargs *)
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Shl | Shr | Band | Bor | Bxor
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | Land | Lor
+
+type unop = Neg | Lnot | Bnot
+
+(* Expressions carry their source line for diagnostics and a type slot
+   filled in by [Sema.check]. *)
+type expr = { e : expr_kind; eline : int; mutable ety : ty }
+
+and expr_kind =
+  | Int of int * ty                  (* integer literal, with literal type *)
+  | Str of string                    (* "..." (NUL not included) *)
+  | Wstr of int array                (* L"..." code points *)
+  | Ident of string
+  | Bin of binop * expr * expr
+  | Un of unop * expr
+  | Addr of expr                     (* &e *)
+  | Deref of expr                    (* *e *)
+  | Assign of expr * expr
+  | Op_assign of binop * expr * expr (* e1 op= e2 *)
+  | Inc_dec of { pre : bool; inc : bool; arg : expr }
+  | Call of string * expr list
+  | Index of expr * expr             (* e1[e2] *)
+  | Field of expr * string           (* e.f *)
+  | Arrow of expr * string           (* e->f *)
+  | Cast of ty * expr
+  | Sizeof_ty of ty
+  | Sizeof_expr of expr
+  | Cond of expr * expr * expr       (* c ? a : b *)
+  | Comma of expr * expr
+
+type init =
+  | Init_expr of expr
+  | Init_list of init list           (* brace initializer *)
+
+type stmt =
+  | Sexpr of expr
+  | Sdecl of ty * string * init option
+  | Sif of expr * stmt list * stmt list
+  | Swhile of expr * stmt list
+  | Sdo of stmt list * expr
+  | Sfor of stmt list * expr option * expr option * stmt list
+  | Sreturn of expr option
+  | Sbreak
+  | Scontinue
+  | Sblock of stmt list
+
+type func = {
+  fname : string;
+  fret : ty;
+  fparams : (ty * string) list;
+  fvarargs : bool;
+  fbody : stmt list option;          (* None for extern declarations *)
+  fextern : bool;                    (* declared [extern]: uninstrumented *)
+  fline : int;
+}
+
+type global = {
+  gname : string;
+  gty : ty;
+  ginit : init option;
+  gline : int;
+}
+
+type struct_def = { sname : string; sfields : (ty * string) list }
+
+type decl =
+  | Dfunc of func
+  | Dglobal of global
+  | Dstruct of struct_def
+
+type program = decl list
+
+let mk_expr ?(line = 0) e = { e; eline = line; ety = Tvoid }
+
+let rec ty_equal a b =
+  match a, b with
+  | Tvoid, Tvoid | Tchar, Tchar | Tshort, Tshort
+  | Tint, Tint | Tlong, Tlong | Twchar, Twchar -> true
+  | Tptr a, Tptr b -> ty_equal a b
+  | Tarr (a, n), Tarr (b, m) -> n = m && ty_equal a b
+  | Tstruct a, Tstruct b -> String.equal a b
+  | Tfun (r1, p1, v1), Tfun (r2, p2, v2) ->
+    v1 = v2 && ty_equal r1 r2
+    && List.length p1 = List.length p2
+    && List.for_all2 ty_equal p1 p2
+  | (Tvoid | Tchar | Tshort | Tint | Tlong | Twchar
+    | Tptr _ | Tarr _ | Tstruct _ | Tfun _), _ -> false
+
+let is_integer = function
+  | Tchar | Tshort | Tint | Tlong | Twchar -> true
+  | Tvoid | Tptr _ | Tarr _ | Tstruct _ | Tfun _ -> false
+
+let is_pointer = function Tptr _ -> true | _ -> false
+
+let rec pp_ty fmt = function
+  | Tvoid -> Fmt.string fmt "void"
+  | Tchar -> Fmt.string fmt "char"
+  | Tshort -> Fmt.string fmt "short"
+  | Tint -> Fmt.string fmt "int"
+  | Tlong -> Fmt.string fmt "long"
+  | Twchar -> Fmt.string fmt "wchar_t"
+  | Tptr t -> Fmt.pf fmt "%a*" pp_ty t
+  | Tarr (t, n) -> Fmt.pf fmt "%a[%d]" pp_ty t n
+  | Tstruct s -> Fmt.pf fmt "struct %s" s
+  | Tfun (r, ps, va) ->
+    Fmt.pf fmt "%a(%a%s)" pp_ty r
+      Fmt.(list ~sep:(any ", ") pp_ty) ps
+      (if va then ", ..." else "")
+
+let ty_to_string t = Fmt.str "%a" pp_ty t

@@ -1,0 +1,74 @@
+(* The libc-style builtin surface available to MiniC programs.
+
+   These functions are "external, uninstrumented code" from the point of
+   view of the sanitizers: their implementations live in the VM
+   ([Vm.Libc]), and each sanitizer decides which of them it intercepts
+   with checking wrappers (DESIGN.md section 3). *)
+
+open Ast
+
+type sig_ = { ret : ty; params : ty list; varargs : bool }
+
+let vp = Tptr Tvoid
+let cp = Tptr Tchar
+let wp = Tptr Twchar
+
+let table : (string * sig_) list =
+  [
+    (* allocation *)
+    "malloc", { ret = vp; params = [ Tlong ]; varargs = false };
+    "calloc", { ret = vp; params = [ Tlong; Tlong ]; varargs = false };
+    "realloc", { ret = vp; params = [ vp; Tlong ]; varargs = false };
+    "free", { ret = Tvoid; params = [ vp ]; varargs = false };
+    (* memory *)
+    "memcpy", { ret = vp; params = [ vp; vp; Tlong ]; varargs = false };
+    "memmove", { ret = vp; params = [ vp; vp; Tlong ]; varargs = false };
+    "memset", { ret = vp; params = [ vp; Tint; Tlong ]; varargs = false };
+    "memcmp", { ret = Tint; params = [ vp; vp; Tlong ]; varargs = false };
+    (* narrow strings *)
+    "strcpy", { ret = cp; params = [ cp; cp ]; varargs = false };
+    "strncpy", { ret = cp; params = [ cp; cp; Tlong ]; varargs = false };
+    "strcat", { ret = cp; params = [ cp; cp ]; varargs = false };
+    "strncat", { ret = cp; params = [ cp; cp; Tlong ]; varargs = false };
+    "strlen", { ret = Tlong; params = [ cp ]; varargs = false };
+    "strcmp", { ret = Tint; params = [ cp; cp ]; varargs = false };
+    "strncmp", { ret = Tint; params = [ cp; cp; Tlong ]; varargs = false };
+    "strchr", { ret = cp; params = [ cp; Tint ]; varargs = false };
+    "strdup", { ret = cp; params = [ cp ]; varargs = false };
+    "atoi", { ret = Tint; params = [ cp ]; varargs = false };
+    (* wide strings: the functions most sanitizers forget to intercept *)
+    "wcscpy", { ret = wp; params = [ wp; wp ]; varargs = false };
+    "wcsncpy", { ret = wp; params = [ wp; wp; Tlong ]; varargs = false };
+    "wcscat", { ret = wp; params = [ wp; wp ]; varargs = false };
+    "wcslen", { ret = Tlong; params = [ wp ]; varargs = false };
+    "wcscmp", { ret = Tint; params = [ wp; wp ]; varargs = false };
+    (* io: fed by the harness's dummy input server *)
+    "printf", { ret = Tint; params = [ cp ]; varargs = true };
+    "puts", { ret = Tint; params = [ cp ]; varargs = false };
+    "putchar", { ret = Tint; params = [ Tint ]; varargs = false };
+    "getchar", { ret = Tint; params = []; varargs = false };
+    "fgets", { ret = cp; params = [ cp; Tint; Tlong ]; varargs = false };
+    "socket", { ret = Tint; params = [ Tint; Tint; Tint ]; varargs = false };
+    "recv", { ret = Tlong; params = [ Tint; vp; Tlong; Tint ]; varargs = false };
+    (* misc *)
+    "rand", { ret = Tint; params = []; varargs = false };
+    "srand", { ret = Tvoid; params = [ Tint ]; varargs = false };
+    "abs", { ret = Tint; params = [ Tint ]; varargs = false };
+    "exit", { ret = Tvoid; params = [ Tint ]; varargs = false };
+    "abort", { ret = Tvoid; params = []; varargs = false };
+    "time", { ret = Tlong; params = [ vp ]; varargs = false };
+  ]
+
+let find name = List.assoc_opt name table
+
+let is_builtin name = find name <> None
+
+(* Builtins that return one of their pointer arguments (the argument
+   index).  CECSan wraps calls to these to re-apply the stripped tag to
+   the returned pointer (paper section II.E). *)
+let returns_pointer_arg = function
+  | "memcpy" | "memmove" | "memset" | "strcpy" | "strncpy" | "strcat"
+  | "strncat" | "wcscpy" | "wcsncpy" | "wcscat" -> Some 0
+  | "fgets" -> Some 0
+  | "strchr" -> Some 0  (* returns an interior pointer of arg 0, or NULL *)
+  | _ -> None

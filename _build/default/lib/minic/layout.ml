@@ -1,0 +1,89 @@
+(* Memory layout of MiniC types: sizes, alignments, struct field offsets.
+   Natural alignment, as on x86-64. *)
+
+open Ast
+
+type field = { f_name : string; f_ty : ty; f_off : int; f_size : int }
+
+type struct_layout = {
+  s_name : string;
+  s_fields : field list;
+  s_size : int;
+  s_align : int;
+}
+
+type env = (string, struct_layout) Hashtbl.t
+
+exception Error of string
+
+let align_up n a = (n + a - 1) / a * a
+
+let rec size_of (env : env) = function
+  | Tvoid -> 1   (* GNU extension: sizeof(void) = 1, used by void* arith *)
+  | Tchar -> 1
+  | Tshort -> 2
+  | Tint -> 4
+  | Twchar -> 4
+  | Tlong -> 8
+  | Tptr _ -> 8
+  | Tfun _ -> 8
+  | Tarr (t, n) -> n * size_of env t
+  | Tstruct s ->
+    (match Hashtbl.find_opt env s with
+     | Some l -> l.s_size
+     | None -> raise (Error ("unknown struct " ^ s)))
+
+let rec align_of (env : env) = function
+  | Tvoid | Tchar -> 1
+  | Tshort -> 2
+  | Tint | Twchar -> 4
+  | Tlong | Tptr _ | Tfun _ -> 8
+  | Tarr (t, _) -> align_of env t
+  | Tstruct s ->
+    (match Hashtbl.find_opt env s with
+     | Some l -> l.s_align
+     | None -> raise (Error ("unknown struct " ^ s)))
+
+(* Builds layouts for all struct definitions in the program.  Structs must
+   be defined before use (as in C without forward references to sizes). *)
+let build (prog : program) : env =
+  let env : env = Hashtbl.create 17 in
+  List.iter
+    (function
+      | Dstruct { sname; sfields } ->
+        if Hashtbl.mem env sname then
+          raise (Error ("duplicate struct " ^ sname));
+        let off = ref 0 in
+        let align = ref 1 in
+        let fields =
+          List.map
+            (fun (f_ty, f_name) ->
+               let a = align_of env f_ty in
+               let size = size_of env f_ty in
+               off := align_up !off a;
+               align := max !align a;
+               let f = { f_name; f_ty; f_off = !off; f_size = size } in
+               off := !off + size;
+               f)
+            sfields
+        in
+        Hashtbl.replace env sname
+          { s_name = sname; s_fields = fields;
+            s_size = align_up !off !align; s_align = !align }
+      | Dfunc _ | Dglobal _ -> ())
+    prog;
+  env
+
+let field (env : env) sname fname : field =
+  match Hashtbl.find_opt env sname with
+  | None -> raise (Error ("unknown struct " ^ sname))
+  | Some l ->
+    (match List.find_opt (fun f -> String.equal f.f_name fname) l.s_fields with
+     | Some f -> f
+     | None ->
+       raise (Error (Printf.sprintf "struct %s has no field %s" sname fname)))
+
+let struct_layout (env : env) sname : struct_layout =
+  match Hashtbl.find_opt env sname with
+  | Some l -> l
+  | None -> raise (Error ("unknown struct " ^ sname))

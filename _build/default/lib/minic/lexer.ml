@@ -1,0 +1,229 @@
+(* Hand-written lexer for MiniC. *)
+
+type token =
+  | INT_LIT of int
+  | CHAR_LIT of int
+  | STR_LIT of string
+  | WSTR_LIT of int array
+  | IDENT of string
+  (* keywords *)
+  | KVOID | KCHAR | KSHORT | KINT | KLONG | KWCHAR | KUNSIGNED | KSIGNED
+  | KCONST | KSTATIC | KEXTERN | KSTRUCT
+  | KIF | KELSE | KWHILE | KDO | KFOR | KRETURN | KBREAK | KCONTINUE
+  | KSIZEOF | KNULL
+  (* punctuation *)
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACK | RBRACK
+  | SEMI | COMMA | DOT | ARROW | ELLIPSIS
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | AMP | PIPE | CARET | TILDE | BANG
+  | SHL | SHR
+  | LT | GT | LE | GE | EQEQ | NEQ
+  | ANDAND | OROR
+  | ASSIGN
+  | PLUSEQ | MINUSEQ | STAREQ | SLASHEQ | PERCENTEQ
+  | AMPEQ | PIPEEQ | CARETEQ | SHLEQ | SHREQ
+  | PLUSPLUS | MINUSMINUS
+  | QUESTION | COLON
+  | EOF
+
+exception Error of string * int  (* message, line *)
+
+let keyword_table : (string, token) Hashtbl.t =
+  let t = Hashtbl.create 41 in
+  List.iter (fun (k, v) -> Hashtbl.replace t k v)
+    [ "void", KVOID; "char", KCHAR; "short", KSHORT; "int", KINT;
+      "long", KLONG; "wchar_t", KWCHAR; "unsigned", KUNSIGNED;
+      "signed", KSIGNED; "const", KCONST; "static", KSTATIC;
+      "extern", KEXTERN; "struct", KSTRUCT; "if", KIF; "else", KELSE;
+      "while", KWHILE; "do", KDO; "for", KFOR; "return", KRETURN;
+      "break", KBREAK; "continue", KCONTINUE; "sizeof", KSIZEOF;
+      "NULL", KNULL ];
+  t
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_char c = is_ident_start c || is_digit c
+let is_hex c = is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+
+(* Tokenize [src]; returns tokens paired with 1-based line numbers. *)
+let tokenize (src : string) : (token * int) list =
+  let n = String.length src in
+  let line = ref 1 in
+  let pos = ref 0 in
+  let out = ref [] in
+  let emit tok = out := (tok, !line) :: !out in
+  let peek k = if !pos + k < n then src.[!pos + k] else '\000' in
+  let cur () = peek 0 in
+  let advance () =
+    (if cur () = '\n' then incr line);
+    incr pos
+  in
+  let fail msg = raise (Error (msg, !line)) in
+  let read_escape () =
+    (* cursor sits on the char after the backslash *)
+    let c = cur () in
+    advance ();
+    match c with
+    | 'n' -> 10 | 't' -> 9 | 'r' -> 13 | '0' -> 0
+    | '\\' -> Char.code '\\' | '\'' -> Char.code '\''
+    | '"' -> Char.code '"'
+    | 'x' ->
+      let v = ref 0 in
+      let seen = ref false in
+      while is_hex (cur ()) do
+        let c = cur () in
+        let d =
+          if is_digit c then Char.code c - Char.code '0'
+          else (Char.code (Char.lowercase_ascii c) - Char.code 'a') + 10
+        in
+        v := (!v * 16) + d;
+        seen := true;
+        advance ()
+      done;
+      if not !seen then fail "empty hex escape";
+      !v
+    | c -> fail (Printf.sprintf "bad escape '\\%c'" c)
+  in
+  let read_string_body () =
+    (* cursor sits after the opening quote; returns code points *)
+    let buf = ref [] in
+    let rec loop () =
+      match cur () with
+      | '"' -> advance ()
+      | '\000' -> fail "unterminated string literal"
+      | '\n' -> fail "newline in string literal"
+      | '\\' -> advance (); buf := read_escape () :: !buf; loop ()
+      | c -> advance (); buf := Char.code c :: !buf; loop ()
+    in
+    loop ();
+    List.rev !buf
+  in
+  let rec skip_ws_comments () =
+    match cur () with
+    | ' ' | '\t' | '\r' | '\n' -> advance (); skip_ws_comments ()
+    | '/' when peek 1 = '/' ->
+      while cur () <> '\n' && cur () <> '\000' do advance () done;
+      skip_ws_comments ()
+    | '/' when peek 1 = '*' ->
+      advance (); advance ();
+      let rec close () =
+        match cur () with
+        | '\000' -> fail "unterminated comment"
+        | '*' when peek 1 = '/' -> advance (); advance ()
+        | _ -> advance (); close ()
+      in
+      close ();
+      skip_ws_comments ()
+    | '#' ->
+      (* preprocessor lines (e.g. #include) are ignored whole-line *)
+      while cur () <> '\n' && cur () <> '\000' do advance () done;
+      skip_ws_comments ()
+    | _ -> ()
+  in
+  let read_number () =
+    let v = ref 0 in
+    if cur () = '0' && (peek 1 = 'x' || peek 1 = 'X') then begin
+      advance (); advance ();
+      if not (is_hex (cur ())) then fail "bad hex literal";
+      while is_hex (cur ()) do
+        let c = cur () in
+        let d =
+          if is_digit c then Char.code c - Char.code '0'
+          else (Char.code (Char.lowercase_ascii c) - Char.code 'a') + 10
+        in
+        v := (!v * 16) + d;
+        advance ()
+      done
+    end else
+      while is_digit (cur ()) do
+        v := (!v * 10) + (Char.code (cur ()) - Char.code '0');
+        advance ()
+      done;
+    (* integer suffixes are accepted and ignored *)
+    while (match cur () with 'u' | 'U' | 'l' | 'L' -> true | _ -> false) do
+      advance ()
+    done;
+    !v
+  in
+  while (skip_ws_comments (); !pos < n) do
+    let c = cur () in
+    if is_digit c then emit (INT_LIT (read_number ()))
+    else if c = 'L' && peek 1 = '"' then begin
+      advance (); advance ();
+      emit (WSTR_LIT (Array.of_list (read_string_body ())))
+    end
+    else if is_ident_start c then begin
+      let start = !pos in
+      while is_ident_char (cur ()) do advance () done;
+      let s = String.sub src start (!pos - start) in
+      match Hashtbl.find_opt keyword_table s with
+      | Some tok -> emit tok
+      | None -> emit (IDENT s)
+    end
+    else if c = '"' then begin
+      advance ();
+      let cps = read_string_body () in
+      let b = Buffer.create (List.length cps) in
+      List.iter (fun cp -> Buffer.add_char b (Char.chr (cp land 0xff))) cps;
+      emit (STR_LIT (Buffer.contents b))
+    end
+    else if c = '\'' then begin
+      advance ();
+      let v =
+        match cur () with
+        | '\\' -> advance (); read_escape ()
+        | '\'' -> fail "empty char literal"
+        | c -> advance (); Char.code c
+      in
+      if cur () <> '\'' then fail "unterminated char literal";
+      advance ();
+      emit (CHAR_LIT v)
+    end
+    else begin
+      let two = if !pos + 1 < n then String.sub src !pos 2 else "" in
+      let three = if !pos + 2 < n then String.sub src !pos 3 else "" in
+      let adv k = for _ = 1 to k do advance () done in
+      match three with
+      | "..." -> adv 3; emit ELLIPSIS
+      | "<<=" -> adv 3; emit SHLEQ
+      | ">>=" -> adv 3; emit SHREQ
+      | _ ->
+        (match two with
+         | "->" -> adv 2; emit ARROW
+         | "<<" -> adv 2; emit SHL
+         | ">>" -> adv 2; emit SHR
+         | "<=" -> adv 2; emit LE
+         | ">=" -> adv 2; emit GE
+         | "==" -> adv 2; emit EQEQ
+         | "!=" -> adv 2; emit NEQ
+         | "&&" -> adv 2; emit ANDAND
+         | "||" -> adv 2; emit OROR
+         | "+=" -> adv 2; emit PLUSEQ
+         | "-=" -> adv 2; emit MINUSEQ
+         | "*=" -> adv 2; emit STAREQ
+         | "/=" -> adv 2; emit SLASHEQ
+         | "%=" -> adv 2; emit PERCENTEQ
+         | "&=" -> adv 2; emit AMPEQ
+         | "|=" -> adv 2; emit PIPEEQ
+         | "^=" -> adv 2; emit CARETEQ
+         | "++" -> adv 2; emit PLUSPLUS
+         | "--" -> adv 2; emit MINUSMINUS
+         | _ ->
+           adv 1;
+           (match c with
+            | '(' -> emit LPAREN | ')' -> emit RPAREN
+            | '{' -> emit LBRACE | '}' -> emit RBRACE
+            | '[' -> emit LBRACK | ']' -> emit RBRACK
+            | ';' -> emit SEMI | ',' -> emit COMMA | '.' -> emit DOT
+            | '+' -> emit PLUS | '-' -> emit MINUS | '*' -> emit STAR
+            | '/' -> emit SLASH | '%' -> emit PERCENT
+            | '&' -> emit AMP | '|' -> emit PIPE | '^' -> emit CARET
+            | '~' -> emit TILDE | '!' -> emit BANG
+            | '<' -> emit LT | '>' -> emit GT
+            | '=' -> emit ASSIGN
+            | '?' -> emit QUESTION | ':' -> emit COLON
+            | c -> fail (Printf.sprintf "unexpected character '%c'" c)))
+    end
+  done;
+  emit EOF;
+  List.rev !out

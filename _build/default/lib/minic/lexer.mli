@@ -1,0 +1,32 @@
+(** Hand-written lexer for MiniC. *)
+
+type token =
+  | INT_LIT of int
+  | CHAR_LIT of int
+  | STR_LIT of string
+  | WSTR_LIT of int array
+  | IDENT of string
+  | KVOID | KCHAR | KSHORT | KINT | KLONG | KWCHAR | KUNSIGNED | KSIGNED
+  | KCONST | KSTATIC | KEXTERN | KSTRUCT
+  | KIF | KELSE | KWHILE | KDO | KFOR | KRETURN | KBREAK | KCONTINUE
+  | KSIZEOF | KNULL
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACK | RBRACK
+  | SEMI | COMMA | DOT | ARROW | ELLIPSIS
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | AMP | PIPE | CARET | TILDE | BANG
+  | SHL | SHR
+  | LT | GT | LE | GE | EQEQ | NEQ
+  | ANDAND | OROR
+  | ASSIGN
+  | PLUSEQ | MINUSEQ | STAREQ | SLASHEQ | PERCENTEQ
+  | AMPEQ | PIPEEQ | CARETEQ | SHLEQ | SHREQ
+  | PLUSPLUS | MINUSMINUS
+  | QUESTION | COLON
+  | EOF
+
+exception Error of string * int
+(** (message, line). *)
+
+val tokenize : string -> (token * int) list
+(** Tokens paired with 1-based line numbers; comments and preprocessor
+    lines are skipped. *)

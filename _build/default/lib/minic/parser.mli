@@ -1,0 +1,8 @@
+(** Recursive-descent parser for MiniC (C-style declarations with
+    simplified declarators; [static]/[const] accepted and ignored;
+    [extern] marks external/uninstrumented functions). *)
+
+exception Error of string * int
+(** (message, line). *)
+
+val parse_program : string -> Ast.program

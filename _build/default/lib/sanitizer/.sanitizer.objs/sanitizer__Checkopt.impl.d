@@ -1,0 +1,1 @@
+lib/sanitizer/checkopt.ml: Array Hashtbl Lazy List Option String Tir

@@ -1,0 +1,1 @@
+lib/sanitizer/checkopt.mli: Tir

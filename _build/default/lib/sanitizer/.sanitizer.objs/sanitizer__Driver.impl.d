@@ -1,0 +1,1 @@
+lib/sanitizer/driver.ml: Buffer List Minic Spec Tir Vm

@@ -1,0 +1,1 @@
+lib/sanitizer/driver.mli: Spec Tir Vm

@@ -1,0 +1,1 @@
+lib/sanitizer/spec.ml: Tir Vm

@@ -1,0 +1,1 @@
+lib/sanitizer/spec.mli: Tir Vm

@@ -1,0 +1,411 @@
+(* Generic check-optimization machinery (paper section II.F), shared by
+   CECSan and by the ASan-- baseline:
+
+   - redundant-check elimination within a basic block;
+   - loop-invariant check hoisting (CECSan: loads AND stores; redzone
+     tools: loads only, because a hoisted store check could be defeated
+     by the store overwriting the redzone);
+   - monotonic check grouping driven by a small scalar-evolution
+     analysis: for affine accesses whose max access range is statically
+     determined (the applicability condition of II.F.1), the
+     per-iteration checks collapse to checks of the range's extremes.
+     With a dynamic bound the optimization does not apply and
+     per-iteration checks remain. *)
+
+open Tir.Ir
+module Cfg = Tir.Cfg
+
+type spec = {
+  check_load : string;
+  check_store : string;
+  produces_addr : bool;           (* check dst = stripped address *)
+  strip_mask : int;               (* mask replacing an elided strip *)
+  may_hoist_stores : bool;
+  hazard_intrinsics : string list;(* runtime calls that change metadata *)
+}
+
+let is_check spec name =
+  String.equal name spec.check_load || String.equal name spec.check_store
+
+let is_hazard spec name =
+  List.exists (String.equal name) spec.hazard_intrinsics
+
+let opnd_key = function
+  | Reg r -> "r" ^ string_of_int r
+  | Imm v -> "i" ^ string_of_int v
+  | Glob g -> "g" ^ g
+
+(* --- redundant check elimination ------------------------------------------ *)
+
+(* Within a block: a second check on the same pointer with a size no
+   larger than an already-performed one is dropped (replaced by a move of
+   the stripped address when the sanitizer's checks produce one).  Any
+   call, or any runtime operation that can invalidate metadata, clears
+   the knowledge. *)
+let redundant (spec : spec) (f : func) : int =
+  let removed = ref 0 in
+  Array.iter
+    (fun b ->
+       let known : (string, int * int option) Hashtbl.t = Hashtbl.create 8 in
+       (* copy chains within the block: checks key on the canonical
+          register, so repeated dereferences of the same (copied)
+          pointer deduplicate *)
+       let copy_of : (int, int) Hashtbl.t = Hashtbl.create 8 in
+       let rec canon_reg r =
+         match Hashtbl.find_opt copy_of r with
+         | Some s -> canon_reg s
+         | None -> r
+       in
+       let canon_opnd = function
+         | Reg r -> Reg (canon_reg r)
+         | o -> o
+       in
+       (* reg -> keys to invalidate when reg is redefined *)
+       let kill_reg r =
+         Hashtbl.remove copy_of r;
+         let key = "r" ^ string_of_int r in
+         Hashtbl.remove known key;
+         (* also drop any entry whose remembered dst is r *)
+         let stale =
+           Hashtbl.fold
+             (fun k (_, d) acc -> if d = Some r then k :: acc else acc)
+             known []
+         in
+         List.iter (Hashtbl.remove known) stale
+       in
+       b.b_instrs <-
+         List.filter_map
+           (fun i ->
+              match i with
+              | Imov { dst; src = Reg s } as i ->
+                kill_reg dst;
+                Hashtbl.replace copy_of dst (canon_reg s);
+                Some i
+              | Iintrin { dst; name; args = [ p; Imm size ]; _ }
+                when is_check spec name ->
+                let key = opnd_key (canon_opnd p) in
+                (match Hashtbl.find_opt known key with
+                 | Some (size0, dst0) when size <= size0 ->
+                   incr removed;
+                   (match dst, dst0 with
+                    | Some d, Some d0 when spec.produces_addr ->
+                      Some (Imov { dst = d; src = Reg d0 })
+                    | Some d, _ ->
+                      Some (Ibin { op = And; dst = d; a = p;
+                                   b = Imm spec.strip_mask })
+                    | None, _ -> None)
+                 | _ ->
+                   Hashtbl.replace known key (size, dst);
+                   Some i)
+              | Icall _ ->
+                Hashtbl.reset known;
+                Some i
+              | Iintrin { name; _ } when is_hazard spec name ->
+                Hashtbl.reset known;
+                Some i
+              | i ->
+                (match defs i with Some d -> kill_reg d | None -> ());
+                Some i)
+           b.b_instrs)
+    f.f_blocks;
+  !removed
+
+(* --- scalar evolution (lite) ----------------------------------------------- *)
+
+(* Map reg -> its single defining instruction across the function; regs
+   with several defs map to None. *)
+let single_defs (f : func) (_body : int list) :
+  (int, instr option) Hashtbl.t =
+  let defs_map : (int, instr option) Hashtbl.t = Hashtbl.create 32 in
+  Array.iter
+    (fun b ->
+       List.iter
+         (fun i ->
+            match defs i with
+            | Some d ->
+              if Hashtbl.mem defs_map d then Hashtbl.replace defs_map d None
+              else Hashtbl.replace defs_map d (Some i)
+            | None -> ())
+         b.b_instrs)
+    f.f_blocks;
+  defs_map
+
+(* Resolve a register through value-preserving moves/extensions. *)
+let rec canon (defs_map : (int, instr option) Hashtbl.t) r =
+  match Hashtbl.find_opt defs_map r with
+  | Some (Some (Imov { src = Reg s; _ })) -> canon defs_map s
+  | Some (Some (Isext { src = Reg s; bytes; _ })) when bytes >= 4 ->
+    canon defs_map s
+  | _ -> r
+
+(* A register whose (single) definition is a compile-time constant,
+   resolved through moves/extensions: the mini constant propagation that
+   lets loop bounds held in named variables count as "statically
+   determined". *)
+let const_of (defs_map : (int, instr option) Hashtbl.t) r : int option =
+  match Hashtbl.find_opt defs_map (canon defs_map r) with
+  | Some (Some (Imov { src = Imm v; _ }))
+  | Some (Some (Isext { src = Imm v; _ })) -> Some v
+  | _ -> None
+
+type induction = { iv : int; start : int option; step : int }
+
+(* Recognizes [iv = iv + step] (modulo moves/sexts) as the only real
+   definition of [iv] inside the loop, with the start value found from
+   the unique definition reaching the preheader. *)
+let induction_of (f : func) (l : Cfg.loop) (defs_map : _ Hashtbl.t) (r : int)
+  : induction option =
+  let iv = canon defs_map r in
+  (* collect real (non-move) defs of iv inside the loop *)
+  let in_loop_defs = ref [] in
+  List.iter
+    (fun bid ->
+       List.iter
+         (fun i ->
+            match defs i with
+            | Some d when d = iv ->
+              (match i with
+               | Imov { src = Reg s; _ } when canon defs_map s = iv -> ()
+               | Isext { src = Reg s; bytes; _ }
+                 when bytes >= 4 && canon defs_map s = iv -> ()
+               | _ -> in_loop_defs := i :: !in_loop_defs)
+            | _ -> ())
+         f.f_blocks.(bid).b_instrs)
+    l.Cfg.body;
+  match !in_loop_defs with
+  | [ Ibin { op = Add; a = Reg x; b = Imm step; _ } ]
+    when canon defs_map x = iv && step > 0 ->
+    (* find the start: definitions of iv outside the loop *)
+    let start = ref None in
+    let multiple = ref false in
+    Array.iter
+      (fun b ->
+         if not (List.mem b.b_id l.Cfg.body) then
+           List.iter
+             (fun i ->
+                match defs i with
+                | Some d when d = iv ->
+                  (match i with
+                   | Imov { src = Imm v; _ } | Isext { src = Imm v; _ } ->
+                     if !start = None then start := Some v else multiple := true
+                   | _ -> multiple := true)
+                | _ -> ())
+             b.b_instrs)
+      f.f_blocks;
+    if !multiple then Some { iv; start = None; step }
+    else Some { iv; start = !start; step }
+  | [ Isext { src = Reg x; _ } ] ->
+    (match Hashtbl.find_opt defs_map (canon defs_map x) with
+     | Some (Some (Ibin { op = Add; a = Reg y; b = Imm step; _ }))
+       when canon defs_map y = iv && step > 0 ->
+       let start = ref None in
+       let multiple = ref false in
+       Array.iter
+         (fun b ->
+            if not (List.mem b.b_id l.Cfg.body) then
+              List.iter
+                (fun i ->
+                   match defs i with
+                   | Some d when d = iv ->
+                     (match i with
+                      | Imov { src = Imm v; _ } | Isext { src = Imm v; _ } ->
+                        if !start = None then start := Some v
+                        else multiple := true
+                      | _ -> multiple := true)
+                   | _ -> ())
+                b.b_instrs)
+         f.f_blocks;
+       if !multiple then Some { iv; start = None; step }
+       else Some { iv; start = !start; step }
+  | _ -> None)
+  | _ -> None
+
+(* Static trip bound: header terminates on [iv < N] (or [iv <= N-1]). *)
+let static_bound (f : func) (l : Cfg.loop) (defs_map : _ Hashtbl.t) iv :
+  int option =
+  let bound_value = function
+    | Imm n -> Some n
+    | Reg rn -> const_of defs_map rn
+    | Glob _ -> None
+  in
+  match f.f_blocks.(l.Cfg.header).b_term with
+  | Tcbr (Reg c, _, _) ->
+    (match Hashtbl.find_opt defs_map c with
+     | Some (Some (Icmp { op = Lt; a = Reg x; b; _ }))
+       when canon defs_map x = iv -> bound_value b
+     | Some (Some (Icmp { op = Le; a = Reg x; b; _ }))
+       when canon defs_map x = iv ->
+       Option.map (fun n -> n + 1) (bound_value b)
+     | _ -> None)
+  | _ -> None
+
+(* Resolve the definition chain of a checked address to an affine form
+   [base + iv*elem_size + off]: either a direct indexed gep, or an
+   indexed gep wrapped by a constant field offset (struct-array
+   patterns like a[i].field). *)
+let affine_of (defs_map : (int, instr option) Hashtbl.t)
+    (invariant : opnd -> opnd option) (p : opnd) :
+  (opnd * int * int * int) option =
+  match p with
+  | Imm _ | Glob _ -> None
+  | Reg pr ->
+    let direct r =
+      match Hashtbl.find_opt defs_map r with
+      | Some (Some (Igep { base; idx = Some (Reg ir);
+                           info = Gindex { elem_size; _ }; _ })) ->
+        (match invariant base with
+         | Some base' -> Some (base', elem_size, ir, 0)
+         | None -> None)
+      | _ -> None
+    in
+    (match direct pr with
+     | Some a -> Some a
+     | None ->
+       (* field wrap: p = gep (gep base (iv x es)) +off *)
+       (match Hashtbl.find_opt defs_map pr with
+        | Some (Some (Igep { base = Reg rb; idx = None;
+                             info = Gfield { off; _ }; _ })) ->
+          (match direct (canon defs_map rb) with
+           | Some (base', es, ir, o) -> Some (base', es, ir, o + off)
+           | None -> None)
+        | _ -> None))
+
+(* --- loop optimization ------------------------------------------------------ *)
+
+type loop_stats = { hoisted : int; endpoints : int; grouped : int }
+
+let loops (spec : spec) ?(check_step = 5) (md : modul) (f : func) :
+  loop_stats =
+  ignore check_step;
+  let stats = ref { hoisted = 0; endpoints = 0; grouped = 0 } in
+  let cfg = Cfg.build f in
+  let idom = Cfg.dominators cfg in
+  let all_loops = Cfg.loops f cfg idom in
+  (* inner loops first *)
+  let all_loops =
+    List.sort (fun a b -> compare (List.length a.Cfg.body)
+                  (List.length b.Cfg.body)) all_loops
+  in
+  List.iter
+    (fun l ->
+       let body_has_hazard =
+         List.exists
+           (fun bid ->
+              List.exists
+                (function
+                  | Icall _ -> true
+                  | Iintrin { name; _ } -> is_hazard spec name
+                  | _ -> false)
+                f.f_blocks.(bid).b_instrs)
+           l.Cfg.body
+       in
+       if not body_has_hazard then begin
+         let defined = Cfg.regs_defined_in f l in
+         let preheader = lazy (Cfg.make_preheader f cfg l) in
+         let defs_map = single_defs f l.Cfg.body in
+         (* invariant modulo copies: resolve through moves/extensions and
+            return the canonical operand, usable in the preheader *)
+         let invariant = function
+           | (Imm _ | Glob _) as o -> Some o
+           | Reg r ->
+             let cr = canon defs_map r in
+             if Hashtbl.mem defined cr then None else Some (Reg cr)
+         in
+         List.iter
+           (fun bid ->
+              let b = f.f_blocks.(bid) in
+              b.b_instrs <-
+                List.concat_map
+                  (fun i ->
+                     match i with
+                     | Iintrin { dst; name; args = [ p; Imm size ]; site }
+                       when is_check spec name ->
+                       let is_store = String.equal name spec.check_store in
+                       (match invariant p with
+                        | Some p'
+                          when spec.may_hoist_stores || not is_store ->
+                          (* hoist the whole check to the preheader; the
+                             in-loop stripped address (if any) becomes a
+                             cheap mask of the invariant pointer *)
+                          let ph = f.f_blocks.(Lazy.force preheader) in
+                          let phr = fresh_reg f in
+                          ph.b_instrs <-
+                            ph.b_instrs
+                            @ [ Iintrin { dst = Some phr; name;
+                                          args = [ p'; Imm size ]; site } ];
+                          stats :=
+                            { !stats with hoisted = !stats.hoisted + 1 };
+                          (match dst with
+                           | Some d when spec.produces_addr ->
+                             [ Imov { dst = d; src = Reg phr } ]
+                           | Some d -> [ Imov { dst = d; src = p } ]
+                           | None -> [])
+                        | _ -> begin
+                         (* monotonic? p resolves to base + iv*es + off *)
+                         match affine_of defs_map invariant p with
+                         | Some (base, elem_size, ir, field_off) ->
+                              (match induction_of f l defs_map ir with
+                               | Some ind ->
+                                 let bound =
+                                   static_bound f l defs_map ind.iv
+                                 in
+                                 (match ind.start, bound with
+                                  | Some start, Some n when n > start ->
+                                    (* endpoint grouping *)
+                                    let last =
+                                      start
+                                      + ((n - 1 - start) / ind.step
+                                         * ind.step)
+                                    in
+                                    let ph =
+                                      f.f_blocks.(Lazy.force preheader)
+                                    in
+                                    let endpoint idx_val =
+                                      let r1 = fresh_reg f in
+                                      let r2 = fresh_reg f in
+                                      let rc = fresh_reg f in
+                                      [ Igep { dst = r1; base;
+                                               idx = Some (Imm idx_val);
+                                               info = Gindex
+                                                   { elem_size;
+                                                     count = None } };
+                                        Igep { dst = r2; base = Reg r1;
+                                               idx = Some (Imm field_off);
+                                               info = Gindex
+                                                   { elem_size = 1;
+                                                     count = None } };
+                                        Iintrin
+                                          { dst = Some rc; name;
+                                            args = [ Reg r2; Imm size ];
+                                            site = fresh_site md } ]
+                                    in
+                                    ph.b_instrs <-
+                                      ph.b_instrs @ endpoint start
+                                      @ endpoint last;
+                                    stats :=
+                                      { !stats with
+                                        endpoints = !stats.endpoints + 1 };
+                                    (match dst with
+                                     | Some d when spec.produces_addr ->
+                                       [ Ibin { op = And; dst = d; a = p;
+                                                b = Imm spec.strip_mask } ]
+                                     | Some d ->
+                                       [ Imov { dst = d; src = p } ]
+                                     | None -> [])
+                                  | _ ->
+                                    (* the bound is not statically
+                                       determined: section II.F.1 only
+                                       applies with a static max access
+                                       range, so keep per-iteration
+                                       checks *)
+                                    ignore site;
+                                    [ i ])
+                               | None -> [ i ])
+                         | None -> [ i ]
+                       end)
+                     | i -> [ i ])
+                  b.b_instrs)
+           l.Cfg.body
+       end)
+    all_loops;
+  !stats

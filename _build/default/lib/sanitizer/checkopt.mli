@@ -1,0 +1,33 @@
+(** The shared check-optimization machinery (paper section II.F), used
+    by CECSan and the ASan-- baseline:
+
+    - redundant-check elimination within a block (with copy
+      canonicalization);
+    - loop-invariant check hoisting -- stores too for table-based tools,
+      loads only for redzone tools;
+    - monotonic check grouping: when a mini scalar evolution determines
+      the max access range statically (constant or constant-initialized
+      bounds; plain and struct-array affine accesses), the
+      per-iteration checks collapse to checks of the range's extremes. *)
+
+type spec = {
+  check_load : string;
+  check_store : string;
+  produces_addr : bool;  (** the check's result is the stripped address *)
+  strip_mask : int;
+  may_hoist_stores : bool;
+  hazard_intrinsics : string list;
+      (** runtime calls that can invalidate metadata: barriers for both
+          optimizations *)
+}
+
+val redundant : spec -> Tir.Ir.func -> int
+(** Block-local elimination; returns the number of checks removed. *)
+
+type loop_stats = { hoisted : int; endpoints : int; grouped : int }
+
+val loops : spec -> ?check_step:int -> Tir.Ir.modul -> Tir.Ir.func ->
+  loop_stats
+(** Loop-invariant hoisting and endpoint grouping over the function's
+    natural loops.  Loops containing calls or hazard intrinsics are left
+    alone (their metadata could change mid-loop). *)

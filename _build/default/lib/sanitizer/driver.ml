@@ -1,0 +1,84 @@
+(* End-to-end driver: MiniC source -> checked AST -> Tir -> promoted IR
+   -> sanitizer instrumentation -> VM run.
+
+   The driver re-lowers from source for every sanitizer (instrumentation
+   mutates the module), which keeps each pipeline independent -- the
+   moral equivalent of recompiling with a different -fsanitize= flag. *)
+
+type run_result = {
+  outcome : Vm.Machine.outcome;
+  cycles : int;
+  resident : int;          (* bytes: all touched pages *)
+  program_resident : int;  (* bytes: program-region pages only *)
+  output : string;
+  heap_allocs : int;
+  instrumented_size : int; (* static instruction count after the pass *)
+}
+
+(* Parse, check and lower a source file; [optimize] runs the -O2 model
+   (slot promotion).  Raises [Minic.Sema.Error] or [Tir.Lower.Error]. *)
+let compile ?(optimize = true) (src : string) : Tir.Ir.modul =
+  let checked = Minic.Sema.parse_and_check src in
+  let md = Tir.Lower.lower checked in
+  if optimize then ignore (Tir.Promote.run md) else Tir.Analysis.run md;
+  md
+
+(* Compiles under a sanitizer.  May raise [Spec.Unsupported]. *)
+let build (san : Spec.t) ?(optimize = true) (src : string) : Tir.Ir.modul =
+  let md = compile ~optimize src in
+  san.Spec.instrument md;
+  md
+
+(* Multi-translation-unit build: compiles each unit, links them
+   (LTO model), then instruments the whole program.  Units flagged
+   [`Uninstrumented] model precompiled legacy libraries: their code runs
+   but the sanitizer leaves it alone, and calls into it get the
+   boundary treatment of paper section II.E. *)
+let build_link (san : Spec.t) ?(optimize = true)
+    (units : (string * [ `Instrumented | `Uninstrumented ]) list) :
+  Tir.Ir.modul =
+  match units with
+  | [] -> invalid_arg "build_link: no units"
+  | (first_src, first_kind) :: rest ->
+    let primary = compile ~optimize first_src in
+    (match first_kind with
+     | `Instrumented -> ()
+     | `Uninstrumented -> invalid_arg "build_link: main unit must be instrumented");
+    List.iter
+      (fun (src, kind) ->
+         let md = compile ~optimize src in
+         Tir.Link.merge
+           ~mark_external:(match kind with
+               | `Uninstrumented -> true
+               | `Instrumented -> false)
+           ~primary md)
+      rest;
+    san.Spec.instrument primary;
+    primary
+
+(* Runs an instrumented module.  [lines]/[packets] feed the dummy input
+   server; [budget] bounds the run in cycles. *)
+let run_module (san : Spec.t) ?(lines = []) ?(packets = []) ?(externs = [])
+    ?(budget = 2_000_000_000) ?(seed = 0x5EED) (md : Tir.Ir.modul) :
+  run_result =
+  let st = Vm.State.create ~cycle_budget:budget ~seed () in
+  List.iter (Vm.Input.provide_line st.Vm.State.input) lines;
+  List.iter (Vm.Input.provide_packet st.Vm.State.input) packets;
+  let rt = san.Spec.fresh_runtime () in
+  let m = Vm.Machine.create ~st ~rt md in
+  List.iter (fun (name, fn) -> Vm.Machine.register_extern m name fn) externs;
+  let outcome = Vm.Machine.run m in
+  {
+    outcome;
+    cycles = st.Vm.State.cycles;
+    resident = Vm.Memory.resident_bytes st.Vm.State.mem;
+    program_resident = Vm.Memory.program_bytes st.Vm.State.mem;
+    output = Buffer.contents st.Vm.State.output;
+    heap_allocs = st.Vm.State.heap_allocs;
+    instrumented_size = Tir.Ir.module_size md;
+  }
+
+let run (san : Spec.t) ?lines ?packets ?externs ?budget ?seed
+    ?(optimize = true) (src : string) : run_result =
+  run_module san ?lines ?packets ?externs ?budget ?seed
+    (build san ~optimize src)

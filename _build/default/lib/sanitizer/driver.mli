@@ -1,0 +1,52 @@
+(** End-to-end driver: MiniC source -> checked AST -> Tir -> promoted IR
+    -> sanitizer instrumentation -> VM run. *)
+
+type run_result = {
+  outcome : Vm.Machine.outcome;
+  cycles : int;            (** deterministic cost-model cycles *)
+  resident : int;          (** bytes: all touched pages *)
+  program_resident : int;  (** bytes: program-region pages only *)
+  output : string;         (** captured stdout *)
+  heap_allocs : int;
+  instrumented_size : int; (** static instruction count after the pass *)
+}
+
+val compile : ?optimize:bool -> string -> Tir.Ir.modul
+(** Parse, check, lower; [optimize] (default true) runs the -O2 model
+    (slot promotion).  Raises [Minic.Sema.Error] or [Tir.Lower.Error]. *)
+
+val build : Spec.t -> ?optimize:bool -> string -> Tir.Ir.modul
+(** [compile] then instrument.  May raise [Spec.Unsupported]. *)
+
+val build_link :
+  Spec.t ->
+  ?optimize:bool ->
+  (string * [ `Instrumented | `Uninstrumented ]) list ->
+  Tir.Ir.modul
+(** Multi-translation-unit build: compile each unit, link (LTO model),
+    then instrument the whole program.  [`Uninstrumented] units model
+    precompiled legacy libraries (paper section II.E). *)
+
+val run_module :
+  Spec.t ->
+  ?lines:string list ->
+  ?packets:string list ->
+  ?externs:(string * (Vm.State.t -> int array -> int)) list ->
+  ?budget:int ->
+  ?seed:int ->
+  Tir.Ir.modul ->
+  run_result
+(** Runs an instrumented module.  [lines]/[packets] feed the dummy input
+    server; [externs] resolve body-less external functions. *)
+
+val run :
+  Spec.t ->
+  ?lines:string list ->
+  ?packets:string list ->
+  ?externs:(string * (Vm.State.t -> int array -> int)) list ->
+  ?budget:int ->
+  ?seed:int ->
+  ?optimize:bool ->
+  string ->
+  run_result
+(** [build] + [run_module] in one step. *)

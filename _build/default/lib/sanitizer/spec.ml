@@ -1,0 +1,31 @@
+(* The common sanitizer interface.
+
+   A sanitizer is an instrumentation pass over Tir plus a runtime for the
+   VM.  Instrumentation happens after all modules are linked (the paper
+   instruments during LTO, which is what lets it tell truly external
+   functions apart), so passes see the whole program. *)
+
+exception Unsupported of string
+(** SoftBound-style "compilation error": the pass cannot handle a
+    construct in the program.  The harness counts such cases as excluded,
+    as the paper does for SoftBound+CETS (3970 of 15752 cases). *)
+
+type t = {
+  name : string;
+  (* rewrites the module in place; may raise [Unsupported] *)
+  instrument : Tir.Ir.modul -> unit;
+  (* fresh per-run runtime state *)
+  fresh_runtime : unit -> Vm.Runtime.t;
+}
+
+(* The uninstrumented baseline: what plain `clang -O2` produces. *)
+let none : t = {
+  name = "none";
+  instrument = (fun _ -> ());
+  fresh_runtime = (fun () -> Vm.Runtime.none);
+}
+
+(* The allocation-family callees that sanitizers rewrite/wrap. *)
+let is_alloc_family = function
+  | "malloc" | "free" | "calloc" | "realloc" -> true
+  | _ -> false

@@ -1,0 +1,20 @@
+(** The common sanitizer interface: an instrumentation pass over Tir
+    plus a fresh-per-run VM runtime. *)
+
+exception Unsupported of string
+(** A SoftBound-style "compilation error": the tool cannot handle a
+    construct in the program, so the case is excluded from its evaluated
+    subset (as the paper does for SoftBound+CETS). *)
+
+type t = {
+  name : string;
+  instrument : Tir.Ir.modul -> unit;
+      (** rewrites the linked module in place; may raise [Unsupported] *)
+  fresh_runtime : unit -> Vm.Runtime.t;
+}
+
+val none : t
+(** The uninstrumented baseline: plain `clang -O2`. *)
+
+val is_alloc_family : string -> bool
+(** malloc/free/calloc/realloc: the callees sanitizers rewrite or wrap. *)

@@ -1,0 +1,1 @@
+lib/tir/analysis.ml: Array Hashtbl Int Ir List Minic Option Set

@@ -1,0 +1,1 @@
+lib/tir/analysis.mli: Hashtbl Ir Set

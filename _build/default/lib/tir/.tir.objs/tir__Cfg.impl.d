@@ -1,0 +1,1 @@
+lib/tir/cfg.ml: Array Hashtbl Ir List Rewrite

@@ -1,0 +1,1 @@
+lib/tir/cfg.mli: Hashtbl Ir

@@ -1,0 +1,1 @@
+lib/tir/link.ml: Array Fmt Hashtbl Ir List Minic Option Printf

@@ -1,0 +1,1 @@
+lib/tir/lower.ml: Array Buffer Bytes Char Fmt Hashtbl Ir List Minic Option Printf String

@@ -1,0 +1,1 @@
+lib/tir/pp.mli: Format Ir

@@ -1,0 +1,1 @@
+lib/tir/promote.ml: Analysis Array Hashtbl Ir List Minic

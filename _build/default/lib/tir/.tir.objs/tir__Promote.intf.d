@@ -1,0 +1,1 @@
+lib/tir/promote.mli: Ir

@@ -1,0 +1,1 @@
+lib/tir/rewrite.ml: Array Ir List

@@ -1,0 +1,1 @@
+lib/tir/rewrite.mli: Ir

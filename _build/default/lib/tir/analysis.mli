@@ -1,0 +1,20 @@
+(** Static analyses shared by the optimizer and the sanitizers: stack
+    slot safety (the paper's safe/unsafe stack object distinction),
+    global safety, and register-use maps. *)
+
+module Int_set : Set.S with type elt = int
+
+val compute_slot_safety : Ir.func -> unit
+(** Marks [s_unsafe] on every slot whose address escapes or is variably
+    indexed. *)
+
+val compute_global_safety : Ir.modul -> unit
+(** Marks [g_unsafe] on arrays/structs and on globals whose address is
+    used beyond direct scalar access. *)
+
+val blocks_using : Ir.func -> (int, Int_set.t) Hashtbl.t
+(** For each register, the set of block ids where it appears as a use
+    (needed by sub-object narrowing to prove block-locality). *)
+
+val run : Ir.modul -> unit
+(** Slot safety for every defined function plus global safety. *)

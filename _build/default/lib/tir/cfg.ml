@@ -1,0 +1,162 @@
+(* Control-flow analyses: predecessors, reverse postorder, dominators and
+   natural loops (with preheader creation).  These power the
+   loop-oriented check optimizations of the paper's section II.F. *)
+
+open Ir
+
+type t = {
+  preds : int list array;
+  succs : int list array;
+  rpo : int array;          (* reverse postorder of reachable blocks *)
+  rpo_index : int array;    (* block -> position in rpo, -1 if unreachable *)
+}
+
+let build (f : func) : t =
+  let n = Array.length f.f_blocks in
+  let succs = Array.make n [] in
+  let preds = Array.make n [] in
+  Array.iteri
+    (fun i b ->
+       succs.(i) <- successors b.b_term;
+       List.iter (fun s -> preds.(s) <- i :: preds.(s)) succs.(i))
+    f.f_blocks;
+  let visited = Array.make n false in
+  let post = ref [] in
+  let rec dfs b =
+    if not visited.(b) then begin
+      visited.(b) <- true;
+      List.iter dfs succs.(b);
+      post := b :: !post
+    end
+  in
+  if n > 0 then dfs 0;
+  let rpo = Array.of_list !post in
+  let rpo_index = Array.make n (-1) in
+  Array.iteri (fun i b -> rpo_index.(b) <- i) rpo;
+  { preds; succs; rpo; rpo_index }
+
+(* Cooper-Harvey-Kennedy iterative dominators.  [idom.(b)] is the
+   immediate dominator of [b]; entry's idom is itself; unreachable
+   blocks get -1. *)
+let dominators (cfg : t) : int array =
+  let n = Array.length cfg.preds in
+  let idom = Array.make n (-1) in
+  if Array.length cfg.rpo > 0 then begin
+    let entry = cfg.rpo.(0) in
+    idom.(entry) <- entry;
+    let rec intersect a b =
+      if a = b then a
+      else if cfg.rpo_index.(a) > cfg.rpo_index.(b) then
+        intersect idom.(a) b
+      else intersect a idom.(b)
+    in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      Array.iter
+        (fun b ->
+           if b <> entry then begin
+             let processed =
+               List.filter (fun p -> idom.(p) <> -1) cfg.preds.(b)
+             in
+             match processed with
+             | [] -> ()
+             | first :: rest ->
+               let d = List.fold_left intersect first rest in
+               if idom.(b) <> d then begin
+                 idom.(b) <- d;
+                 changed := true
+               end
+           end)
+        cfg.rpo
+    done
+  end;
+  idom
+
+let dominates (idom : int array) a b =
+  (* does a dominate b? *)
+  let rec go b = if b = a then true else if idom.(b) = b || idom.(b) = -1 then false else go idom.(b) in
+  if idom.(b) = -1 then false else go b
+
+type loop = {
+  header : int;
+  body : int list;            (* block ids, including the header *)
+  latches : int list;         (* sources of back edges *)
+}
+
+(* Natural loops from back edges (n -> h where h dominates n). *)
+let loops (f : func) (cfg : t) (idom : int array) : loop list =
+  let back_edges = ref [] in
+  Array.iteri
+    (fun b _ ->
+       if idom.(b) <> -1 then
+         List.iter
+           (fun s -> if dominates idom s b then back_edges := (b, s) :: !back_edges)
+           cfg.succs.(b))
+    f.f_blocks;
+  (* group by header *)
+  let by_header : (int, int list ref) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (latch, h) ->
+       match Hashtbl.find_opt by_header h with
+       | Some l -> l := latch :: !l
+       | None -> Hashtbl.replace by_header h (ref [ latch ]))
+    !back_edges;
+  Hashtbl.fold
+    (fun header latches acc ->
+       (* body: header plus everything that reaches a latch without
+          passing through the header *)
+       let in_body = Hashtbl.create 8 in
+       Hashtbl.replace in_body header ();
+       let rec pull b =
+         if not (Hashtbl.mem in_body b) then begin
+           Hashtbl.replace in_body b ();
+           List.iter pull cfg.preds.(b)
+         end
+       in
+       List.iter pull !latches;
+       let body = Hashtbl.fold (fun b () acc -> b :: acc) in_body [] in
+       { header; body = List.sort compare body; latches = !latches } :: acc)
+    by_header []
+  |> List.sort (fun a b -> compare a.header b.header)
+
+(* Ensures the loop has a dedicated preheader: a block whose only
+   successor is the header, receiving every entry edge.  Returns its id.
+   Mutates the function (appends a block, redirects edges). *)
+let make_preheader (f : func) (cfg : t) (l : loop) : int =
+  let outside_preds =
+    List.filter (fun p -> not (List.mem p l.body)) cfg.preds.(l.header)
+  in
+  match outside_preds with
+  | [ p ] when (match f.f_blocks.(p).b_term with
+      | Tbr h -> h = l.header
+      | Tret _ | Tcbr _ -> false) ->
+    p  (* already a dedicated straight-line preheader *)
+  | _ ->
+    let ph = Rewrite.append_block f in
+    ph.b_term <- Tbr l.header;
+    List.iter
+      (fun p ->
+         let redirect b = if b = l.header then ph.b_id else b in
+         let blk = f.f_blocks.(p) in
+         blk.b_term <-
+           (match blk.b_term with
+            | Tbr b -> Tbr (redirect b)
+            | Tcbr (c, a, b) -> Tcbr (c, redirect a, redirect b)
+            | Tret _ as t -> t))
+      outside_preds;
+    ph.b_id
+
+(* Registers defined anywhere inside the loop body. *)
+let regs_defined_in (f : func) (l : loop) : (int, unit) Hashtbl.t =
+  let defined = Hashtbl.create 16 in
+  List.iter
+    (fun b ->
+       List.iter
+         (fun i ->
+            match defs i with
+            | Some d -> Hashtbl.replace defined d ()
+            | None -> ())
+         f.f_blocks.(b).b_instrs)
+    l.body;
+  defined

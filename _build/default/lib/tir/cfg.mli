@@ -1,0 +1,37 @@
+(** Control-flow analyses: predecessors/successors, reverse postorder,
+    dominators (Cooper-Harvey-Kennedy) and natural loops, with preheader
+    creation.  These power the loop-oriented check optimizations of the
+    paper's section II.F. *)
+
+type t = {
+  preds : int list array;
+  succs : int list array;
+  rpo : int array;        (** reverse postorder of reachable blocks *)
+  rpo_index : int array;  (** block id -> rpo position, -1 unreachable *)
+}
+
+val build : Ir.func -> t
+
+val dominators : t -> int array
+(** [idom.(b)] is [b]'s immediate dominator; the entry maps to itself;
+    unreachable blocks map to -1. *)
+
+val dominates : int array -> int -> int -> bool
+(** [dominates idom a b]: does [a] dominate [b]? *)
+
+type loop = {
+  header : int;
+  body : int list;    (** block ids, including the header *)
+  latches : int list; (** back-edge sources *)
+}
+
+val loops : Ir.func -> t -> int array -> loop list
+(** Natural loops from back edges, grouped by header, sorted by
+    header id. *)
+
+val make_preheader : Ir.func -> t -> loop -> int
+(** Ensures a dedicated preheader (entry edges redirected into it);
+    returns its block id.  May append a block to the function. *)
+
+val regs_defined_in : Ir.func -> loop -> (int, unit) Hashtbl.t
+(** Registers defined anywhere inside the loop body. *)

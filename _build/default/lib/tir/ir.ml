@@ -1,0 +1,180 @@
+(* Tir: the typed, register-based intermediate representation.
+
+   The IR plays the role of LLVM IR in the paper: MiniC is lowered to it,
+   sanitizer instrumentation is an IR -> IR transform, the optimizations of
+   CECSan section II.F are IR passes, and the VM interprets it with a
+   deterministic cost model.
+
+   Shape: a function is an array of basic blocks over an infinite register
+   file (non-SSA: registers may be redefined).  Locals live in stack
+   [slot]s addressed by [Islot]; a mem2reg-style pass ([Promote]) models
+   -O2 by moving non-address-taken scalars into registers. *)
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Shl | Shr | And | Or | Xor
+
+type cmpop = Eq | Ne | Lt | Le | Gt | Ge
+
+type opnd =
+  | Reg of int
+  | Imm of int
+  | Glob of string   (* address of a global symbol *)
+
+(* Static information attached to pointer derivations, used by the
+   sub-object narrowing and the type-info check-elision of CECSan. *)
+type gep_info =
+  | Gfield of {
+      off : int;           (* byte offset of the field *)
+      fsize : int;         (* byte size of the field *)
+      fname : string;
+      sname : string;      (* owning struct *)
+    }
+  | Gindex of {
+      elem_size : int;
+      count : int option;  (* static element count of the base, if known *)
+    }
+
+type instr =
+  | Imov of { dst : int; src : opnd }
+  | Ibin of { op : binop; dst : int; a : opnd; b : opnd }
+  | Icmp of { op : cmpop; dst : int; a : opnd; b : opnd }
+  (* sign-extend a value of [bytes] width to the full word *)
+  | Isext of { dst : int; src : opnd; bytes : int }
+  | Iload of { dst : int; addr : opnd; size : int; signed : bool; safe : bool }
+  | Istore of { addr : opnd; src : opnd; size : int; safe : bool }
+  (* address of stack slot [slot] *)
+  | Islot of { dst : int; slot : int }
+  (* dst = base + off (field) / base + idx*elem_size (index) *)
+  | Igep of { dst : int; base : opnd; idx : opnd option; info : gep_info }
+  | Icall of { dst : int option; callee : string; args : opnd list }
+  (* sanitizer runtime call; [site] is a unique id for per-site state *)
+  | Iintrin of { dst : int option; name : string; args : opnd list; site : int }
+
+type term =
+  | Tret of opnd option
+  | Tbr of int
+  | Tcbr of opnd * int * int   (* cond, then-block, else-block *)
+
+type block = {
+  b_id : int;
+  mutable b_instrs : instr list;
+  mutable b_term : term;
+}
+
+type slot = {
+  s_id : int;
+  s_name : string;
+  s_size : int;
+  s_align : int;
+  s_ty : Minic.Ast.ty;
+  (* address-taken or variably indexed: needs sanitizer protection *)
+  mutable s_unsafe : bool;
+}
+
+type func = {
+  f_name : string;
+  f_params : int list;           (* registers receiving the arguments *)
+  mutable f_nregs : int;
+  mutable f_slots : slot list;
+  mutable f_blocks : block array;
+  f_external : bool;             (* uninstrumented code *)
+  f_ret_void : bool;
+  (* which parameters are pointers, and whether the return is: needed at
+     external call boundaries (tag stripping / entry-0 adoption) *)
+  f_sig_ptrs : bool list;
+  f_ret_ptr : bool;
+}
+
+type global = {
+  g_name : string;
+  g_size : int;
+  g_align : int;
+  g_image : bytes;               (* initial contents, g_size bytes *)
+  g_ty : Minic.Ast.ty;
+  g_internal : bool;             (* compiler-generated (literals, GPT) *)
+  mutable g_unsafe : bool;
+}
+
+type modul = {
+  mutable m_globals : global list;
+  m_funcs : (string, func) Hashtbl.t;
+  m_layouts : Minic.Layout.env;
+  mutable m_next_site : int;     (* generator for Iintrin site ids *)
+}
+
+let fresh_site m =
+  let s = m.m_next_site in
+  m.m_next_site <- s + 1;
+  s
+
+let fresh_reg f =
+  let r = f.f_nregs in
+  f.f_nregs <- r + 1;
+  r
+
+(* --- operand / instruction utilities ----------------------------------- *)
+
+let defs = function
+  | Imov { dst; _ } | Ibin { dst; _ } | Icmp { dst; _ } | Isext { dst; _ }
+  | Iload { dst; _ } | Islot { dst; _ } | Igep { dst; _ } -> Some dst
+  | Icall { dst; _ } | Iintrin { dst; _ } -> dst
+  | Istore _ -> None
+
+let opnd_uses = function Reg r -> [ r ] | Imm _ | Glob _ -> []
+
+let uses = function
+  | Imov { src; _ } -> opnd_uses src
+  | Ibin { a; b; _ } | Icmp { a; b; _ } -> opnd_uses a @ opnd_uses b
+  | Isext { src; _ } -> opnd_uses src
+  | Iload { addr; _ } -> opnd_uses addr
+  | Istore { addr; src; _ } -> opnd_uses addr @ opnd_uses src
+  | Islot _ -> []
+  | Igep { base; idx; _ } ->
+    opnd_uses base @ (match idx with Some o -> opnd_uses o | None -> [])
+  | Icall { args; _ } | Iintrin { args; _ } -> List.concat_map opnd_uses args
+
+let term_uses = function
+  | Tret (Some o) | Tcbr (o, _, _) -> opnd_uses o
+  | Tret None | Tbr _ -> []
+
+let successors = function
+  | Tret _ -> []
+  | Tbr b -> [ b ]
+  | Tcbr (_, a, b) -> if a = b then [ a ] else [ a; b ]
+
+let find_func m name = Hashtbl.find_opt m.m_funcs name
+
+let iter_funcs m f =
+  (* deterministic order *)
+  let names = Hashtbl.fold (fun k _ acc -> k :: acc) m.m_funcs [] in
+  List.iter (fun n -> f (Hashtbl.find m.m_funcs n))
+    (List.sort String.compare names)
+
+let find_global m name =
+  List.find_opt (fun g -> String.equal g.g_name name) m.m_globals
+
+(* Total number of instructions in a function/module, used by tests and
+   the instrumentation statistics. *)
+let func_size f =
+  Array.fold_left (fun acc b -> acc + List.length b.b_instrs + 1) 0 f.f_blocks
+
+let module_size m =
+  let n = ref 0 in
+  iter_funcs m (fun f -> n := !n + func_size f);
+  !n
+
+(* Counts intrinsic instructions whose name satisfies [p]: used to report
+   static check counts before/after optimization. *)
+let count_intrins m p =
+  let n = ref 0 in
+  iter_funcs m (fun f ->
+      Array.iter
+        (fun b ->
+           List.iter
+             (function
+               | Iintrin { name; _ } when p name -> incr n
+               | _ -> ())
+             b.b_instrs)
+        f.f_blocks);
+  !n

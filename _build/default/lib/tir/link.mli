@@ -1,0 +1,12 @@
+(** Link-time module merging (the LTO model of paper section II.E):
+    combining translation units before instrumentation is what lets the
+    pass tell truly-external functions from merely-other-unit ones. *)
+
+exception Link_error of string
+
+val merge : ?mark_external:bool -> primary:Ir.modul -> Ir.modul -> unit
+(** Merges the second module into [primary] (mutating it): secondary
+    definitions resolve the primary's extern stubs, internal globals
+    (string literals) are renamed apart, struct layouts are checked for
+    agreement.  With [mark_external], the secondary's function bodies
+    stay uninstrumented -- a precompiled legacy library. *)

@@ -1,0 +1,13 @@
+(** Lowering from the checked MiniC AST to Tir.
+
+    Every local gets a stack slot ([Promote] later models -O2); the
+    [safe] flag marks accesses statically in bounds of a directly named
+    object; string literals are interned as internal globals; struct
+    assignment becomes memcpy; pointer arithmetic becomes [Igep] so tags
+    ride along. *)
+
+exception Error of string
+
+val lower : Minic.Sema.checked -> Ir.modul
+(** Lowers a whole checked program.  [extern] declarations become
+    body-less external stubs resolved at link/run time. *)

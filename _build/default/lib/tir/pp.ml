@@ -1,0 +1,93 @@
+(* Human-readable printer for Tir, used in tests, examples and the
+   Figure-4 demonstration (printing check counts before/after the
+   optimizations). *)
+
+open Ir
+
+let pp_opnd fmt = function
+  | Reg r -> Fmt.pf fmt "r%d" r
+  | Imm v -> Fmt.pf fmt "%d" v
+  | Glob g -> Fmt.pf fmt "@%s" g
+
+let binop_name = function
+  | Add -> "add" | Sub -> "sub" | Mul -> "mul" | Div -> "div" | Mod -> "mod"
+  | Shl -> "shl" | Shr -> "shr" | And -> "and" | Or -> "or" | Xor -> "xor"
+
+let cmpop_name = function
+  | Eq -> "eq" | Ne -> "ne" | Lt -> "lt" | Le -> "le" | Gt -> "gt" | Ge -> "ge"
+
+let pp_instr fmt = function
+  | Imov { dst; src } -> Fmt.pf fmt "r%d = %a" dst pp_opnd src
+  | Ibin { op; dst; a; b } ->
+    Fmt.pf fmt "r%d = %s %a, %a" dst (binop_name op) pp_opnd a pp_opnd b
+  | Icmp { op; dst; a; b } ->
+    Fmt.pf fmt "r%d = cmp.%s %a, %a" dst (cmpop_name op) pp_opnd a pp_opnd b
+  | Isext { dst; src; bytes } ->
+    Fmt.pf fmt "r%d = sext.%d %a" dst bytes pp_opnd src
+  | Iload { dst; addr; size; signed; safe } ->
+    Fmt.pf fmt "r%d = load.%d%s %a%s" dst size
+      (if signed then "s" else "u") pp_opnd addr
+      (if safe then " !safe" else "")
+  | Istore { addr; src; size; safe } ->
+    Fmt.pf fmt "store.%d %a, %a%s" size pp_opnd addr pp_opnd src
+      (if safe then " !safe" else "")
+  | Islot { dst; slot } -> Fmt.pf fmt "r%d = slot %d" dst slot
+  | Igep { dst; base; idx; info } ->
+    (match info, idx with
+     | Gfield { off; fname; sname; _ }, _ ->
+       Fmt.pf fmt "r%d = gep %a, field %s.%s (+%d)" dst pp_opnd base sname
+         fname off
+     | Gindex { elem_size; count }, Some i ->
+       Fmt.pf fmt "r%d = gep %a, %a x %d%s" dst pp_opnd base pp_opnd i
+         elem_size
+         (match count with Some n -> Fmt.str " (count %d)" n | None -> "")
+     | Gindex _, None -> Fmt.pf fmt "r%d = gep %a (??)" dst pp_opnd base)
+  | Icall { dst; callee; args } ->
+    (match dst with
+     | Some d -> Fmt.pf fmt "r%d = call %s(%a)" d callee
+                   Fmt.(list ~sep:(any ", ") pp_opnd) args
+     | None -> Fmt.pf fmt "call %s(%a)" callee
+                 Fmt.(list ~sep:(any ", ") pp_opnd) args)
+  | Iintrin { dst; name; args; site } ->
+    (match dst with
+     | Some d -> Fmt.pf fmt "r%d = intrin %s(%a) #%d" d name
+                   Fmt.(list ~sep:(any ", ") pp_opnd) args site
+     | None -> Fmt.pf fmt "intrin %s(%a) #%d" name
+                 Fmt.(list ~sep:(any ", ") pp_opnd) args site)
+
+let pp_term fmt = function
+  | Tret None -> Fmt.pf fmt "ret"
+  | Tret (Some o) -> Fmt.pf fmt "ret %a" pp_opnd o
+  | Tbr b -> Fmt.pf fmt "br b%d" b
+  | Tcbr (c, a, b) -> Fmt.pf fmt "cbr %a, b%d, b%d" pp_opnd c a b
+
+let pp_func fmt (f : func) =
+  Fmt.pf fmt "func %s(%a)%s {@."
+    f.f_name
+    Fmt.(list ~sep:(any ", ") (fun fmt r -> Fmt.pf fmt "r%d" r))
+    f.f_params
+    (if f.f_external then " external" else "");
+  List.iter
+    (fun s ->
+       Fmt.pf fmt "  slot %d: %s, %d bytes%s@." s.s_id s.s_name s.s_size
+         (if s.s_unsafe then " unsafe" else ""))
+    f.f_slots;
+  Array.iter
+    (fun b ->
+       Fmt.pf fmt " b%d:@." b.b_id;
+       List.iter (fun i -> Fmt.pf fmt "   %a@." pp_instr i) b.b_instrs;
+       Fmt.pf fmt "   %a@." pp_term b.b_term)
+    f.f_blocks;
+  Fmt.pf fmt "}@."
+
+let pp_module fmt (m : modul) =
+  List.iter
+    (fun g ->
+       Fmt.pf fmt "global %s: %d bytes%s%s@." g.g_name g.g_size
+         (if g.g_unsafe then " unsafe" else "")
+         (if g.g_internal then " internal" else ""))
+    m.m_globals;
+  iter_funcs m (fun f -> pp_func fmt f)
+
+let func_to_string f = Fmt.str "%a" pp_func f
+let module_to_string m = Fmt.str "%a" pp_module m

@@ -1,0 +1,89 @@
+(* Mem2reg-lite: promotes safe scalar stack slots to registers.
+
+   This models compiling at -O2, where scalar locals live in registers:
+   without it every `i++` would be a (checkable) memory access and the
+   sanitizer overhead comparison against the paper would be meaningless.
+
+   A slot is promotable when the safety analysis proved it safe (no
+   escapes, no indexing) and it is scalar-sized.  Because the IR is not
+   SSA, promotion is a simple rewrite: a dedicated register holds the
+   current value; loads become moves, stores become moves-with-truncation
+   ([Isext] keeps the C narrowing semantics of char/short/int slots). *)
+
+open Ir
+
+let scalar_slot (s : slot) =
+  match s.s_ty with
+  | Minic.Ast.Tarr _ | Tstruct _ -> false
+  | _ -> s.s_size <= 8
+
+let promote_func (f : func) : int =
+  let promotable =
+    List.filter (fun s -> (not s.s_unsafe) && scalar_slot s) f.f_slots
+  in
+  if promotable = [] then 0
+  else begin
+    (* a dedicated register per promoted slot *)
+    let value_reg : (int, int) Hashtbl.t = Hashtbl.create 8 in
+    List.iter (fun s -> Hashtbl.replace value_reg s.s_id (fresh_reg f))
+      promotable;
+    Array.iter
+      (fun b ->
+         (* reg -> promoted slot id, for Islot results in this block *)
+         let rooted : (int, int) Hashtbl.t = Hashtbl.create 8 in
+         let rewritten =
+           List.filter_map
+             (fun i ->
+                match i with
+                | Islot { dst; slot } when Hashtbl.mem value_reg slot ->
+                  Hashtbl.replace rooted dst slot;
+                  None
+                | Iload { dst; addr = Reg r; _ } when Hashtbl.mem rooted r ->
+                  let s = Hashtbl.find rooted r in
+                  Some (Imov { dst; src = Reg (Hashtbl.find value_reg s) })
+                | Istore { addr = Reg r; src; size; _ }
+                  when Hashtbl.mem rooted r ->
+                  let s = Hashtbl.find rooted r in
+                  let vr = Hashtbl.find value_reg s in
+                  if size >= 8 then Some (Imov { dst = vr; src })
+                  else Some (Isext { dst = vr; src; bytes = size })
+                | i -> Some i)
+             b.b_instrs
+         in
+         b.b_instrs <- rewritten)
+      f.f_blocks;
+    (* compact the remaining slots and renumber Islot references *)
+    let keep =
+      List.filter (fun s -> not (Hashtbl.mem value_reg s.s_id)) f.f_slots
+    in
+    let renum : (int, int) Hashtbl.t = Hashtbl.create 8 in
+    let keep =
+      List.mapi
+        (fun i s ->
+           Hashtbl.replace renum s.s_id i;
+           { s with s_id = i })
+        keep
+    in
+    Array.iter
+      (fun b ->
+         b.b_instrs <-
+           List.map
+             (function
+               | Islot { dst; slot } ->
+                 Islot { dst; slot = Hashtbl.find renum slot }
+               | i -> i)
+             b.b_instrs)
+      f.f_blocks;
+    f.f_slots <- keep;
+    List.length promotable
+  end
+
+(* Runs safety analysis then promotion on every defined function.
+   Returns the number of slots promoted (for tests/statistics). *)
+let run (m : modul) : int =
+  Analysis.run m;
+  let n = ref 0 in
+  iter_funcs m (fun f -> if not f.f_external then n := !n + promote_func f);
+  (* promotion changed access patterns; recompute safety for consumers *)
+  Analysis.run m;
+  !n

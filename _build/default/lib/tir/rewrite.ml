@@ -1,0 +1,55 @@
+(* Instrumentation helpers: structured rewriting of functions, shared by
+   all sanitizer passes. *)
+
+open Ir
+
+(* Replaces every instruction [i] by [f i] (a list), in order. *)
+let map_instrs (f : instr -> instr list) (fn : func) : unit =
+  Array.iter
+    (fun b -> b.b_instrs <- List.concat_map f b.b_instrs)
+    fn.f_blocks
+
+(* Like [map_instrs] but [f] also receives the block id. *)
+let map_instrs_b (f : int -> instr -> instr list) (fn : func) : unit =
+  Array.iter
+    (fun b -> b.b_instrs <- List.concat_map (f b.b_id) b.b_instrs)
+    fn.f_blocks
+
+(* Prepends [instrs] to the entry block. *)
+let insert_prologue (fn : func) (instrs : instr list) : unit =
+  if Array.length fn.f_blocks > 0 then begin
+    let entry = fn.f_blocks.(0) in
+    entry.b_instrs <- instrs @ entry.b_instrs
+  end
+
+(* Appends instructions before every return.  [mk] is called once per
+   returning block (so it can allocate fresh registers per site). *)
+let insert_before_rets (fn : func) (mk : unit -> instr list) : unit =
+  Array.iter
+    (fun b ->
+       match b.b_term with
+       | Tret _ -> b.b_instrs <- b.b_instrs @ mk ()
+       | Tbr _ | Tcbr _ -> ())
+    fn.f_blocks
+
+(* True when the block [b] is reachable from the entry; instrumentation
+   can skip dead blocks (lowering parks unreachable code there). *)
+let reachable (fn : func) : bool array =
+  let n = Array.length fn.f_blocks in
+  let seen = Array.make n false in
+  let rec go b =
+    if b < n && not seen.(b) then begin
+      seen.(b) <- true;
+      List.iter go (successors fn.f_blocks.(b).b_term)
+    end
+  in
+  if n > 0 then go 0;
+  seen
+
+(* Appends a fresh block and returns it. *)
+let append_block (fn : func) : block =
+  let b =
+    { b_id = Array.length fn.f_blocks; b_instrs = []; b_term = Tret None }
+  in
+  fn.f_blocks <- Array.append fn.f_blocks [| b |];
+  b

@@ -1,0 +1,18 @@
+(** Structured rewriting helpers shared by all instrumentation passes. *)
+
+val map_instrs : (Ir.instr -> Ir.instr list) -> Ir.func -> unit
+(** Replaces every instruction by the returned list, in order. *)
+
+val map_instrs_b : (int -> Ir.instr -> Ir.instr list) -> Ir.func -> unit
+(** Like [map_instrs], with the block id. *)
+
+val insert_prologue : Ir.func -> Ir.instr list -> unit
+(** Prepends to the entry block. *)
+
+val insert_before_rets : Ir.func -> (unit -> Ir.instr list) -> unit
+(** Appends instructions before every return; the thunk runs once per
+    returning block so it can mint fresh registers per site. *)
+
+val reachable : Ir.func -> bool array
+
+val append_block : Ir.func -> Ir.block

@@ -1,0 +1,1 @@
+lib/vm/alloc.ml: Hashtbl Layout46 Memory Report

@@ -1,0 +1,1 @@
+lib/vm/layout46.ml:

@@ -1,0 +1,1 @@
+lib/vm/libc.ml: Array Buffer Char Cost Input List Memory Printf Report State Stdlib String

@@ -1,0 +1,1 @@
+lib/vm/machine.ml: Array Cost Fmt Hashtbl Heap Layout46 Libc List Memory Minic Report Runtime State Tir

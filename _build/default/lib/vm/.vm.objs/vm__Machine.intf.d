@@ -1,0 +1,1 @@
+lib/vm/machine.mli: Format Hashtbl Libc Report Runtime State Tir

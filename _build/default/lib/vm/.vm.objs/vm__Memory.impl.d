@@ -1,0 +1,1 @@
+lib/vm/memory.ml: Bytes Char Hashtbl Int32 Int64 Layout46 Report String

@@ -1,0 +1,1 @@
+lib/vm/report.ml: Fmt String

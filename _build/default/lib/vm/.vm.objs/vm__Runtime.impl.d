@@ -1,0 +1,1 @@
+lib/vm/runtime.ml: Hashtbl State

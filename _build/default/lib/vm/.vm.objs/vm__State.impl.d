@@ -1,0 +1,1 @@
+lib/vm/state.ml: Alloc Buffer Hashtbl Input Layout46 Memory Printf Report

@@ -1,0 +1,1 @@
+lib/vm/state.mli: Alloc Buffer Hashtbl Input Memory

@@ -1,0 +1,16 @@
+(* Default allocation entry points with cost accounting.  Sanitizer
+   runtimes that do NOT replace the allocator (CECSan) call these from
+   their own intrinsics; the machine calls them when no runtime hook is
+   installed. *)
+
+let malloc (st : State.t) size =
+  State.tick st (Cost.malloc size);
+  st.heap_allocs <- st.heap_allocs + 1;
+  Alloc.malloc st.alloc size
+
+let free (st : State.t) p =
+  State.tick st Cost.free_base;
+  st.heap_frees <- st.heap_frees + 1;
+  Alloc.free st.alloc p
+
+let usable_size (st : State.t) p = Alloc.block_size st.alloc p

@@ -1,0 +1,7 @@
+(** Default allocation entry points with cycle accounting, used by the
+    machine when no runtime hook replaces the allocator, and called
+    directly by runtimes that keep the default allocator (CECSan). *)
+
+val malloc : State.t -> int -> int
+val free : State.t -> int -> unit
+val usable_size : State.t -> int -> int option

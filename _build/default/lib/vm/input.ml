@@ -1,0 +1,70 @@
+(* The dummy input server.
+
+   The paper's evaluation framework feeds Juliet cases that depend on
+   external input (fgets, sockets) instead of excluding them, which is
+   how it evaluates all 15752 cases where prior work used subsets.  This
+   module is that server: a deterministic queue of canned lines for
+   stdin-style reads and byte payloads for socket reads. *)
+
+type t = {
+  mutable lines : string list;     (* for fgets/getchar *)
+  mutable packets : string list;   (* for recv *)
+  mutable pending : string;        (* partially consumed line *)
+}
+
+let create () = { lines = []; packets = []; pending = "" }
+
+let provide_line t s = t.lines <- t.lines @ [ s ]
+let provide_packet t s = t.packets <- t.packets @ [ s ]
+
+(* Reads at most [max - 1] chars plus a terminating NUL, like fgets.
+   Returns None on "EOF" (queue exhausted). *)
+let fgets t ~max =
+  if max <= 0 then None
+  else
+    match t.lines with
+    | [] -> None
+    | line :: rest ->
+      if String.length line < max then begin
+        t.lines <- rest;
+        Some line
+      end
+      else begin
+        t.lines <- String.sub line (max - 1)
+                     (String.length line - (max - 1))
+                   :: rest;
+        Some (String.sub line 0 (max - 1))
+      end
+
+let rec getchar t =
+  if not (String.equal t.pending "") then begin
+    let c = t.pending.[0] in
+    t.pending <- String.sub t.pending 1 (String.length t.pending - 1);
+    Char.code c
+  end
+  else
+    match t.lines with
+    | [] -> -1 (* EOF *)
+    | line :: rest ->
+      t.lines <- rest;
+      t.pending <- line;
+      if String.equal t.pending "" then Char.code '\n' else getchar_aux t
+
+and getchar_aux t =
+  let c = t.pending.[0] in
+  t.pending <- String.sub t.pending 1 (String.length t.pending - 1);
+  Char.code c
+
+(* Returns up to [max] bytes of the next packet ("" once exhausted). *)
+let recv t ~max =
+  match t.packets with
+  | [] -> ""
+  | p :: rest ->
+    if String.length p <= max then begin
+      t.packets <- rest;
+      p
+    end
+    else begin
+      t.packets <- String.sub p max (String.length p - max) :: rest;
+      String.sub p 0 max
+    end

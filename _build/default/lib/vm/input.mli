@@ -1,0 +1,24 @@
+(** The dummy input server of the paper's evaluation framework: a
+    deterministic queue of stdin lines (fgets/getchar) and socket
+    packets (recv), which is what makes the external-input Juliet
+    variants runnable instead of excluded. *)
+
+type t = {
+  mutable lines : string list;
+  mutable packets : string list;
+  mutable pending : string;
+}
+
+val create : unit -> t
+
+val provide_line : t -> string -> unit
+val provide_packet : t -> string -> unit
+
+val fgets : t -> max:int -> string option
+(** At most [max - 1] characters; [None] on EOF (empty queue). *)
+
+val getchar : t -> int
+(** Next character, or -1 on EOF. *)
+
+val recv : t -> max:int -> string
+(** Up to [max] bytes of the next packet; [""] once exhausted. *)

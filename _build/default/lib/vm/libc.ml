@@ -1,0 +1,366 @@
+(* Implementations of the libc builtins (the "uninstrumented external
+   code" of the paper).  They operate on raw, untagged addresses: a
+   tagged pointer that reaches them unstripped faults at translation,
+   exactly like handing a tagged pointer to real libc on x86-64.
+
+   Every builtin charges cycles according to [Cost] and validates that
+   the ranges it touches are mapped (an unmapped access is a segfault,
+   not a silent success) -- but it performs NO bounds checking relative
+   to objects: overflows inside mapped memory proceed silently unless a
+   sanitizer intercepts the call. *)
+
+type ctx = {
+  st : State.t;
+  malloc : int -> int;       (* effective allocator (may be replaced) *)
+  free : int -> unit;
+  usable : int -> int option;
+}
+
+let bad_args name =
+  Report.trap Report.Heap_corruption ~detail:("bad arguments to " ^ name)
+
+let arg args i = if i < Array.length args then args.(i) else 0
+
+let check ctx a len =
+  if len > 0 then begin
+    State.check_mapped ctx.st a 1;
+    State.check_mapped ctx.st (a + len - 1) 1
+  end
+
+let mem ctx = ctx.st.State.mem
+
+(* scans a C string, validating pages as it goes *)
+let checked_strlen ctx a =
+  let rec go k =
+    State.check_mapped ctx.st (a + k) 1;
+    if Memory.load_byte (mem ctx) (a + k) = 0 then k
+    else if k > 1 lsl 24 then
+      Report.trap ~addr:a Report.Segfault ~detail:"unterminated string"
+    else go (k + 1)
+  in
+  go 0
+
+let checked_wcslen ctx a =
+  let rec go k =
+    State.check_mapped ctx.st (a + (4 * k)) 4;
+    if Memory.load (mem ctx) (a + (4 * k)) 4 = 0 then k
+    else if k > 1 lsl 22 then
+      Report.trap ~addr:a Report.Segfault ~detail:"unterminated wide string"
+    else go (k + 1)
+  in
+  go 0
+
+let read_cstring ctx a =
+  let n = checked_strlen ctx a in
+  String.init n (fun k -> Char.chr (Memory.load_byte (mem ctx) (a + k)))
+
+(* --- the builtin table --------------------------------------------------- *)
+
+let fn_memcpy ctx args =
+  let dst = arg args 0 and src = arg args 1 and len = arg args 2 in
+  if len < 0 then bad_args "memcpy";
+  check ctx dst len;
+  check ctx src len;
+  Memory.copy (mem ctx) ~src ~dst ~len;
+  State.tick ctx.st (Cost.mem_op len);
+  dst
+
+let fn_memmove = fn_memcpy  (* Memory.copy already handles overlap *)
+
+let fn_memset ctx args =
+  let dst = arg args 0 and c = arg args 1 and len = arg args 2 in
+  if len < 0 then bad_args "memset";
+  check ctx dst len;
+  Memory.fill (mem ctx) ~dst ~len c;
+  State.tick ctx.st (Cost.mem_op len);
+  dst
+
+let fn_memcmp ctx args =
+  let a = arg args 0 and b = arg args 1 and len = arg args 2 in
+  check ctx a len;
+  check ctx b len;
+  State.tick ctx.st (Cost.mem_op len);
+  let rec go k =
+    if k >= len then 0
+    else
+      let x = Memory.load_byte (mem ctx) (a + k) in
+      let y = Memory.load_byte (mem ctx) (b + k) in
+      if x <> y then compare x y else go (k + 1)
+  in
+  go 0
+
+let fn_strlen ctx args =
+  let a = arg args 0 in
+  let n = checked_strlen ctx a in
+  State.tick ctx.st (Cost.str_op n);
+  n
+
+let fn_strcpy ctx args =
+  let dst = arg args 0 and src = arg args 1 in
+  let n = checked_strlen ctx src in
+  check ctx dst (n + 1);
+  Memory.copy (mem ctx) ~src ~dst ~len:(n + 1);
+  State.tick ctx.st (Cost.str_op n);
+  dst
+
+let fn_strncpy ctx args =
+  let dst = arg args 0 and src = arg args 1 and n = arg args 2 in
+  if n < 0 then bad_args "strncpy";
+  check ctx dst n;
+  let len = checked_strlen ctx src in
+  let copy = min len n in
+  Memory.copy (mem ctx) ~src ~dst ~len:copy;
+  if copy < n then Memory.fill (mem ctx) ~dst:(dst + copy) ~len:(n - copy) 0;
+  State.tick ctx.st (Cost.str_op n);
+  dst
+
+let fn_strcat ctx args =
+  let dst = arg args 0 and src = arg args 1 in
+  let dlen = checked_strlen ctx dst in
+  let slen = checked_strlen ctx src in
+  check ctx (dst + dlen) (slen + 1);
+  Memory.copy (mem ctx) ~src ~dst:(dst + dlen) ~len:(slen + 1);
+  State.tick ctx.st (Cost.str_op (dlen + slen));
+  dst
+
+let fn_strncat ctx args =
+  let dst = arg args 0 and src = arg args 1 and n = arg args 2 in
+  let dlen = checked_strlen ctx dst in
+  let slen = min (checked_strlen ctx src) n in
+  check ctx (dst + dlen) (slen + 1);
+  Memory.copy (mem ctx) ~src ~dst:(dst + dlen) ~len:slen;
+  Memory.store_byte (mem ctx) (dst + dlen + slen) 0;
+  State.tick ctx.st (Cost.str_op (dlen + slen));
+  dst
+
+let fn_strcmp ctx args =
+  let a = read_cstring ctx (arg args 0) in
+  let b = read_cstring ctx (arg args 1) in
+  State.tick ctx.st (Cost.str_op (min (String.length a) (String.length b)));
+  compare (String.compare a b) 0
+
+let fn_strncmp ctx args =
+  let n = arg args 2 in
+  let cut s = if String.length s > n then String.sub s 0 n else s in
+  let a = cut (read_cstring ctx (arg args 0)) in
+  let b = cut (read_cstring ctx (arg args 1)) in
+  State.tick ctx.st (Cost.str_op n);
+  compare (String.compare a b) 0
+
+let fn_strchr ctx args =
+  let a = arg args 0 and c = arg args 1 land 0xff in
+  let n = checked_strlen ctx a in
+  State.tick ctx.st (Cost.str_op n);
+  let rec go k =
+    if k > n then 0
+    else if Memory.load_byte (mem ctx) (a + k) = c then a + k
+    else go (k + 1)
+  in
+  go 0
+
+let fn_strdup ctx args =
+  let s = read_cstring ctx (arg args 0) in
+  let p = ctx.malloc (String.length s + 1) in
+  (* the allocator may hand back a tagged pointer; write through the
+     effective (translated) address *)
+  Memory.write_string (mem ctx) (State.effective ctx.st p) s;
+  State.tick ctx.st (Cost.str_op (String.length s));
+  p
+
+let fn_atoi ctx args =
+  let s = read_cstring ctx (arg args 0) in
+  State.tick ctx.st (Cost.str_op (String.length s));
+  let s = String.trim s in
+  let rec digits i acc neg =
+    if i >= String.length s then (if neg then -acc else acc)
+    else
+      match s.[i] with
+      | '0' .. '9' ->
+        digits (i + 1) ((acc * 10) + (Char.code s.[i] - Char.code '0')) neg
+      | _ -> if neg then -acc else acc
+  in
+  (match s with
+   | "" -> 0
+   | _ when s.[0] = '-' -> digits 1 0 true
+   | _ when s.[0] = '+' -> digits 1 0 false
+   | _ -> digits 0 0 false)
+
+(* wide-char family: 4-byte units *)
+
+let fn_wcslen ctx args =
+  let n = checked_wcslen ctx (arg args 0) in
+  State.tick ctx.st (Cost.str_op (n * 4));
+  n
+
+let fn_wcscpy ctx args =
+  let dst = arg args 0 and src = arg args 1 in
+  let n = checked_wcslen ctx src in
+  check ctx dst ((n + 1) * 4);
+  Memory.copy (mem ctx) ~src ~dst ~len:((n + 1) * 4);
+  State.tick ctx.st (Cost.str_op (n * 4));
+  dst
+
+let fn_wcsncpy ctx args =
+  let dst = arg args 0 and src = arg args 1 and n = arg args 2 in
+  if n < 0 then bad_args "wcsncpy";
+  check ctx dst (n * 4);
+  let len = checked_wcslen ctx src in
+  let cp = min len n in
+  Memory.copy (mem ctx) ~src ~dst ~len:(cp * 4);
+  if cp < n then
+    Memory.fill (mem ctx) ~dst:(dst + (cp * 4)) ~len:((n - cp) * 4) 0;
+  State.tick ctx.st (Cost.str_op (n * 4));
+  dst
+
+let fn_wcscat ctx args =
+  let dst = arg args 0 and src = arg args 1 in
+  let dlen = checked_wcslen ctx dst in
+  let slen = checked_wcslen ctx src in
+  check ctx (dst + (dlen * 4)) ((slen + 1) * 4);
+  Memory.copy (mem ctx) ~src ~dst:(dst + (dlen * 4)) ~len:((slen + 1) * 4);
+  State.tick ctx.st (Cost.str_op ((dlen + slen) * 4));
+  dst
+
+let fn_wcscmp ctx args =
+  let a = arg args 0 and b = arg args 1 in
+  let la = checked_wcslen ctx a and lb = checked_wcslen ctx b in
+  State.tick ctx.st (Cost.str_op (4 * min la lb));
+  let rec go k =
+    let x = Memory.load (mem ctx) (a + (4 * k)) 4 in
+    let y = Memory.load (mem ctx) (b + (4 * k)) 4 in
+    if x <> y then compare x y else if x = 0 then 0 else go (k + 1)
+  in
+  go 0
+
+(* io *)
+
+let fn_printf ctx args =
+  let fmtaddr = arg args 0 in
+  let f = read_cstring ctx fmtaddr in
+  let buf = ctx.st.State.output in
+  let argi = ref 1 in
+  let next () =
+    let v = arg args !argi in
+    incr argi;
+    v
+  in
+  let n = String.length f in
+  let i = ref 0 in
+  while !i < n do
+    let c = f.[!i] in
+    if c <> '%' || !i = n - 1 then begin
+      Buffer.add_char buf c;
+      incr i
+    end
+    else begin
+      (* skip width/length modifiers *)
+      let j = ref (!i + 1) in
+      while !j < n
+            && (match f.[!j] with
+                | '0' .. '9' | '-' | '+' | '.' | 'l' | 'z' | 'h' -> true
+                | _ -> false)
+      do
+        incr j
+      done;
+      (if !j < n then
+         match f.[!j] with
+         | 'd' | 'i' | 'u' -> Buffer.add_string buf (string_of_int (next ()))
+         | 'x' -> Buffer.add_string buf (Printf.sprintf "%x" (next ()))
+         | 'p' -> Buffer.add_string buf (Printf.sprintf "0x%x" (next ()))
+         | 'c' -> Buffer.add_char buf (Char.chr (next () land 0xff))
+         | 's' -> Buffer.add_string buf (read_cstring ctx (next ()))
+         | '%' -> Buffer.add_char buf '%'
+         | c -> Buffer.add_char buf c);
+      i := !j + 1
+    end
+  done;
+  State.tick ctx.st (Cost.str_op (String.length f));
+  String.length f
+
+let fn_puts ctx args =
+  let s = read_cstring ctx (arg args 0) in
+  Buffer.add_string ctx.st.State.output s;
+  Buffer.add_char ctx.st.State.output '\n';
+  State.tick ctx.st (Cost.str_op (String.length s));
+  String.length s + 1
+
+let fn_putchar ctx args =
+  Buffer.add_char ctx.st.State.output (Char.chr (arg args 0 land 0xff));
+  State.tick ctx.st Cost.builtin_base;
+  arg args 0
+
+let fn_getchar ctx _args =
+  State.tick ctx.st Cost.builtin_base;
+  Input.getchar ctx.st.State.input
+
+let fn_fgets ctx args =
+  let buf = arg args 0 and max = arg args 1 in
+  State.tick ctx.st (Cost.str_op (Stdlib.max max 0));
+  match Input.fgets ctx.st.State.input ~max with
+  | None -> 0  (* NULL: EOF *)
+  | Some line ->
+    check ctx buf (String.length line + 1);
+    Memory.write_string (mem ctx) buf line;
+    buf
+
+let fn_socket ctx _args =
+  State.tick ctx.st Cost.builtin_base;
+  3  (* a connected socket fd served by the dummy server *)
+
+let fn_recv ctx args =
+  let buf = arg args 1 and max = arg args 2 in
+  if max < 0 then bad_args "recv";
+  let data = Input.recv ctx.st.State.input ~max in
+  check ctx buf (String.length data);
+  String.iteri
+    (fun k c -> Memory.store_byte (mem ctx) (buf + k) (Char.code c))
+    data;
+  State.tick ctx.st (Cost.mem_op max);
+  String.length data
+
+(* misc *)
+
+let fn_rand ctx _args =
+  State.tick ctx.st Cost.builtin_base;
+  State.next_rand ctx.st land 0x3FFF_FFFF
+
+let fn_srand ctx args =
+  ctx.st.State.rng <- arg args 0;
+  State.tick ctx.st Cost.builtin_base;
+  0
+
+let fn_abs ctx args =
+  State.tick ctx.st Cost.alu;
+  abs (arg args 0)
+
+let fn_exit ctx args =
+  ignore ctx;
+  raise (State.Exited (arg args 0))
+
+let fn_abort ctx _args =
+  ignore ctx;
+  Report.trap Report.Heap_corruption ~detail:"abort() called"
+
+let fn_time ctx _args =
+  (* deterministic: pseudo-time derived from the cycle counter *)
+  State.tick ctx.st Cost.builtin_base;
+  1_700_000_000 + (ctx.st.State.cycles / 1_000_000)
+
+let table : (string * (ctx -> int array -> int)) list =
+  [
+    "memcpy", fn_memcpy; "memmove", fn_memmove; "memset", fn_memset;
+    "memcmp", fn_memcmp;
+    "strlen", fn_strlen; "strcpy", fn_strcpy; "strncpy", fn_strncpy;
+    "strcat", fn_strcat; "strncat", fn_strncat; "strcmp", fn_strcmp;
+    "strncmp", fn_strncmp; "strchr", fn_strchr; "strdup", fn_strdup;
+    "atoi", fn_atoi;
+    "wcslen", fn_wcslen; "wcscpy", fn_wcscpy; "wcsncpy", fn_wcsncpy;
+    "wcscat", fn_wcscat; "wcscmp", fn_wcscmp;
+    "printf", fn_printf; "puts", fn_puts; "putchar", fn_putchar;
+    "getchar", fn_getchar; "fgets", fn_fgets; "socket", fn_socket;
+    "recv", fn_recv;
+    "rand", fn_rand; "srand", fn_srand; "abs", fn_abs; "exit", fn_exit;
+    "abort", fn_abort; "time", fn_time;
+  ]
+
+let find name = List.assoc_opt name table

@@ -1,0 +1,347 @@
+(* The interpreter: executes a Tir module under a sanitizer runtime with
+   the deterministic cost model. *)
+
+open Tir.Ir
+
+type outcome =
+  | Exit of int
+  | Bug of Report.t
+  | Fault of Report.trap
+
+type loaded_func = {
+  lf : func;
+  code : instr array array;      (* per block *)
+  terms : term array;
+  frame_size : int;
+  slot_off : int array;
+}
+
+type t = {
+  st : State.t;
+  md : modul;
+  rt : Runtime.t;
+  funcs : (string, loaded_func) Hashtbl.t;
+  globals : (string, int) Hashtbl.t;
+  mutable ctx : Libc.ctx;
+  externs : (string, State.t -> int array -> int) Hashtbl.t;
+  mutable depth : int;
+}
+
+let align_up n a = (n + a - 1) / a * a
+let align_down n a = n / a * a
+
+let load_func (f : func) : loaded_func =
+  let nslots = List.length f.f_slots in
+  let slot_off = Array.make nslots 0 in
+  let off = ref 0 in
+  List.iter
+    (fun s ->
+       off := align_up !off (max s.s_align 1);
+       slot_off.(s.s_id) <- !off;
+       off := !off + s.s_size)
+    f.f_slots;
+  {
+    lf = f;
+    code = Array.map (fun b -> Array.of_list b.b_instrs) f.f_blocks;
+    terms = Array.map (fun b -> b.b_term) f.f_blocks;
+    (* a minimum frame models the saved ra/fp pair *)
+    frame_size = align_up (max !off 32) 16;
+    slot_off;
+  }
+
+(* Loads globals into the globals region and snapshots the functions. *)
+let create ?(st = State.create ()) ?(rt = Runtime.none) (md : modul) : t =
+  st.State.addr_mask <-
+    (if rt.Runtime.tbi_bits > 0 then (1 lsl (63 - rt.Runtime.tbi_bits)) - 1
+     else -1);
+  let globals = Hashtbl.create 17 in
+  let cursor = ref Layout46.globals_base in
+  List.iter
+    (fun g ->
+       cursor := align_up !cursor (max g.g_align 8);
+       Hashtbl.replace globals g.g_name !cursor;
+       Memory.blit_from_bytes st.State.mem g.g_image !cursor g.g_size;
+       cursor := !cursor + g.g_size)
+    md.m_globals;
+  st.State.globals_end <- align_up !cursor Layout46.page_size;
+  let funcs = Hashtbl.create 17 in
+  iter_funcs md (fun f ->
+      if Array.length f.f_blocks > 0 then
+        Hashtbl.replace funcs f.f_name (load_func f));
+  let m =
+    { st; md; rt; funcs; globals;
+      ctx = { Libc.st; malloc = (fun _ -> 0); free = ignore;
+              usable = (fun _ -> None) };
+      externs = Hashtbl.create 4; depth = 0 }
+  in
+  let eff_malloc size =
+    match rt.Runtime.malloc with
+    | Some f -> f st size
+    | None -> Heap.malloc st size
+  in
+  let eff_free p =
+    match rt.Runtime.free_ with
+    | Some f -> f st p
+    | None -> Heap.free st p
+  in
+  let eff_usable p =
+    match rt.Runtime.usable_size with
+    | Some f -> f st p
+    | None -> Heap.usable_size st p
+  in
+  m.ctx <- { Libc.st; malloc = eff_malloc; free = eff_free;
+             usable = eff_usable };
+  m
+
+let register_extern m name fn = Hashtbl.replace m.externs name fn
+
+let global_addr m name =
+  match Hashtbl.find_opt m.globals name with
+  | Some a -> a
+  | None -> Report.trap Report.Segfault ~detail:("unknown global " ^ name)
+
+let sign_extend v size =
+  let bits = size * 8 in
+  let v = v land ((1 lsl bits) - 1) in
+  if v land (1 lsl (bits - 1)) <> 0 then v - (1 lsl bits) else v
+
+let zero_extend v size = v land ((1 lsl (size * 8)) - 1)
+
+(* allocation-family builtins get special routing through the effective
+   allocator so that both runtime replacement (ASan) and instrumentation
+   rewriting (CECSan) compose with calloc/realloc/strdup *)
+let run_alloc_family m name (args : int array) : int option =
+  let st = m.st in
+  match name with
+  | "malloc" -> Some (m.ctx.Libc.malloc args.(0))
+  | "free" ->
+    m.ctx.Libc.free args.(0);
+    Some 0
+  | "calloc" ->
+    let n = args.(0) * args.(1) in
+    let p = m.ctx.Libc.malloc n in
+    Memory.fill st.State.mem ~dst:(State.effective st p) ~len:n 0;
+    State.tick st (Cost.mem_op n);
+    Some p
+  | "realloc" ->
+    let old = args.(0) and size = args.(1) in
+    if old = 0 then Some (m.ctx.Libc.malloc size)
+    else begin
+      let old_size =
+        match m.ctx.Libc.usable old with
+        | Some s -> s
+        | None ->
+          Report.trap ~addr:old Report.Heap_corruption
+            ~detail:"realloc(): invalid pointer"
+      in
+      let p = m.ctx.Libc.malloc size in
+      Memory.copy st.State.mem ~src:(State.effective st old)
+        ~dst:(State.effective st p) ~len:(min old_size size);
+      State.tick st (Cost.mem_op (min old_size size));
+      m.ctx.Libc.free old;
+      Some p
+    end
+  | _ -> None
+
+let max_call_depth = 6000
+
+(* Top-byte-ignore emulation at the libc boundary: when the runtime asks
+   for TBI, pointer arguments are masked before the raw builtin runs (the
+   MMU would ignore the tag bits), and for builtins returning one of
+   their pointer arguments the caller's tagged value is restored, offset
+   included -- which is exactly how a tagged pointer survives a round
+   trip through uninstrumented libc on ARM. *)
+let tbi_wrap m (callee : string) (raw_fn : int array -> int)
+    (args : int array) : int =
+  if m.rt.Runtime.tbi_bits = 0 then raw_fn args
+  else begin
+    let mask = m.st.State.addr_mask in
+    let sig_params =
+      match Minic.Builtins.find callee with
+      | Some s -> s.Minic.Builtins.params
+      | None -> []
+    in
+    let is_ptr i v =
+      match List.nth_opt sig_params i with
+      | Some t -> Minic.Ast.is_pointer t
+      | None -> v land lnot mask <> 0  (* varargs: mask if tagged *)
+    in
+    let masked = Array.mapi (fun i v -> if is_ptr i v then v land mask else v)
+        args
+    in
+    let res = raw_fn masked in
+    match Minic.Builtins.returns_pointer_arg callee with
+    | Some k when res <> 0 && k < Array.length args ->
+      args.(k) + (res - masked.(k))
+    | _ -> res
+  end
+
+let rec exec_call m (callee : string) (args : int array) : int =
+  let st = m.st in
+  match Hashtbl.find_opt m.funcs callee with
+  | Some lf -> exec_func m lf args
+  | None ->
+    (match run_alloc_family m callee args with
+     | Some v -> v
+     | None ->
+       (match Libc.find callee with
+        | Some raw_fn ->
+          let raw args = tbi_wrap m callee (fun a -> raw_fn m.ctx a) args in
+          (match m.rt.Runtime.intercept callee with
+           | Some wrapper -> wrapper st ~raw args
+           | None -> raw args)
+        | None ->
+          (match Hashtbl.find_opt m.externs callee with
+           | Some fn -> fn st args
+           | None ->
+             (match find_func m.md callee with
+              | Some { f_external = true; _ } ->
+                Report.trap (Report.Unresolved_external callee)
+              | _ ->
+                Report.trap (Report.Unresolved_external callee)))))
+
+and exec_func m (lf : loaded_func) (args : int array) : int =
+  let st = m.st in
+  m.depth <- m.depth + 1;
+  let saved_sp = st.State.sp in
+  let frame_base = align_down (st.State.sp - lf.frame_size) 16 in
+  if frame_base < Layout46.stack_limit || m.depth > max_call_depth then begin
+    m.depth <- m.depth - 1;
+    st.State.sp <- saved_sp;
+    Report.trap ~addr:frame_base Report.Stack_exhausted
+  end;
+  st.State.sp <- frame_base;
+  let regs = Array.make (max lf.lf.f_nregs 1) 0 in
+  List.iteri
+    (fun i r -> if i < Array.length args then regs.(r) <- args.(i))
+    lf.lf.f_params;
+  let ev = function
+    | Reg r -> regs.(r)
+    | Imm v -> v
+    | Glob g -> global_addr m g
+  in
+  let result = ref 0 in
+  let finished = ref false in
+  let block = ref 0 in
+  (try
+     while not !finished do
+       let code = lf.code.(!block) in
+       let n = Array.length code in
+       State.tick st n;  (* baseline: one cycle per instruction *)
+       for pc = 0 to n - 1 do
+         match Array.unsafe_get code pc with
+         | Imov { dst; src } -> regs.(dst) <- ev src
+         | Ibin { op; dst; a; b } ->
+           let x = ev a and y = ev b in
+           regs.(dst) <-
+             (match op with
+              | Add -> x + y
+              | Sub -> x - y
+              | Mul -> x * y
+              | Div ->
+                if y = 0 then Report.trap Report.Div_by_zero else x / y
+              | Mod ->
+                if y = 0 then Report.trap Report.Div_by_zero else x mod y
+              | Shl -> x lsl (y land 63)
+              | Shr -> x asr (y land 63)
+              | And -> x land y
+              | Or -> x lor y
+              | Xor -> x lxor y)
+         | Icmp { op; dst; a; b } ->
+           let x = ev a and y = ev b in
+           regs.(dst) <-
+             (match op with
+              | Eq -> if x = y then 1 else 0
+              | Ne -> if x <> y then 1 else 0
+              | Lt -> if x < y then 1 else 0
+              | Le -> if x <= y then 1 else 0
+              | Gt -> if x > y then 1 else 0
+              | Ge -> if x >= y then 1 else 0)
+         | Isext { dst; src; bytes } ->
+           let v = ev src in
+           regs.(dst) <- (if bytes >= 8 then v else sign_extend v bytes)
+         | Iload { dst; addr; size; signed; _ } ->
+           State.tick st (Cost.load - 1);
+           let a = State.effective st (ev addr) in
+           State.check_mapped st a size;
+           let v = Memory.load st.State.mem a size in
+           regs.(dst) <-
+             (if size >= 8 then v
+              else if signed then sign_extend v size
+              else zero_extend v size)
+         | Istore { addr; src; size; _ } ->
+           State.tick st (Cost.store - 1);
+           let a = State.effective st (ev addr) in
+           State.check_mapped st a size;
+           Memory.store st.State.mem a size (ev src)
+         | Islot { dst; slot } ->
+           regs.(dst) <- frame_base + lf.slot_off.(slot)
+         | Igep { dst; base; idx; info } ->
+           let b = ev base in
+           regs.(dst) <-
+             (match info, idx with
+              | Gfield { off; _ }, _ -> b + off
+              | Gindex { elem_size; _ }, Some i -> b + (ev i * elem_size)
+              | Gindex _, None -> b)
+         | Icall { dst; callee; args } ->
+           State.tick st (Cost.call - 1);
+           let argv = Array.of_list (List.map ev args) in
+           let v = exec_call m callee argv in
+           (match dst with Some d -> regs.(d) <- v | None -> ())
+         | Iintrin { dst; name; args; site } ->
+           let argv = Array.of_list (List.map ev args) in
+           (match Runtime.find_intrinsic m.rt name with
+            | Some fn ->
+              (* intrinsics receive the site id as a trailing argument *)
+              let v =
+                fn st
+                  (Array.append argv [| site |])
+              in
+              (match dst with Some d -> regs.(d) <- v | None -> ())
+            | None ->
+              Report.trap (Report.Unresolved_external ("intrinsic " ^ name)))
+       done;
+       (match lf.terms.(!block) with
+        | Tret v ->
+          result := (match v with Some o -> ev o | None -> 0);
+          finished := true
+        | Tbr b -> block := b
+        | Tcbr (c, bt, bf) ->
+          State.tick st 1;
+          block := (if ev c <> 0 then bt else bf))
+     done
+   with e ->
+     m.depth <- m.depth - 1;
+     st.State.sp <- saved_sp;
+     raise e);
+  m.depth <- m.depth - 1;
+  st.State.sp <- saved_sp;
+  !result
+
+(* Runs [entry] (default main).  All ways a run can end are funneled into
+   the [outcome] type. *)
+let run ?(entry = "main") (m : t) : outcome =
+  match
+    match Hashtbl.find_opt m.funcs entry with
+    | None -> Fault { t_kind = Unresolved_external entry; t_addr = 0;
+                      t_detail = "no entry point" }
+    | Some lf ->
+      let v = exec_func m lf [||] in
+      m.rt.Runtime.at_exit m.st;
+      Exit v
+  with
+  | outcome -> outcome
+  | exception State.Exited code ->
+    m.rt.Runtime.at_exit m.st;
+    Exit code
+  | exception Report.Bug r -> Bug r
+  | exception Report.Trap t -> Fault t
+
+let pp_outcome fmt = function
+  | Exit c -> Fmt.pf fmt "exit %d" c
+  | Bug r -> Fmt.pf fmt "BUG %a" Report.pp r
+  | Fault t -> Fmt.pf fmt "FAULT %a" Report.pp_trap t
+
+(* Convenience wrapper used throughout tests and the harness: compile a
+   MiniC source and run it under a runtime. *)
+let outcome_is_bug = function Bug _ -> true | Exit _ | Fault _ -> false

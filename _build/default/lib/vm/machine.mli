@@ -1,0 +1,43 @@
+(** The interpreter: executes a Tir module under a sanitizer runtime
+    with the deterministic cost model. *)
+
+type outcome =
+  | Exit of int            (** normal termination *)
+  | Bug of Report.t        (** a sanitizer reported a violation *)
+  | Fault of Report.trap   (** the machine/libc crashed on its own *)
+
+type loaded_func
+
+type t = {
+  st : State.t;
+  md : Tir.Ir.modul;
+  rt : Runtime.t;
+  funcs : (string, loaded_func) Hashtbl.t;
+  globals : (string, int) Hashtbl.t;
+  mutable ctx : Libc.ctx;
+  externs : (string, State.t -> int array -> int) Hashtbl.t;
+  mutable depth : int;
+}
+
+val create : ?st:State.t -> ?rt:Runtime.t -> Tir.Ir.modul -> t
+(** Loads globals into the simulated globals region and snapshots the
+    functions.  Applies the runtime's TBI configuration. *)
+
+val register_extern : t -> string -> (State.t -> int array -> int) -> unit
+(** Provides an OCaml implementation for an [extern] function with no
+    body in any linked unit (a library the program was linked against at
+    run time). *)
+
+val global_addr : t -> string -> int
+
+val exec_call : t -> string -> int array -> int
+(** Calls a function by name: module functions, the allocation family
+    (routed through runtime hooks), libc builtins (with interception and
+    TBI handling), or registered externs. *)
+
+val run : ?entry:string -> t -> outcome
+(** Runs [entry] (default ["main"]); all terminations funnel into
+    [outcome]. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit
+val outcome_is_bug : outcome -> bool

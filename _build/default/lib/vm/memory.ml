@@ -1,0 +1,157 @@
+(* Sparse paged memory with residency accounting.
+
+   Pages are materialized on first touch (like anonymous mmap), and the
+   number of distinct pages ever touched is the run's resident set --
+   which is how the paper's memory-overhead numbers arise: CECSan's
+   metadata table *reserves* 3 MiB but only the entries actually written
+   become resident, while ASan's redzones, shadow and quarantine all get
+   touched and stay resident.
+
+   The memory does NOT enforce region validity itself; [Machine] checks
+   that program accesses fall into mapped program regions.  Sanitizer
+   structures (shadow, tag and metadata areas) bypass that check but
+   still count toward residency. *)
+
+type t = {
+  pages : (int, bytes) Hashtbl.t;
+  mutable resident_pages : int;
+  (* residency split for reporting: program vs sanitizer areas *)
+  mutable sanitizer_pages : int;
+}
+
+let create () =
+  { pages = Hashtbl.create 1024; resident_pages = 0; sanitizer_pages = 0 }
+
+let page mem a =
+  let pn = Layout46.page_of a in
+  match Hashtbl.find_opt mem.pages pn with
+  | Some p -> p
+  | None ->
+    let p = Bytes.make Layout46.page_size '\000' in
+    Hashtbl.replace mem.pages pn p;
+    mem.resident_pages <- mem.resident_pages + 1;
+    if a >= Layout46.shadow_base then
+      mem.sanitizer_pages <- mem.sanitizer_pages + 1;
+    p
+
+let load_byte mem a =
+  Char.code (Bytes.get (page mem a) (a land (Layout46.page_size - 1)))
+
+let store_byte mem a v =
+  Bytes.set (page mem a) (a land (Layout46.page_size - 1))
+    (Char.unsafe_chr (v land 0xff))
+
+(* Little-endian load of [size] (1, 2, 4 or 8) bytes.  8-byte loads read
+   the stored 63-bit word (byte 7 carries bits 56..62). *)
+let load mem a size =
+  let off = a land (Layout46.page_size - 1) in
+  if off + size <= Layout46.page_size then begin
+    let p = page mem a in
+    match size with
+    | 1 -> Char.code (Bytes.get p off)
+    | 2 -> Char.code (Bytes.get p off)
+           lor (Char.code (Bytes.get p (off + 1)) lsl 8)
+    | 4 ->
+      Char.code (Bytes.get p off)
+      lor (Char.code (Bytes.get p (off + 1)) lsl 8)
+      lor (Char.code (Bytes.get p (off + 2)) lsl 16)
+      lor (Char.code (Bytes.get p (off + 3)) lsl 24)
+    | 8 ->
+      let lo = Int64.of_int32 (Bytes.get_int32_le p off) in
+      let lo = Int64.logand lo 0xFFFF_FFFFL in
+      let hi = Int64.of_int32 (Bytes.get_int32_le p (off + 4)) in
+      Int64.to_int (Int64.logor lo (Int64.shift_left hi 32))
+    | _ ->
+      let v = ref 0 in
+      for k = size - 1 downto 0 do
+        v := (!v lsl 8) lor Char.code (Bytes.get p (off + k))
+      done;
+      !v
+  end
+  else begin
+    (* page-straddling access: byte by byte *)
+    let v = ref 0 in
+    for k = size - 1 downto 0 do
+      v := (!v lsl 8) lor load_byte mem (a + k)
+    done;
+    !v
+  end
+
+let store mem a size v =
+  let off = a land (Layout46.page_size - 1) in
+  if off + size <= Layout46.page_size then begin
+    let p = page mem a in
+    match size with
+    | 1 -> Bytes.set p off (Char.unsafe_chr (v land 0xff))
+    | 2 ->
+      Bytes.set p off (Char.unsafe_chr (v land 0xff));
+      Bytes.set p (off + 1) (Char.unsafe_chr ((v lsr 8) land 0xff))
+    | 4 -> Bytes.set_int32_le p off (Int32.of_int (v land 0xFFFF_FFFF))
+    | 8 ->
+      Bytes.set_int32_le p off (Int32.of_int (v land 0xFFFF_FFFF));
+      Bytes.set_int32_le p (off + 4) (Int32.of_int ((v asr 32) land 0x7FFF_FFFF))
+    | _ ->
+      for k = 0 to size - 1 do
+        store_byte mem (a + k) ((v asr (8 * k)) land 0xff)
+      done
+  end
+  else
+    for k = 0 to size - 1 do
+      store_byte mem (a + k) ((v asr (8 * k)) land 0xff)
+    done
+
+(* Bulk operations used by the libc builtins. *)
+
+let blit_from_bytes mem (src : bytes) (dst : int) (len : int) =
+  for k = 0 to len - 1 do
+    store_byte mem (dst + k) (Char.code (Bytes.get src k))
+  done
+
+let copy mem ~src ~dst ~len =
+  if dst < src then
+    for k = 0 to len - 1 do
+      store_byte mem (dst + k) (load_byte mem (src + k))
+    done
+  else
+    for k = len - 1 downto 0 do
+      store_byte mem (dst + k) (load_byte mem (src + k))
+    done
+
+let fill mem ~dst ~len v =
+  for k = 0 to len - 1 do
+    store_byte mem (dst + k) v
+  done
+
+(* C-string helpers: read until NUL; bounded by [max] to avoid infinite
+   scans over zero pages. *)
+let strlen mem a =
+  let rec go k =
+    if k > 1 lsl 24 then
+      Report.trap ~addr:a Report.Segfault ~detail:"unterminated string"
+    else if load_byte mem (a + k) = 0 then k
+    else go (k + 1)
+  in
+  go 0
+
+let read_string mem a =
+  let n = strlen mem a in
+  String.init n (fun k -> Char.chr (load_byte mem (a + k)))
+
+let write_string mem a s =
+  String.iteri (fun k c -> store_byte mem (a + k) (Char.code c)) s;
+  store_byte mem (a + String.length s) 0
+
+(* wide strings: 4-byte elements *)
+let wcslen mem a =
+  let rec go k =
+    if k > 1 lsl 22 then
+      Report.trap ~addr:a Report.Segfault ~detail:"unterminated wide string"
+    else if load mem (a + (4 * k)) 4 = 0 then k
+    else go (k + 1)
+  in
+  go 0
+
+let resident_bytes mem = mem.resident_pages * Layout46.page_size
+let program_bytes mem =
+  (mem.resident_pages - mem.sanitizer_pages) * Layout46.page_size
+let sanitizer_bytes mem = mem.sanitizer_pages * Layout46.page_size

@@ -1,0 +1,47 @@
+(** Sparse paged memory with residency accounting.
+
+    Pages materialize on first touch, mmap-style, and the count of
+    distinct pages ever touched is the run's resident set -- the basis
+    of the memory-overhead numbers in Tables IV/V.  Accesses above
+    [Layout46.shadow_base] are attributed to sanitizer structures. *)
+
+type t = {
+  pages : (int, bytes) Hashtbl.t;
+  mutable resident_pages : int;
+  mutable sanitizer_pages : int;
+}
+
+val create : unit -> t
+
+val load_byte : t -> int -> int
+val store_byte : t -> int -> int -> unit
+
+val load : t -> int -> int -> int
+(** [load mem a size] little-endian load of 1/2/4/8 bytes. *)
+
+val store : t -> int -> int -> int -> unit
+(** [store mem a size v]. *)
+
+val blit_from_bytes : t -> bytes -> int -> int -> unit
+(** [blit_from_bytes mem src dst len] loads an image (e.g. a global's
+    initializer) into simulated memory. *)
+
+val copy : t -> src:int -> dst:int -> len:int -> unit
+(** Overlap-safe (memmove semantics). *)
+
+val fill : t -> dst:int -> len:int -> int -> unit
+
+val strlen : t -> int -> int
+(** Unchecked C-string scan, capped to avoid unbounded walks. *)
+
+val read_string : t -> int -> string
+val write_string : t -> int -> string -> unit
+val wcslen : t -> int -> int
+
+val resident_bytes : t -> int
+(** All touched pages, in bytes. *)
+
+val program_bytes : t -> int
+(** Touched pages outside the sanitizer areas. *)
+
+val sanitizer_bytes : t -> int

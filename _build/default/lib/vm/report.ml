@@ -1,0 +1,70 @@
+(* Bug reports and hardware-level traps.
+
+   A [Report] is what a *sanitizer* produces when one of its checks
+   fires.  A [Trap] is what the simulated hardware/libc produces on its
+   own (segfault on an unmapped address, glibc heap-corruption abort,
+   stack exhaustion): a run can end in a trap even without any sanitizer,
+   which is exactly the difference between "the bug crashed the process"
+   and "the bug was detected and diagnosed". *)
+
+type bug_kind =
+  | Oob_read
+  | Oob_write
+  | Use_after_free
+  | Double_free
+  | Invalid_free
+  | Sub_object_overflow   (* intra-object: only CECSan-class tools *)
+  | Other of string
+
+type t = {
+  r_kind : bug_kind;
+  r_addr : int;            (* faulting address (stripped) *)
+  r_by : string;           (* reporting sanitizer *)
+  r_detail : string;
+}
+
+type trap_kind =
+  | Segfault               (* unmapped or wild address *)
+  | Null_deref
+  | Stack_exhausted
+  | Heap_corruption        (* glibc-style abort in the default allocator *)
+  | Div_by_zero
+  | Out_of_cycles          (* budget exceeded: treated as a hang *)
+  | Unresolved_external of string
+
+type trap = { t_kind : trap_kind; t_addr : int; t_detail : string }
+
+exception Bug of t
+exception Trap of trap
+
+let bug ?(addr = 0) ?(detail = "") ~by kind =
+  raise (Bug { r_kind = kind; r_addr = addr; r_by = by; r_detail = detail })
+
+let trap ?(addr = 0) ?(detail = "") kind =
+  raise (Trap { t_kind = kind; t_addr = addr; t_detail = detail })
+
+let kind_to_string = function
+  | Oob_read -> "out-of-bounds-read"
+  | Oob_write -> "out-of-bounds-write"
+  | Use_after_free -> "use-after-free"
+  | Double_free -> "double-free"
+  | Invalid_free -> "invalid-free"
+  | Sub_object_overflow -> "sub-object-overflow"
+  | Other s -> s
+
+let trap_kind_to_string = function
+  | Segfault -> "SIGSEGV"
+  | Null_deref -> "SIGSEGV (null dereference)"
+  | Stack_exhausted -> "stack exhausted"
+  | Heap_corruption -> "glibc abort (heap corruption)"
+  | Div_by_zero -> "SIGFPE"
+  | Out_of_cycles -> "cycle budget exceeded"
+  | Unresolved_external f -> "unresolved external " ^ f
+
+let pp fmt r =
+  Fmt.pf fmt "%s: %s at 0x%x%s" r.r_by (kind_to_string r.r_kind) r.r_addr
+    (if String.equal r.r_detail "" then "" else " (" ^ r.r_detail ^ ")")
+
+let pp_trap fmt t =
+  Fmt.pf fmt "%s at 0x%x%s" (trap_kind_to_string t.t_kind) t.t_addr
+    (if String.equal t.t_detail "" then "" else " (" ^ t.t_detail ^ ")")

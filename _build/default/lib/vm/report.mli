@@ -1,0 +1,45 @@
+(** Bug reports (produced by sanitizers) and hardware/libc-level traps
+    (produced by the simulated machine itself).  The distinction carries
+    the evaluation semantics: a run that merely crashes has NOT been
+    "detected" by a sanitizer. *)
+
+type bug_kind =
+  | Oob_read
+  | Oob_write
+  | Use_after_free
+  | Double_free
+  | Invalid_free
+  | Sub_object_overflow
+  | Other of string
+
+type t = {
+  r_kind : bug_kind;
+  r_addr : int;     (** faulting address, stripped *)
+  r_by : string;    (** reporting sanitizer *)
+  r_detail : string;
+}
+
+type trap_kind =
+  | Segfault
+  | Null_deref
+  | Stack_exhausted
+  | Heap_corruption   (** glibc-style allocator abort *)
+  | Div_by_zero
+  | Out_of_cycles
+  | Unresolved_external of string
+
+type trap = { t_kind : trap_kind; t_addr : int; t_detail : string }
+
+exception Bug of t
+exception Trap of trap
+
+val bug : ?addr:int -> ?detail:string -> by:string -> bug_kind -> 'a
+(** Raises [Bug]. *)
+
+val trap : ?addr:int -> ?detail:string -> trap_kind -> 'a
+(** Raises [Trap]. *)
+
+val kind_to_string : bug_kind -> string
+val trap_kind_to_string : trap_kind -> string
+val pp : Format.formatter -> t -> unit
+val pp_trap : Format.formatter -> trap -> unit

@@ -1,0 +1,40 @@
+(** Mutable machine state shared by the interpreter, the libc builtins
+    and the sanitizer runtimes. *)
+
+type t = {
+  mem : Memory.t;
+  alloc : Alloc.t;
+  input : Input.t;        (** the dummy input server *)
+  output : Buffer.t;      (** captured stdout *)
+  mutable cycles : int;   (** the deterministic cost-model clock *)
+  mutable cycle_budget : int;
+  mutable sp : int;
+  mutable globals_end : int;
+  mutable rng : int;
+  mutable heap_frees : int;
+  mutable heap_allocs : int;
+  mutable addr_mask : int;
+      (** effective-address mask; HWASan narrows it to emulate ARM
+          top-byte-ignore *)
+  site_state : (int, int) Hashtbl.t;
+      (** per-instrumentation-site counters for runtimes *)
+}
+
+exception Exited of int
+(** Raised by the [exit] builtin. *)
+
+val create : ?cycle_budget:int -> ?seed:int -> unit -> t
+
+val tick : t -> int -> unit
+(** Advances the clock; raises [Report.Trap Out_of_cycles] past the
+    budget. *)
+
+val next_rand : t -> int
+(** Deterministic splitmix PRNG (rand(), HWASan tag draws). *)
+
+val check_mapped : t -> int -> int -> unit
+(** Validates that a program access falls in a mapped region (globals,
+    heap, stack); raises [Report.Trap Segfault]/[Null_deref] otherwise. *)
+
+val effective : t -> int -> int
+(** Applies the TBI mask. *)

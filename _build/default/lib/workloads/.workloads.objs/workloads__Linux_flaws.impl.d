@@ -1,0 +1,1 @@
+lib/workloads/linux_flaws.ml: Sanitizer String Vm

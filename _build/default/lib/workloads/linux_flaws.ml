@@ -1,0 +1,268 @@
+(* Linux Flaw Project models (Table III).
+
+   Ten MiniC programs reproducing the *mechanism* of each CVE the paper
+   evaluated: same bug class, same code shape (a parser or decoder
+   mishandling crafted input from the dummy server), scaled down.  Each
+   model is triggered by its input, so the harness can also run the
+   benign input and check the program is otherwise healthy. *)
+
+type t = {
+  cve : string;
+  kind : string;             (* the paper's Table III "Type" column *)
+  source : string;
+  bad_lines : string list;   (* crafted stdin *)
+  bad_packets : string list;
+  good_lines : string list;  (* benign stdin *)
+  good_packets : string list;
+}
+
+let flaw ?(bad_lines = []) ?(bad_packets = []) ?(good_lines = [])
+    ?(good_packets = []) cve kind source =
+  { cve; kind; source; bad_lines; bad_packets; good_lines; good_packets }
+
+let all : t list =
+  [
+    (* mdnsd / libdns-style record parser copying a name field of
+       attacker-controlled length into a fixed stack buffer *)
+    flaw "CVE-2006-2362" "stack-buffer-overflow"
+      ~bad_lines:
+        [ "AAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAA" ]
+      ~good_lines:[ "short-name" ]
+      {|
+int main() {
+  char record[128];
+  char name[24];
+  if (fgets(record, 128, 0) == NULL) return 1;
+  /* BUG: no length validation before the copy */
+  strcpy(name, record);
+  return (int)strlen(name) & 0x7f;
+}
+|};
+    (* samba send_mailslot-style: sprintf of two names into a fixed
+       heap buffer *)
+    flaw "CVE-2007-6015" "heap-buffer-overflow"
+      ~bad_packets:
+        [ "BROWSER-ELECTION-FRAME-WITH-A-VERY-LONG-MAILSLOT-NAME-FIELD" ]
+      ~good_packets:[ "BROWSE" ]
+      {|
+int main() {
+  int fd = socket(2, 1, 0);
+  char packet[96];
+  long n = recv(fd, packet, 95, 0);
+  if (n <= 0) return 1;
+  packet[n] = 0;
+  char *dgram = (char*)malloc(32);
+  strcpy(dgram, "\\MAILSLOT\\");
+  /* BUG: concatenation unbounded by the 32-byte dgram buffer */
+  strcat(dgram, packet);
+  int r = (int)strlen(dgram) & 0x7f;
+  free(dgram);
+  return r;
+}
+|};
+    (* wxWidgets/libtiff-like image decoder: height*width product trusted
+       from the header while the row loop trusts height alone *)
+    flaw "CVE-2009-2285" "heap-buffer-overflow"
+      ~bad_packets:[ "\x10\x04" ] ~good_packets:[ "\x04\x04" ]
+      {|
+int main() {
+  int fd = socket(2, 1, 0);
+  char hdr[4];
+  if (recv(fd, hdr, 2, 0) != 2) return 1;
+  int rows = hdr[0];
+  int cols = hdr[1];
+  /* the buffer is sized from a FIXED default... */
+  char *image = (char*)malloc(4 * 4);
+  /* ...but decoded with the header's dimensions */
+  for (int y = 0; y < rows; y++) {
+    for (int x = 0; x < cols; x++) {
+      image[y * cols + x] = (char)(y + x);
+    }
+  }
+  int r = image[0];
+  free(image);
+  return r;
+}
+|};
+    (* gif2tiff-style LZW decoder writing past the end of the code table *)
+    flaw "CVE-2013-4243" "heap-buffer-overflow"
+      ~bad_packets:[ "\x08\x08\x08\x08\x08\x08\x08\x08" ]
+      ~good_packets:[ "\x01\x02" ]
+      {|
+int main() {
+  int fd = socket(2, 1, 0);
+  char codes[16];
+  long n = recv(fd, codes, 16, 0);
+  char *table = (char*)malloc(32);
+  int next = 0;
+  for (long i = 0; i < n; i++) {
+    int code = codes[i] & 0x7f;
+    /* BUG: 'next' grows with input codes, never bounded by 32 */
+    for (int k = 0; k <= code % 9; k++) {
+      table[next] = (char)code;
+      next++;
+    }
+  }
+  int r = table[0];
+  free(table);
+  return r & 0x7f;
+}
+|};
+    (* python socket.recvfrom_into: recv size larger than the buffer *)
+    flaw "CVE-2014-1912" "heap-buffer-overflow"
+      ~bad_packets:[ "\x40"; String.make 64 'P' ]
+      ~good_packets:[ "\x08"; "pkt" ]
+      {|
+int main() {
+  int fd = socket(2, 1, 0);
+  char hdr[2];
+  if (recv(fd, hdr, 1, 0) != 1) return 1;
+  int nbytes = hdr[0];
+  char *buf = (char*)malloc(16);
+  /* BUG: recvfrom_into trusts the caller-supplied size, not the
+     buffer's: nbytes can exceed the 16-byte buffer */
+  long n = recv(fd, buf, nbytes, 0);
+  int r = (int)n + buf[0];
+  free(buf);
+  return r & 0x7f;
+}
+|};
+    (* bmp2tiff-style: negative/huge sample count wraps the copy length *)
+    flaw "CVE-2015-8668" "heap-buffer-overflow"
+      ~bad_packets:[ "\x30" ] ~good_packets:[ "\x08" ]
+      {|
+int main() {
+  int fd = socket(2, 1, 0);
+  char hdr[2];
+  if (recv(fd, hdr, 1, 0) != 1) return 1;
+  int samples = hdr[0];
+  char *raster = (char*)malloc(16);
+  char scanline[64];
+  memset(scanline, 7, 64);
+  /* BUG: header-controlled length used for the copy into raster[16] */
+  memcpy(raster, scanline, samples);
+  int r = raster[0];
+  free(raster);
+  return r;
+}
+|};
+    (* lame-style: ID3 genre string copied through an unchecked index *)
+    flaw "CVE-2015-9101" "heap-buffer-overflow"
+      ~bad_lines:[ "GENRE-NAME-MUCH-LONGER-THAN-THE-TAG-FIELD-ALLOWS-HERE" ]
+      ~good_lines:[ "Jazz" ]
+      {|
+struct Id3Tag {
+  char genre[16];
+  int year;
+  char comment[64];
+};
+
+int main() {
+  char line[96];
+  if (fgets(line, 96, 0) == NULL) return 1;
+  struct Id3Tag *tag = (struct Id3Tag*)malloc(sizeof(struct Id3Tag));
+  tag->year = 1999;
+  int i = 0;
+  /* BUG: bounded by the input, not by the 16-byte genre field:
+     a sub-object overflow inside the tag allocation */
+  while (line[i] != 0) {
+    tag->genre[i] = line[i];
+    i++;
+  }
+  int r = tag->year & 0x7f;
+  free(tag);
+  return r;
+}
+|};
+    (* libtiff PixarLog-style: stack scanline buffer overflow from a
+       header-controlled stride *)
+    flaw "CVE-2016-10095" "stack-buffer-overflow"
+      ~bad_packets:[ "\x28" ] ~good_packets:[ "\x08" ]
+      {|
+int main() {
+  int fd = socket(2, 1, 0);
+  char hdr[2];
+  if (recv(fd, hdr, 1, 0) != 1) return 1;
+  int stride = hdr[0];
+  char scan[16];
+  /* BUG: stride from the file header indexes a fixed stack buffer */
+  for (int i = 0; i < stride; i++) {
+    scan[i] = (char)i;
+  }
+  return scan[0];
+}
+|};
+    (* libzip-style: the archive entry is freed on error but the name
+       pointer is used afterwards *)
+    flaw "CVE-2017-12858" "heap-use-after-free"
+      ~bad_lines:[ "corrupt" ] ~good_lines:[ "archive.zip" ]
+      {|
+struct ZipEntry {
+  char name[32];
+  int compressed;
+};
+
+int main() {
+  char line[64];
+  if (fgets(line, 64, 0) == NULL) return 1;
+  struct ZipEntry *entry = (struct ZipEntry*)malloc(sizeof(struct ZipEntry));
+  strcpy(entry->name, line);
+  entry->compressed = 1;
+  int error = strcmp(line, "corrupt") == 0;
+  if (error) {
+    /* cleanup path frees the entry... */
+    free(entry);
+  }
+  /* ...but the caller still reads it on the error path */
+  int r = entry->name[0];
+  if (!error) free(entry);
+  return r & 0x7f;
+}
+|};
+    (* cxxfilt-style: unbounded recursion on nested mangled names *)
+    flaw "CVE-2018-9138" "stack-overflow"
+      ~bad_lines:[ String.make 4000 'F' ] ~good_lines:[ "FFF" ]
+      {|
+char input[4100];
+
+static int demangle(int depth) {
+  char component[4096];   /* per-level demangling scratch */
+  component[0] = input[depth];
+  if (input[depth] == 'F') {
+    /* BUG: recursion depth tracks the input with no limit */
+    return demangle(depth + 1) + (component[0] == 'F');
+  }
+  return 0;
+}
+
+int main() {
+  if (fgets(input, 4100, 0) == NULL) return 1;
+  return demangle(0) & 0x7f;
+}
+|};
+  ]
+
+(* Runs one model under a sanitizer; returns (bad detected, good clean).
+   Stack exhaustion traps count as detected: the runtime's guard page
+   catches them and produces a diagnosable crash, as in the paper. *)
+let evaluate (san : Sanitizer.Spec.t) (m : t) : bool * bool =
+  let bad =
+    Sanitizer.Driver.run san ~lines:m.bad_lines ~packets:m.bad_packets
+      ~budget:100_000_000 m.source
+  in
+  let good =
+    Sanitizer.Driver.run san ~lines:m.good_lines ~packets:m.good_packets
+      ~budget:100_000_000 m.source
+  in
+  let detected =
+    match bad.Sanitizer.Driver.outcome with
+    | Vm.Machine.Bug _ -> true
+    | Vm.Machine.Fault { t_kind = Vm.Report.Stack_exhausted; _ } -> true
+    | Vm.Machine.Exit _ | Vm.Machine.Fault _ -> false
+  in
+  let clean =
+    match good.Sanitizer.Driver.outcome with
+    | Vm.Machine.Exit _ -> true
+    | Vm.Machine.Bug _ | Vm.Machine.Fault _ -> false
+  in
+  (detected, clean)

@@ -1,0 +1,19 @@
+(** Linux Flaw Project models (Table III): ten MiniC programs
+    reproducing each CVE's mechanism, triggered by crafted dummy-server
+    input. *)
+
+type t = {
+  cve : string;
+  kind : string;            (** the Table III "Type" column *)
+  source : string;
+  bad_lines : string list;
+  bad_packets : string list;
+  good_lines : string list;
+  good_packets : string list;
+}
+
+val all : t list
+
+val evaluate : Sanitizer.Spec.t -> t -> bool * bool
+(** [(bad input detected, benign input clean)].  A stack-exhaustion trap
+    counts as detected (the runtime's guard page diagnoses it). *)

@@ -1,0 +1,670 @@
+(* SPEC CPU2006-like kernels (Table IV).
+
+   Eight MiniC programs named after the benchmarks whose *workload
+   shape* they reproduce -- what matters for the relative sanitizer
+   overheads is the mix of allocation rate, pointer density, loop
+   structure and string traffic, not the absolute work:
+
+     400.perlbench   string hashing/interning, heavy malloc/free churn
+     403.gcc         tokenizer + recursive-descent expression compiler
+     429.mcf         network simplex-ish relaxation: pointer chasing
+     447.dealII      fixed-point linear algebra (Jacobi sweeps)
+     458.sjeng       negamax game-tree search with static tables
+     462.libquantum  quantum register simulation, growing reallocs
+     470.lbm         lattice-Boltzmann stencil streaming
+     471.omnetpp     discrete-event simulation, small-object churn
+
+   Numeric kernels use fixed-point arithmetic (DESIGN.md: single
+   machine-word value domain).  Every kernel self-checks and returns a
+   checksum so that tests can assert sanitizers preserve semantics. *)
+
+type t = {
+  w_name : string;
+  w_source : string;
+  w_expected : int;   (* expected exit code *)
+}
+
+let perlbench = {
+  w_name = "400.perlbench";
+  w_expected = 13;
+  w_source = {|
+/* string interning + hashing with heavy allocator churn */
+struct SymNode {
+  char name[48];
+  int hits;
+  struct SymNode *next;
+};
+
+struct SymNode *buckets[64];
+
+static int hash_str(char *s) {
+  int h = 5381;
+  for (int i = 0; s[i] != 0; i++) {
+    h = (h * 33 + s[i]) & 0xffffff;
+  }
+  return h;
+}
+
+static struct SymNode *intern(char *s) {
+  int h = hash_str(s) % 64;
+  struct SymNode *n = buckets[h];
+  while (n != NULL) {
+    if (strcmp(n->name, s) == 0) {
+      n->hits++;
+      return n;
+    }
+    n = n->next;
+  }
+  n = (struct SymNode*)malloc(sizeof(struct SymNode));
+  strcpy(n->name, s);
+  n->hits = 1;
+  n->next = buckets[h];
+  buckets[h] = n;
+  return n;
+}
+
+static void drop_bucket(int h) {
+  struct SymNode *n = buckets[h];
+  while (n != NULL) {
+    struct SymNode *d = n;
+    n = n->next;
+    free(d);
+  }
+  buckets[h] = NULL;
+}
+
+int main() {
+  char word[48];
+  char digits[16];
+  int total = 0;
+  /* the script/document corpus: load-time data, lightly scanned */
+  char *corpus = (char*)malloc(786432);
+  for (long i = 0; i < 786432; i += 4096) corpus[i] = (char)(i >> 12);
+  for (int round = 0; round < 150; round++) {
+    for (int w = 0; w < 40; w++) {
+      /* build "sym<round%7>_<w%13>" */
+      strcpy(word, "sym");
+      digits[0] = (char)('0' + round % 7);
+      digits[1] = '_';
+      digits[2] = (char)('a' + w % 13);
+      digits[3] = 0;
+      strcat(word, digits);
+      struct SymNode *n = intern(word);
+      total += n->hits & 7;
+      /* transient scratch buffers: allocator churn */
+      char *scratch = (char*)malloc(256 + (w % 5) * 32);
+      strcpy(scratch, word);
+      strcat(scratch, "::");
+      strcat(scratch, word);
+      total += scratch[0] & 1;
+      free(scratch);
+    }
+    if (round % 9 == 8) {
+      for (int h = 0; h < 64; h++) drop_bucket(h);
+    }
+  }
+  for (int h = 0; h < 64; h++) drop_bucket(h);
+  free(corpus);
+  return (total % 200) + 1;
+}
+|};
+}
+
+let gcc = {
+  w_name = "403.gcc";
+  w_expected = 64;
+  w_source = {|
+/* tokenizer + recursive-descent constant folder over expressions */
+struct ExprTok {
+  int kind;   /* 0 num, 1 op, 2 lparen, 3 rparen, 4 end */
+  int value;
+};
+
+struct ExprTok toks[128];
+int tok_count;
+int tok_pos;
+
+static void tokenize(char *src) {
+  tok_count = 0;
+  int i = 0;
+  while (src[i] != 0 && tok_count < 127) {
+    char c = src[i];
+    if (c >= '0' && c <= '9') {
+      int v = 0;
+      while (src[i] >= '0' && src[i] <= '9') {
+        v = v * 10 + (src[i] - '0');
+        i++;
+      }
+      toks[tok_count].kind = 0;
+      toks[tok_count].value = v;
+      tok_count++;
+    } else if (c == '+' || c == '*' || c == '-') {
+      toks[tok_count].kind = 1;
+      toks[tok_count].value = c;
+      tok_count++;
+      i++;
+    } else if (c == '(') {
+      toks[tok_count].kind = 2;
+      tok_count++;
+      i++;
+    } else if (c == ')') {
+      toks[tok_count].kind = 3;
+      tok_count++;
+      i++;
+    } else {
+      i++;
+    }
+  }
+  toks[tok_count].kind = 4;
+  tok_count++;
+}
+
+static int parse_expr();
+
+static int parse_atom() {
+  if (toks[tok_pos].kind == 2) {
+    tok_pos++;
+    int v = parse_expr();
+    if (toks[tok_pos].kind == 3) tok_pos++;
+    return v;
+  }
+  if (toks[tok_pos].kind == 0) {
+    int v = toks[tok_pos].value;
+    tok_pos++;
+    return v;
+  }
+  tok_pos++;
+  return 0;
+}
+
+static int parse_term() {
+  int v = parse_atom();
+  while (toks[tok_pos].kind == 1 && toks[tok_pos].value == '*') {
+    tok_pos++;
+    v = (v * parse_atom()) & 0xffff;
+  }
+  return v;
+}
+
+static int parse_expr() {
+  int v = parse_term();
+  while (toks[tok_pos].kind == 1
+         && (toks[tok_pos].value == '+' || toks[tok_pos].value == '-')) {
+    int op = toks[tok_pos].value;
+    tok_pos++;
+    int rhs = parse_term();
+    if (op == '+') v = (v + rhs) & 0xffff;
+    else v = (v - rhs) & 0xffff;
+  }
+  return v;
+}
+
+int main() {
+  char src[96];
+  char num[8];
+  int acc = 0;
+  /* the translation unit being compiled: big read-mostly buffer */
+  char *unit = (char*)malloc(524288);
+  for (long i = 0; i < 524288; i += 4096) unit[i] = 'u';
+  for (int round = 0; round < 400; round++) {
+    /* synthesize "(a+b)*c+d*e" with round-dependent digits */
+    strcpy(src, "(");
+    num[0] = (char)('1' + round % 9);
+    num[1] = 0;
+    strcat(src, num);
+    strcat(src, "+");
+    num[0] = (char)('1' + (round / 3) % 9);
+    strcat(src, num);
+    strcat(src, ")*");
+    num[0] = (char)('1' + (round / 7) % 9);
+    strcat(src, num);
+    strcat(src, "+");
+    num[0] = (char)('2' + round % 7);
+    strcat(src, num);
+    strcat(src, "*1");
+    /* also keep a heap copy like gcc's string arena */
+    char *arena = strdup(src);
+    char *ir = (char*)malloc(2048);   /* per-function IR scratch */
+    ir[0] = 'i'; ir[2047] = 'r';
+    tokenize(arena);
+    tok_pos = 0;
+    acc = (acc + parse_expr() + ir[0]) & 0xffffff;
+    free(ir);
+    free(arena);
+  }
+  free(unit);
+  return (acc % 250) + 1;
+}
+|};
+}
+
+let mcf = {
+  w_name = "429.mcf";
+  w_expected = 196;
+  w_source = {|
+/* min-cost-flow style relaxation: one big arc array, pointer chasing */
+struct McfNode {
+  long dist;
+  int head_arc;
+};
+struct McfArc {
+  int from;
+  int to;
+  long cost;
+  int next_out;   /* next arc leaving [from] */
+};
+
+int main() {
+  int nodes = 4096;
+  int arcs_n = 4 * 4096;
+  struct McfNode *nodes_a =
+      (struct McfNode*)malloc(nodes * sizeof(struct McfNode));
+  struct McfArc *arcs = (struct McfArc*)malloc(arcs_n * sizeof(struct McfArc));
+  for (int i = 0; i < nodes; i++) {
+    nodes_a[i].dist = 1 << 30;
+    nodes_a[i].head_arc = -1;
+  }
+  /* pseudo-random sparse graph, deterministic */
+  int seed = 12345;
+  for (int a = 0; a < arcs_n; a++) {
+    seed = (seed * 1103515245 + 12345) & 0x7fffffff;
+    int from = a % nodes;
+    int to = seed % nodes;
+    arcs[a].from = from;
+    arcs[a].to = to;
+    arcs[a].cost = (seed >> 7) % 1000 + 1;
+    arcs[a].next_out = nodes_a[from].head_arc;
+    nodes_a[from].head_arc = a;
+  }
+  nodes_a[0].dist = 0;
+  /* Bellman-Ford sweeps: load-heavy pointer chasing */
+  for (int sweep = 0; sweep < 12; sweep++) {
+    int changed = 0;
+    for (int u = 0; u < nodes; u++) {
+      long du = nodes_a[u].dist;
+      if (du >= (1 << 30)) continue;
+      int a = nodes_a[u].head_arc;
+      while (a != -1) {
+        long nd = du + arcs[a].cost;
+        if (nd < nodes_a[arcs[a].to].dist) {
+          nodes_a[arcs[a].to].dist = nd;
+          changed++;
+        }
+        a = arcs[a].next_out;
+      }
+    }
+    if (changed == 0) break;
+  }
+  long sum = 0;
+  int reached = 0;
+  for (int i = 0; i < nodes; i++) {
+    if (nodes_a[i].dist < (1 << 30)) {
+      sum += nodes_a[i].dist;
+      reached++;
+    }
+  }
+  free(nodes_a);
+  free(arcs);
+  return (int)((sum + reached) % 250) + 1;
+}
+|};
+}
+
+let dealii = {
+  w_name = "447.dealII";
+  w_expected = 209;
+  w_source = {|
+/* fixed-point (16.16) Jacobi solver on a banded system */
+int main() {
+  int n = 96;
+  long *matrix = (long*)malloc(n * n * sizeof(long));
+  long *rhs = (long*)malloc(n * sizeof(long));
+  long *x = (long*)malloc(n * sizeof(long));
+  long *nx = (long*)malloc(n * sizeof(long));
+  int one = 1 << 16;
+  for (int i = 0; i < n; i++) {
+    for (int j = 0; j < n; j++) {
+      long v = 0;
+      if (i == j) v = 4 * one;
+      else if (i - j == 1 || j - i == 1) v = 0 - one;
+      matrix[i * n + j] = v;
+    }
+    rhs[i] = ((i % 7) + 1) * one;
+    x[i] = 0;
+  }
+  char *mesh = (char*)malloc(655360);
+  for (long i = 0; i < 655360; i += 4096) mesh[i] = 'm';
+  for (int iter = 0; iter < 25; iter++) {
+    /* per-sweep scratch blocks, like dealII's temporaries */
+    long *scratch = (long*)malloc(n * 64 * sizeof(long));
+    for (int i = 0; i < n; i++) scratch[i] = x[i];
+    for (int i = 0; i < n * 64; i += 512) scratch[i] = 1;
+    for (int i = 0; i < n; i++) {
+      long s = rhs[i];
+      for (int j = 0; j < n; j++) {
+        if (j != i) {
+          /* fixed-point multiply: (a*b) >> 16 */
+          s -= (matrix[i * n + j] >> 8) * (x[j] >> 8);
+        }
+      }
+      /* divide by the diagonal 4.0 */
+      nx[i] = s / 4;
+    }
+    for (int i = 0; i < n; i++) x[i] = nx[i] + (scratch[i] - scratch[i]);
+    free(scratch);
+  }
+  free(mesh);
+  long checksum = 0;
+  for (int i = 0; i < n; i++) checksum += x[i] >> 12;
+  free(matrix);
+  free(rhs);
+  free(x);
+  free(nx);
+  return (int)(checksum % 250) + 1;
+}
+|};
+}
+
+let sjeng = {
+  w_name = "458.sjeng";
+  w_expected = 27;
+  w_source = {|
+/* negamax with alpha-beta on a 5x5 capture game, static eval tables */
+int value_table[25] = {
+  1, 2, 3, 2, 1,
+  2, 4, 6, 4, 2,
+  3, 6, 9, 6, 3,
+  2, 4, 6, 4, 2,
+  1, 2, 3, 2, 1
+};
+
+char board[25];
+
+/* opening book / transposition data: large initialized load-time table */
+char book[1048576];
+
+static int evaluate() {
+  int score = 0;
+  for (int i = 0; i < 25; i++) {
+    if (board[i] == 1) score += value_table[i];
+    else if (board[i] == 2) score -= value_table[i];
+  }
+  return score;
+}
+
+static int negamax(int depth, int alpha, int beta, int side) {
+  if (depth == 0) {
+    if (side == 1) return evaluate();
+    return -evaluate();
+  }
+  int best = -100000;
+  for (int m = 0; m < 25; m++) {
+    if (board[m] != 0) continue;
+    board[m] = (char)side;
+    int v = -negamax(depth - 1, -beta, -alpha, 3 - side);
+    board[m] = 0;
+    if (v > best) best = v;
+    if (best > alpha) alpha = best;
+    if (alpha >= beta) break;
+  }
+  if (best == -100000) {
+    if (side == 1) return evaluate();
+    return -evaluate();
+  }
+  return best;
+}
+
+int main() {
+  /* the book is load-time data: resident, but rarely accessed *by the
+     program*, so its shadow stays sparse */
+  int total = 0;
+  for (int game = 0; game < 4; game++) {
+    for (int i = 0; i < 25; i++) board[i] = 0;
+    /* seed a few fixed stones */
+    board[(game * 7) % 25] = 1;
+    board[(game * 11 + 3) % 25] = 2;
+    board[(game * 13 + 9) % 25] = 1;
+    total += negamax(3, -100000, 100000, 2);
+    total += book[(game * 37 + 11) % 1048576 & ~7];
+  }
+  if (total < 0) total = -total;
+  return (total % 250) + 1;
+}
+|};
+}
+
+let libquantum = {
+  w_name = "462.libquantum";
+  w_expected = 171;
+  w_source = {|
+/* quantum register simulation: basis states with fixed-point amplitudes;
+   the register array is rebuilt (realloc) as gates add states */
+struct QState {
+  long basis;
+  long amp;   /* fixed point 16.16 */
+};
+
+int main() {
+  /* circuit description, loaded once */
+  char *circuit = (char*)malloc(131072);
+  for (long i = 0; i < 131072; i += 4096) circuit[i] = 'q';
+  int capacity = 64;
+  int size = 1;
+  struct QState *reg = (struct QState*)malloc(capacity * sizeof(struct QState));
+  reg[0].basis = 0;
+  reg[0].amp = 1 << 16;
+  long checksum = 0;
+  for (int gate = 0; gate < 300; gate++) {
+    int target = gate % 10;
+    if (gate % 3 == 0) {
+      /* "hadamard-ish": split every state into two */
+      if (size * 2 > capacity) {
+        capacity = capacity * 2;
+        reg = (struct QState*)realloc(reg, capacity * sizeof(struct QState));
+      }
+      if (size * 2 <= 2048) {
+        for (int s = size - 1; s >= 0; s--) {
+          long b = reg[s].basis;
+          long a = reg[s].amp * 46341 >> 16;  /* /sqrt(2) approx */
+          reg[2 * s].basis = b & ~(1 << target);
+          reg[2 * s].amp = a;
+          reg[2 * s + 1].basis = b | (1 << target);
+          reg[2 * s + 1].amp = -a;
+        }
+        size = size * 2;
+      }
+    } else if (gate % 3 == 1) {
+      /* NOT gate: flip the target bit */
+      for (int s = 0; s < size; s++) {
+        reg[s].basis = reg[s].basis ^ (1 << target);
+      }
+    } else {
+      /* collapse-ish compaction: drop tiny amplitudes */
+      int w = 0;
+      for (int s = 0; s < size; s++) {
+        if (reg[s].amp > 64 || reg[s].amp < -64) {
+          reg[w].basis = reg[s].basis;
+          reg[w].amp = reg[s].amp;
+          w++;
+        }
+      }
+      if (w < 1) {
+        w = 1;
+        reg[0].basis = 0;
+        reg[0].amp = 1 << 16;
+      }
+      size = w;
+      /* shrink the register like quantum_reduce does */
+      struct QState *packed = (struct QState*)malloc((size + 8) * sizeof(struct QState));
+      for (int s = 0; s < size; s++) {
+        packed[s].basis = reg[s].basis;
+        packed[s].amp = reg[s].amp;
+      }
+      free(reg);
+      reg = packed;
+      capacity = size + 8;
+    }
+  }
+  for (int s = 0; s < size && s < 64; s++) {
+    checksum += (reg[s].basis & 0xff) + (reg[s].amp & 0xff);
+  }
+  free(reg);
+  free(circuit);
+  return (int)(checksum % 250) + 1;
+}
+|};
+}
+
+let lbm = {
+  w_name = "470.lbm";
+  w_expected = 224;
+  w_source = {|
+/* lattice-Boltzmann-like 2-buffer stencil streaming, fixed point */
+int main() {
+  int w = 48;
+  int h = 48;
+  /* obstacle geometry, loaded once */
+  char *geometry = (char*)malloc(393216);
+  for (long i = 0; i < 393216; i += 4096) geometry[i] = 'g';
+  long *src = (long*)malloc(w * h * sizeof(long));
+  long *dst = (long*)malloc(w * h * sizeof(long));
+  for (int y = 0; y < h; y++) {
+    for (int x = 0; x < w; x++) {
+      src[y * w + x] = ((x * 31 + y * 17) % 256) << 8;
+    }
+  }
+  for (int step = 0; step < 60; step++) {
+    for (int y = 1; y < h - 1; y++) {
+      for (int x = 1; x < w - 1; x++) {
+        long c = src[y * w + x];
+        long n = src[(y - 1) * w + x];
+        long s = src[(y + 1) * w + x];
+        long e = src[y * w + x + 1];
+        long we = src[y * w + x - 1];
+        /* collision + streaming with relaxation 1/4 */
+        dst[y * w + x] = c + ((n + s + e + we - 4 * c) >> 2);
+      }
+    }
+    /* boundaries copy through */
+    for (int x = 0; x < w; x++) {
+      dst[x] = src[x];
+      dst[(h - 1) * w + x] = src[(h - 1) * w + x];
+    }
+    for (int y = 0; y < h; y++) {
+      dst[y * w] = src[y * w];
+      dst[y * w + w - 1] = src[y * w + w - 1];
+    }
+    long *tmp = src;
+    src = dst;
+    dst = tmp;
+  }
+  long checksum = 0;
+  for (int i = 0; i < w * h; i += 7) checksum += src[i] >> 6;
+  free(src);
+  free(dst);
+  free(geometry);
+  return (int)(checksum % 250) + 1;
+}
+|};
+}
+
+let omnetpp = {
+  w_name = "471.omnetpp";
+  w_expected = 138;
+  w_source = {|
+/* discrete-event simulation: heap-allocated messages through a binary
+   heap; constant small-object churn */
+struct Msg {
+  long time;
+  int kind;
+  int payload;
+  char body[56];   /* the packet contents */
+};
+
+struct Msg *heap_q[512];
+int heap_n;
+
+static void q_push(struct Msg *m) {
+  int i = heap_n;
+  heap_q[i] = m;
+  heap_n++;
+  while (i > 0) {
+    int parent = (i - 1) / 2;
+    if (heap_q[parent]->time <= heap_q[i]->time) break;
+    struct Msg *t = heap_q[parent];
+    heap_q[parent] = heap_q[i];
+    heap_q[i] = t;
+    i = parent;
+  }
+}
+
+static struct Msg *q_pop() {
+  struct Msg *top = heap_q[0];
+  heap_n--;
+  heap_q[0] = heap_q[heap_n];
+  int i = 0;
+  while (1) {
+    int l = 2 * i + 1;
+    int r = 2 * i + 2;
+    int m = i;
+    if (l < heap_n && heap_q[l]->time < heap_q[m]->time) m = l;
+    if (r < heap_n && heap_q[r]->time < heap_q[m]->time) m = r;
+    if (m == i) break;
+    struct Msg *t = heap_q[m];
+    heap_q[m] = heap_q[i];
+    heap_q[i] = t;
+    i = m;
+  }
+  return top;
+}
+
+int main() {
+  /* network topology/config data resident for the whole run */
+  char *topo = (char*)malloc(262144);
+  for (long i = 0; i < 262144; i += 4096) topo[i] = 't';
+  heap_n = 0;
+  int processed = 0;
+  long now = 0;
+  int checksum = 0;
+  /* seed events */
+  for (int i = 0; i < 8; i++) {
+    struct Msg *m = (struct Msg*)malloc(sizeof(struct Msg));
+    m->time = i * 3 + 1;
+    m->kind = i % 4;
+    m->payload = i;
+    m->body[0] = 'b';
+    q_push(m);
+  }
+  while (heap_n > 0 && processed < 12000) {
+    struct Msg *m = q_pop();
+    now = m->time;
+    processed++;
+    checksum = (checksum + m->payload + m->kind) & 0xffff;
+    /* each event spawns followers while the sim is young */
+    if (processed < 6000 && heap_n < 500) {
+      struct Msg *a = (struct Msg*)malloc(sizeof(struct Msg));
+      a->time = now + 1 + (m->payload % 5);
+      a->kind = (m->kind + 1) % 4;
+      a->payload = (m->payload * 7 + 3) & 0xff;
+      q_push(a);
+      if (m->kind == 0) {
+        struct Msg *b = (struct Msg*)malloc(sizeof(struct Msg));
+        b->time = now + 2;
+        b->kind = 2;
+        b->payload = (m->payload + 11) & 0xff;
+        q_push(b);
+      }
+    }
+    free(m);
+  }
+  while (heap_n > 0) {
+    struct Msg *m = q_pop();
+    free(m);
+  }
+  free(topo);
+  return (checksum % 250) + 1;
+}
+|};
+}
+
+let all = [ perlbench; gcc; mcf; dealii; sjeng; libquantum; lbm; omnetpp ]

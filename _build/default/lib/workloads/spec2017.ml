@@ -1,0 +1,457 @@
+(* SPEC CPU2017-like kernels (Table V).
+
+   The paper reports only aggregate rows for CPU2017; the signature to
+   reproduce is the extreme divergence between ASan's average and
+   geometric-mean memory overheads (1260% vs 204%) -- driven by
+   allocation-churn-heavy benchmarks with small live sets, where the
+   quarantine dwarfs the program footprint -- while CECSan stays in the
+   low single digits. *)
+
+type t = Spec2006.t = {
+  w_name : string;
+  w_source : string;
+  w_expected : int;
+}
+
+let perlbench_s = {
+  w_name = "600.perlbench_s";
+  w_expected = 85;
+  w_source = {|
+/* glob-style pattern matcher over generated subject strings, with the
+   per-match scratch allocations the perl interpreter is famous for */
+static int match_here(char *pat, char *text);
+
+static int match_star(char c, char *pat, char *text) {
+  int i = 0;
+  while (1) {
+    if (match_here(pat, text + i)) return 1;
+    if (text[i] == 0) return 0;
+    if (c != '?' && text[i] != c) return 0;
+    i++;
+  }
+}
+
+static int match_here(char *pat, char *text) {
+  if (pat[0] == 0) return 1;
+  if (pat[1] == '*') return match_star(pat[0], pat + 2, text);
+  if (pat[0] == 0 && text[0] == 0) return 1;
+  if (text[0] != 0 && (pat[0] == '?' || pat[0] == text[0]))
+    return match_here(pat + 1, text + 1);
+  return 0;
+}
+
+int main() {
+  char *corpus = (char*)malloc(524288);
+  for (long i = 0; i < 524288; i += 4096) corpus[i] = 'c';
+  char subject[64];
+  int hits = 0;
+  for (int round = 0; round < 500; round++) {
+    /* subject: "abcabc...<d>" */
+    int len = 8 + round % 20;
+    for (int i = 0; i < len; i++) subject[i] = (char)('a' + (i + round) % 3);
+    subject[len] = 0;
+    char *pat = (char*)malloc(96);
+    strcpy(pat, "a*b?c*");
+    char *scratch = (char*)malloc(192);
+    strcpy(scratch, subject);
+    hits += match_here(pat, scratch);
+    free(scratch);
+    free(pat);
+  }
+  free(corpus);
+  return (hits % 250) + 1;
+}
+|};
+}
+
+let gcc_s = {
+  w_name = "602.gcc_s";
+  w_expected = 3;
+  w_source = {|
+/* AST-building constant folder: one heap node per operator *.
+   Churny like a compiler's front end */
+struct AstNode {
+  int op;    /* 0 leaf, '+', '*' */
+  int value;
+  struct AstNode *l;
+  struct AstNode *r;
+};
+
+static struct AstNode *leaf(int v) {
+  struct AstNode *n = (struct AstNode*)malloc(sizeof(struct AstNode));
+  n->op = 0;
+  n->value = v;
+  n->l = NULL;
+  n->r = NULL;
+  return n;
+}
+
+static struct AstNode *node(int op, struct AstNode *l, struct AstNode *r) {
+  struct AstNode *n = (struct AstNode*)malloc(sizeof(struct AstNode));
+  n->op = op;
+  n->value = 0;
+  n->l = l;
+  n->r = r;
+  return n;
+}
+
+static int fold(struct AstNode *n) {
+  if (n->op == 0) return n->value;
+  int a = fold(n->l);
+  int b = fold(n->r);
+  if (n->op == '+') return (a + b) & 0xffff;
+  return (a * b) & 0xffff;
+}
+
+static void burn(struct AstNode *n) {
+  if (n->l != NULL) burn(n->l);
+  if (n->r != NULL) burn(n->r);
+  free(n);
+}
+
+int main() {
+  char *unit = (char*)malloc(393216);
+  for (long i = 0; i < 393216; i += 4096) unit[i] = 'U';
+  int acc = 0;
+  for (int fn = 0; fn < 300; fn++) {
+    /* ((a+b)*(c+d)) + (e*f) with round-dependent leaves */
+    struct AstNode *t =
+        node('+',
+             node('*',
+                  node('+', leaf(fn % 9), leaf((fn / 2) % 9)),
+                  node('+', leaf((fn / 3) % 9), leaf(fn % 5))),
+             node('*', leaf(1 + fn % 4), leaf(2 + fn % 6)));
+    acc = (acc + fold(t)) & 0xffffff;
+    burn(t);
+  }
+  free(unit);
+  return (acc % 250) + 1;
+}
+|};
+}
+
+let mcf_s = {
+  w_name = "605.mcf_s";
+  w_expected = 47;
+  w_source = {|
+/* bigger relaxation network than 429.mcf */
+struct Node17 { long dist; int head; };
+struct Arc17 { int to; long cost; int next; };
+
+int main() {
+  int n = 8192;
+  int m = 5 * 8192;
+  struct Node17 *nodes = (struct Node17*)malloc(n * sizeof(struct Node17));
+  struct Arc17 *arcs = (struct Arc17*)malloc(m * sizeof(struct Arc17));
+  for (int i = 0; i < n; i++) {
+    nodes[i].dist = 1 << 30;
+    nodes[i].head = -1;
+  }
+  int seed = 98765;
+  for (int a = 0; a < m; a++) {
+    seed = (seed * 1103515245 + 12345) & 0x7fffffff;
+    int from = a % n;
+    arcs[a].to = seed % n;
+    arcs[a].cost = (seed >> 9) % 512 + 1;
+    arcs[a].next = nodes[from].head;
+    nodes[from].head = a;
+  }
+  nodes[0].dist = 0;
+  for (int sweep = 0; sweep < 8; sweep++) {
+    int changed = 0;
+    for (int u = 0; u < n; u++) {
+      long du = nodes[u].dist;
+      if (du >= (1 << 30)) continue;
+      int a = nodes[u].head;
+      while (a != -1) {
+        long nd = du + arcs[a].cost;
+        if (nd < nodes[arcs[a].to].dist) {
+          nodes[arcs[a].to].dist = nd;
+          changed++;
+        }
+        a = arcs[a].next;
+      }
+    }
+    if (changed == 0) break;
+  }
+  long sum = 0;
+  for (int i = 0; i < n; i += 3) {
+    if (nodes[i].dist < (1 << 30)) sum += nodes[i].dist;
+  }
+  free(nodes);
+  free(arcs);
+  return (int)(sum % 250) + 1;
+}
+|};
+}
+
+let lbm_s = {
+  w_name = "619.lbm_s";
+  w_expected = 60;
+  w_source = {|
+/* three-field stencil variant *.
+   streaming-bound like 619.lbm_s */
+int main() {
+  int w = 56;
+  int h = 56;
+  long *a = (long*)malloc(w * h * sizeof(long));
+  long *b = (long*)malloc(w * h * sizeof(long));
+  long *mask = (long*)malloc(w * h * sizeof(long));
+  for (int i = 0; i < w * h; i++) {
+    a[i] = ((i * 37) % 251) << 8;
+    mask[i] = (i % 13 == 0) ? 0 : 1;
+  }
+  for (int step = 0; step < 50; step++) {
+    for (int y = 1; y < h - 1; y++) {
+      for (int x = 1; x < w - 1; x++) {
+        int i = y * w + x;
+        long v = a[i]
+          + ((a[i - 1] + a[i + 1] + a[i - w] + a[i + w] - 4 * a[i]) >> 2);
+        b[i] = v * mask[i];
+      }
+    }
+    long *t = a; a = b; b = t;
+  }
+  long cs = 0;
+  for (int i = 0; i < w * h; i += 11) cs += a[i] >> 7;
+  free(a);
+  free(b);
+  free(mask);
+  return (int)(cs % 250) + 1;
+}
+|};
+}
+
+let omnetpp_s = {
+  w_name = "620.omnetpp_s";
+  w_expected = 80;
+  w_source = {|
+/* EXTREME small-object churn on a tiny live set: the benchmark that
+   blows up quarantine-based memory accounting (the paper's 1260%
+   average) */
+struct Evt { long t; int k; char data[40]; };
+
+struct Evt *ring[64];
+int ring_n;
+
+int main() {
+  char *config = (char*)malloc(24576);
+  for (long i = 0; i < 24576; i += 4096) config[i] = 'c';
+  ring_n = 0;
+  long now = 0;
+  int cs = 0;
+  for (int i = 0; i < 16; i++) {
+    struct Evt *e = (struct Evt*)malloc(sizeof(struct Evt));
+    e->t = i;
+    e->k = i % 3;
+    e->data[0] = 'd';
+    ring[ring_n] = e;
+    ring_n++;
+  }
+  for (int step = 0; step < 20000; step++) {
+    /* pop the oldest */
+    struct Evt *e = ring[0];
+    for (int i = 1; i < ring_n; i++) ring[i - 1] = ring[i];
+    ring_n--;
+    now = e->t;
+    cs = (cs + e->k + e->data[0]) & 0xffff;
+    /* push a replacement: constant churn, constant live set */
+    struct Evt *f = (struct Evt*)malloc(sizeof(struct Evt));
+    f->t = now + 1 + (e->k * 2);
+    f->k = (e->k + 1) % 3;
+    f->data[0] = (char)('a' + step % 26);
+    ring[ring_n] = f;
+    ring_n++;
+    free(e);
+  }
+  while (ring_n > 0) {
+    ring_n--;
+    free(ring[ring_n]);
+  }
+  free(config);
+  return (cs % 250) + 1;
+}
+|};
+}
+
+let xalancbmk_s = {
+  w_name = "623.xalancbmk_s";
+  w_expected = 101;
+  w_source = {|
+/* XML-ish: parse nested tags into a heap tree, walk it, free it */
+struct XmlNode {
+  char tag[16];
+  int nchildren;
+  struct XmlNode *children[8];
+};
+
+char doc[256];
+int pos;
+
+static struct XmlNode *parse_node(int depth) {
+  struct XmlNode *n = (struct XmlNode*)malloc(sizeof(struct XmlNode));
+  n->nchildren = 0;
+  /* read "<x>" */
+  int t = 0;
+  if (doc[pos] == '<') {
+    pos++;
+    while (doc[pos] != '>' && doc[pos] != 0 && t < 15) {
+      n->tag[t] = doc[pos];
+      t++;
+      pos++;
+    }
+    if (doc[pos] == '>') pos++;
+  }
+  n->tag[t] = 0;
+  while (depth < 6 && doc[pos] == '<' && doc[pos + 1] != '/'
+         && n->nchildren < 8) {
+    n->children[n->nchildren] = parse_node(depth + 1);
+    n->nchildren++;
+  }
+  /* read "</x>" */
+  if (doc[pos] == '<' && doc[pos + 1] == '/') {
+    while (doc[pos] != '>' && doc[pos] != 0) pos++;
+    if (doc[pos] == '>') pos++;
+  }
+  return n;
+}
+
+static int walk(struct XmlNode *n) {
+  int s = (int)strlen(n->tag);
+  for (int i = 0; i < n->nchildren; i++) s += walk(n->children[i]);
+  return s;
+}
+
+static void drop(struct XmlNode *n) {
+  for (int i = 0; i < n->nchildren; i++) drop(n->children[i]);
+  free(n);
+}
+
+int main() {
+  char *stylesheet = (char*)malloc(262144);
+  for (long i = 0; i < 262144; i += 4096) stylesheet[i] = 's';
+  int total = 0;
+  for (int round = 0; round < 400; round++) {
+    strcpy(doc, "<root><a><b></b><c></c></a><d><e></e></d></root>");
+    /* vary one tag name per round */
+    doc[6] = (char)('a' + round % 26);
+    pos = 0;
+    struct XmlNode *tree = parse_node(0);
+    total = (total + walk(tree)) & 0xffff;
+    drop(tree);
+  }
+  free(stylesheet);
+  return (total % 250) + 1;
+}
+|};
+}
+
+let deepsjeng_s = {
+  w_name = "631.deepsjeng_s";
+  w_expected = 16;
+  w_source = {|
+/* deeper negamax with a history heuristic table */
+int history[4096];
+char grid[36];
+/* opening database: load-time resident */
+char opening_db[262144];
+
+static int eval17() {
+  int s = 0;
+  for (int i = 0; i < 36; i++) {
+    if (grid[i] == 1) s += 3 + (i % 5);
+    else if (grid[i] == 2) s -= 3 + (i % 5);
+  }
+  return s;
+}
+
+static int search(int depth, int alpha, int beta, int side) {
+  if (depth == 0) {
+    if (side == 1) return eval17();
+    return -eval17();
+  }
+  int best = -100000;
+  for (int m = 0; m < 36; m++) {
+    if (grid[m] != 0) continue;
+    grid[m] = (char)side;
+    int v = -search(depth - 1, -beta, -alpha, 3 - side);
+    grid[m] = 0;
+    history[(depth * 36 + m) & 4095] += v > best;
+    if (v > best) best = v;
+    if (best > alpha) alpha = best;
+    if (alpha >= beta) break;
+  }
+  if (best == -100000) {
+    if (side == 1) return eval17();
+    return -eval17();
+  }
+  return best;
+}
+
+int main() {
+  int total = 0;
+  for (int game = 0; game < 3; game++) {
+    for (int i = 0; i < 36; i++) grid[i] = 0;
+    grid[(game * 5) % 36] = 1;
+    grid[(game * 17 + 2) % 36] = 2;
+    total += search(3, -100000, 100000, 1);
+  }
+  int hsum = opening_db[77];
+  for (int i = 0; i < 4096; i += 64) hsum += history[i];
+  if (total < 0) total = -total;
+  return ((total + hsum) % 250) + 1;
+}
+|};
+}
+
+let x264_s = {
+  w_name = "625.x264_s";
+  w_expected = 9;
+  w_source = {|
+/* SAD-based motion search over two synthetic frames */
+int main() {
+  int w = 128;
+  int h = 96;
+  char *lookahead = (char*)malloc(131072);
+  for (long i = 0; i < 131072; i += 4096) lookahead[i] = 'l';
+  char *cur = (char*)malloc(w * h);
+  char *ref = (char*)malloc(w * h);
+  for (int i = 0; i < w * h; i++) {
+    cur[i] = (char)((i * 7 + (i / w) * 3) % 97);
+    ref[i] = (char)((i * 7 + (i / w) * 3 + (i % 11 == 0)) % 97);
+  }
+  long total_sad = 0;
+  /* 16x16 blocks, +-4 search window */
+  for (int by = 0; by + 16 <= h; by += 16) {
+    for (int bx = 0; bx + 16 <= w; bx += 16) {
+      long best = 1 << 30;
+      for (int dy = -4; dy <= 4; dy += 2) {
+        for (int dx = -4; dx <= 4; dx += 2) {
+          int oy = by + dy;
+          int ox = bx + dx;
+          if (oy < 0 || ox < 0 || oy + 16 > h || ox + 16 > w) continue;
+          long sad = 0;
+          for (int y = 0; y < 16; y++) {
+            for (int x = 0; x < 16; x++) {
+              int d = cur[(by + y) * w + bx + x] - ref[(oy + y) * w + ox + x];
+              if (d < 0) d = -d;
+              sad += d;
+            }
+          }
+          if (sad < best) best = sad;
+        }
+      }
+      total_sad += best;
+    }
+  }
+  free(cur);
+  free(ref);
+  free(lookahead);
+  return (int)(total_sad % 250) + 1;
+}
+|};
+}
+
+let all =
+  [ perlbench_s; gcc_s; mcf_s; lbm_s; omnetpp_s; xalancbmk_s; deepsjeng_s;
+    x264_s ]

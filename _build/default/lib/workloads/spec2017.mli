@@ -1,0 +1,20 @@
+(** SPEC CPU2017-like kernels (Table V).  The signature to reproduce is
+    ASan's average-vs-geomean memory divergence, driven by tiny-live-set
+    churn benchmarks; CECSan stays in low single digits. *)
+
+type t = Spec2006.t = {
+  w_name : string;
+  w_source : string;
+  w_expected : int;
+}
+
+val perlbench_s : t
+val gcc_s : t
+val mcf_s : t
+val lbm_s : t
+val omnetpp_s : t   (* the quarantine-blowup extreme *)
+val xalancbmk_s : t
+val deepsjeng_s : t
+val x264_s : t
+
+val all : t list

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Baselines Cecsan List Sanitizer Tir Vm

@@ -1,0 +1,1 @@
+test/test_cecsan.ml: Alcotest Array Cecsan Hashtbl List QCheck QCheck_alcotest Sanitizer Vm

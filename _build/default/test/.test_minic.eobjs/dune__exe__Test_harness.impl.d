@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Buffer Format Harness Juliet List QCheck QCheck_alcotest Str

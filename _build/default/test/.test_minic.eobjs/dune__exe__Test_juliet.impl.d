@@ -1,0 +1,1 @@
+test/test_juliet.ml: Alcotest Baselines Cecsan Juliet Lazy List Sanitizer String Vm

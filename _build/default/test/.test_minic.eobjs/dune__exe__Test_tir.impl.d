@@ -1,0 +1,1 @@
+test/test_tir.ml: Alcotest Array Baselines Cecsan List Option Printf QCheck QCheck_alcotest Sanitizer String Tir Vm

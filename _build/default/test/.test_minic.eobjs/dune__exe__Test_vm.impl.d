@@ -1,0 +1,1 @@
+test/test_vm.ml: Alcotest List Minic Option QCheck QCheck_alcotest Sanitizer String Tir Vm

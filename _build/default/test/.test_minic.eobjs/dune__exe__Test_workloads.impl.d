@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Baselines Cecsan Harness List Printf Sanitizer String Vm Workloads

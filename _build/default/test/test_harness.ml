@@ -1,0 +1,114 @@
+(* Harness-level tests: statistics, table rendering, figure demos, and
+   the CLI-visible behavior of the drivers. *)
+
+let stats_tests =
+  [
+    Alcotest.test_case "average" `Quick (fun () ->
+        Alcotest.(check (float 1e-9)) "mean" 20.0
+          (Harness.Stats.average [ 10.0; 20.0; 30.0 ]);
+        Alcotest.(check (float 1e-9)) "empty" 0.0
+          (Harness.Stats.average []));
+    Alcotest.test_case "geomean of equal overheads is that overhead" `Quick
+      (fun () ->
+         Alcotest.(check (float 1e-6)) "geo" 50.0
+           (Harness.Stats.geomean_overhead [ 50.0; 50.0; 50.0 ]));
+    Alcotest.test_case "geomean below average for skewed data" `Quick
+      (fun () ->
+         let xs = [ 10.0; 10.0; 10.0; 2000.0 ] in
+         Alcotest.(check bool) "geo < avg" true
+           (Harness.Stats.geomean_overhead xs < Harness.Stats.average xs));
+    Alcotest.test_case "percent_overhead" `Quick (fun () ->
+        Alcotest.(check (float 1e-9)) "2x = 100%" 100.0
+          (Harness.Stats.percent_overhead ~base:100 ~measured:200);
+        Alcotest.(check (float 1e-9)) "equal = 0%" 0.0
+          (Harness.Stats.percent_overhead ~base:100 ~measured:100));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"geomean <= average (AM-GM)" ~count:200
+         QCheck.(list_of_size (QCheck.Gen.int_range 1 10)
+                   (QCheck.float_range 0.0 500.0))
+         (fun xs ->
+            Harness.Stats.geomean_overhead xs
+            <= Harness.Stats.average xs +. 1e-6));
+  ]
+
+let rendering_tests =
+  [
+    Alcotest.test_case "Table I renders the suite and the paper counts"
+      `Quick
+      (fun () ->
+         let buf = Buffer.create 256 in
+         let fmt = Format.formatter_of_buffer buf in
+         Harness.Tables.table1 fmt ();
+         Format.pp_print_flush fmt ();
+         let s = Buffer.contents buf in
+         List.iter
+           (fun needle ->
+              if
+                not
+                  (try
+                     ignore (Str.search_forward (Str.regexp_string needle) s 0);
+                     true
+                   with Not_found -> false)
+              then Alcotest.failf "missing %S in Table I output" needle)
+           [ "CWE121"; "CWE761"; "985"; "15752" ]);
+    Alcotest.test_case "Figure 3 demo reports only for CECSan" `Quick
+      (fun () ->
+         let buf = Buffer.create 256 in
+         let fmt = Format.formatter_of_buffer buf in
+         Harness.Figures.fig3 fmt ();
+         Format.pp_print_flush fmt ();
+         let s = Buffer.contents buf in
+         let count_sub needle =
+           let re = Str.regexp_string needle in
+           let rec go i acc =
+             match Str.search_forward re s i with
+             | j -> go (j + 1) (acc + 1)
+             | exception Not_found -> acc
+           in
+           go 0 0
+         in
+         Alcotest.(check int) "one BUG line" 1 (count_sub "BUG");
+         Alcotest.(check int) "three clean exits" 3 (count_sub "exit 0"));
+    Alcotest.test_case "Figure 4 demo keeps detection" `Quick (fun () ->
+        let buf = Buffer.create 256 in
+        let fmt = Format.formatter_of_buffer buf in
+        Harness.Figures.fig4 fmt ();
+        Format.pp_print_flush fmt ();
+        let s = Buffer.contents buf in
+        (try
+           ignore
+             (Str.search_forward (Str.regexp_string "safety preserved") s 0)
+         with Not_found -> Alcotest.fail "missing safety line");
+        try ignore (Str.search_forward (Str.regexp_string "BUG") s 0)
+        with Not_found -> Alcotest.fail "optimized build must still detect");
+  ]
+
+(* a small sampled Table II: the full run lives in bench/main.exe; here
+   we validate the machinery end to end on one CWE *)
+let sampled_eval_tests =
+  [
+    Alcotest.test_case "sampled Table II round trip (CWE415)" `Quick
+      (fun () ->
+         let cases = Juliet.Suite.cases_for Juliet.Case.C415 in
+         let d = Harness.Tables.run_table2 ~cases () in
+         let buf = Buffer.create 256 in
+         let fmt = Format.formatter_of_buffer buf in
+         Harness.Tables.table2 fmt d;
+         Format.pp_print_flush fmt ();
+         List.iter
+           (fun tr ->
+              match Juliet.Runner.rate tr Juliet.Case.C415 with
+              | Some r ->
+                Alcotest.(check (float 0.01))
+                  (tr.Juliet.Runner.tool ^ " on CWE415") 100.0 r
+              | None -> ())
+           d.Harness.Tables.t2_tools);
+  ]
+
+let () =
+  Alcotest.run "harness"
+    [
+      "stats", stats_tests;
+      "rendering", rendering_tests;
+      "sampled-eval", sampled_eval_tests;
+    ]

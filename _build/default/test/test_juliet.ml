@@ -1,0 +1,232 @@
+(* Tests for the Juliet-style generator and the Table II evaluation
+   invariants.  These pin the paper's headline security claims:
+   CECSan detects 100% with zero false positives, the baselines miss
+   exactly their structural blind spots, and the per-tool evaluated
+   subsets follow the exclusion rules. *)
+
+let cases = lazy (Juliet.Suite.all ())
+
+let cecsan_results =
+  lazy (Juliet.Runner.run_tool (Cecsan.sanitizer ()) (Lazy.force cases))
+
+let generator_tests =
+  [
+    Alcotest.test_case "total case count matches Table I scale" `Quick
+      (fun () ->
+         Alcotest.(check int) "total" 985
+           (List.length (Lazy.force cases)));
+    Alcotest.test_case "per-CWE counts match the targets" `Quick (fun () ->
+        List.iter
+          (fun (cwe, target) ->
+             let n =
+               List.length
+                 (List.filter
+                    (fun (c : Juliet.Case.t) -> c.cwe = cwe)
+                    (Lazy.force cases))
+             in
+             Alcotest.(check int) (Juliet.Case.cwe_name cwe) target n)
+          Juliet.Suite.targets);
+    Alcotest.test_case "case ids are unique" `Quick (fun () ->
+        let ids =
+          List.map (fun (c : Juliet.Case.t) -> c.case_id)
+            (Lazy.force cases)
+        in
+        Alcotest.(check int) "no duplicates"
+          (List.length ids)
+          (List.length (List.sort_uniq String.compare ids)));
+    Alcotest.test_case "generation is deterministic" `Quick (fun () ->
+        let a = Juliet.Suite.all () in
+        let b = Juliet.Suite.all () in
+        List.iter2
+          (fun (x : Juliet.Case.t) (y : Juliet.Case.t) ->
+             assert (String.equal x.case_id y.case_id);
+             assert (String.equal x.bad_src y.bad_src);
+             assert (String.equal x.good_src y.good_src))
+          a b);
+    Alcotest.test_case "good and bad versions differ" `Quick (fun () ->
+        List.iter
+          (fun (c : Juliet.Case.t) ->
+             if String.equal c.good_src c.bad_src then
+               Alcotest.failf "case %s: good = bad" c.case_id)
+          (Lazy.force cases));
+    Alcotest.test_case "every good version exits cleanly uninstrumented"
+      `Slow
+      (fun () ->
+         List.iter
+           (fun (c : Juliet.Case.t) ->
+              match
+                (Sanitizer.Driver.run Sanitizer.Spec.none ~lines:c.lines
+                   ~packets:c.packets ~budget:50_000_000 c.good_src)
+                  .Sanitizer.Driver.outcome
+              with
+              | Vm.Machine.Exit 0 -> ()
+              | o ->
+                Alcotest.failf "good %s: %a" c.case_id
+                  Vm.Machine.pp_outcome o)
+           (Lazy.force cases));
+    Alcotest.test_case "input-flow cases carry server data" `Quick
+      (fun () ->
+         List.iter
+           (fun (c : Juliet.Case.t) ->
+              (match c.flow with
+               | Juliet.Case.Input_fgets ->
+                 if c.lines = [] then
+                   Alcotest.failf "%s: fgets flow without lines" c.case_id
+               | Juliet.Case.Input_socket ->
+                 if c.packets = [] then
+                   Alcotest.failf "%s: socket flow without packets"
+                     c.case_id
+               | _ -> ()))
+           (Lazy.force cases));
+    Alcotest.test_case "every flow variant is exercised" `Quick (fun () ->
+        List.iter
+          (fun flow ->
+             if
+               not
+                 (List.exists
+                    (fun (c : Juliet.Case.t) -> c.flow = flow)
+                    (Lazy.force cases))
+             then
+               Alcotest.failf "flow %s unused" (Juliet.Case.flow_name flow))
+          Juliet.Case.all_flows);
+  ]
+
+let cecsan_tests =
+  [
+    Alcotest.test_case "CECSan detects 100% of every CWE" `Slow (fun () ->
+        let tr = Lazy.force cecsan_results in
+        List.iter
+          (fun (cwe, _) ->
+             match Juliet.Runner.rate tr cwe with
+             | Some r ->
+               if r < 100.0 then
+                 Alcotest.failf "%s: %.1f%%" (Juliet.Case.cwe_name cwe) r
+             | None -> Alcotest.failf "no cases for %s"
+                         (Juliet.Case.cwe_name cwe))
+          Juliet.Suite.targets);
+    Alcotest.test_case "CECSan has zero false positives" `Slow (fun () ->
+        Alcotest.(check int) "FPs" 0
+          (Juliet.Runner.false_positives (Lazy.force cecsan_results)));
+    Alcotest.test_case "CECSan evaluates the full suite" `Slow (fun () ->
+        Alcotest.(check int) "evaluated" 985
+          (Lazy.force cecsan_results).Juliet.Runner.evaluated);
+  ]
+
+let baseline_tests =
+  [
+    Alcotest.test_case "subset rules: PACMem skips socket cases" `Quick
+      (fun () ->
+         List.iter
+           (fun (c : Juliet.Case.t) ->
+              let excluded = Juliet.Runner.excluded_by "PACMem" c in
+              Alcotest.(check bool) c.case_id
+                (Juliet.Case.needs_socket c.flow)
+                excluded)
+           (Lazy.force cases));
+    Alcotest.test_case "subset rules: HWASan/CryptSan skip all input cases"
+      `Quick
+      (fun () ->
+         List.iter
+           (fun (c : Juliet.Case.t) ->
+              let expect =
+                Juliet.Case.needs_socket c.flow
+                || Juliet.Case.needs_fgets c.flow
+              in
+              Alcotest.(check bool) c.case_id expect
+                (Juliet.Runner.excluded_by "HWASan" c);
+              Alcotest.(check bool) c.case_id expect
+                (Juliet.Runner.excluded_by "CryptSan" c))
+           (Lazy.force cases));
+    Alcotest.test_case "ASan misses every sub-object case" `Slow (fun () ->
+        let tr =
+          Juliet.Runner.run_tool (Baselines.Asan.sanitizer ())
+            (List.filter
+               (fun (c : Juliet.Case.t) -> c.props.Juliet.Case.subobject)
+               (Lazy.force cases))
+        in
+        List.iter
+          (fun (r : Juliet.Runner.case_result) ->
+             match r.verdict with
+             | Juliet.Runner.Missed | Juliet.Runner.Excluded -> ()
+             | Juliet.Runner.Detected ->
+               Alcotest.failf "ASan detected sub-object case %s"
+                 r.case.Juliet.Case.case_id)
+          tr.results);
+    Alcotest.test_case "HWASan detects no invalid frees (CWE761 = 0%)"
+      `Slow
+      (fun () ->
+         let tr =
+           Juliet.Runner.run_tool
+             (Baselines.Hwasan.sanitizer ())
+             (List.filter
+                (fun (c : Juliet.Case.t) -> c.cwe = Juliet.Case.C761)
+                (Lazy.force cases))
+         in
+         match Juliet.Runner.rate tr Juliet.Case.C761 with
+         | Some r -> Alcotest.(check (float 0.01)) "rate" 0.0 r
+         | None -> Alcotest.fail "no CWE761 cases evaluated");
+    Alcotest.test_case "every tool is perfect on double frees (CWE415)"
+      `Slow
+      (fun () ->
+         let cases415 =
+           List.filter
+             (fun (c : Juliet.Case.t) -> c.cwe = Juliet.Case.C415)
+             (Lazy.force cases)
+         in
+         List.iter
+           (fun san ->
+              let tr = Juliet.Runner.run_tool san cases415 in
+              match Juliet.Runner.rate tr Juliet.Case.C415 with
+              | Some r ->
+                if r < 100.0 then
+                  Alcotest.failf "%s: %.1f%% on CWE415"
+                    san.Sanitizer.Spec.name r
+              | None -> () (* fully excluded: fine *))
+           (Juliet.Runner.lineup ()));
+    Alcotest.test_case "wide-char cases separate CECSan from the pack"
+      `Slow
+      (fun () ->
+         let wide =
+           List.filter
+             (fun (c : Juliet.Case.t) ->
+                c.props.Juliet.Case.uses_wide
+                && (c.cwe = Juliet.Case.C121 || c.cwe = Juliet.Case.C122))
+             (Lazy.force cases)
+         in
+         Alcotest.(check bool) "suite has wide cases" true (wide <> []);
+         let rate san =
+           let tr = Juliet.Runner.run_tool san wide in
+           let det =
+             List.length
+               (List.filter
+                  (fun (r : Juliet.Runner.case_result) ->
+                     r.verdict = Juliet.Runner.Detected)
+                  tr.results)
+           in
+           det
+         in
+         Alcotest.(check int) "CECSan catches all wide cases"
+           (List.length wide)
+           (rate (Cecsan.sanitizer ()));
+         Alcotest.(check int) "ASan catches none" 0
+           (rate (Baselines.Asan.sanitizer ())));
+    Alcotest.test_case "SoftBound excludes wide cases as compile errors"
+      `Slow
+      (fun () ->
+         let tr =
+           Juliet.Runner.run_tool
+             (Baselines.Softbound_cets.sanitizer ())
+             (List.filter
+                (fun (c : Juliet.Case.t) -> c.props.Juliet.Case.uses_wide)
+                (Lazy.force cases))
+         in
+         Alcotest.(check int) "all excluded" 0 tr.evaluated);
+  ]
+
+let () =
+  Alcotest.run "juliet"
+    [
+      "generator", generator_tests;
+      "cecsan-claims", cecsan_tests;
+      "baseline-claims", baseline_tests;
+    ]

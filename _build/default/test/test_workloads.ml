@@ -1,0 +1,161 @@
+(* Tests for the SPEC-like kernels and the Linux-Flaw models:
+   correctness of every kernel under every sanitizer, the Table III
+   detection claims, and the shape invariants of Tables IV/V. *)
+
+let perf_sanitizers () =
+  [
+    Sanitizer.Spec.none;
+    Baselines.Asan.sanitizer ();
+    Baselines.Asan_minus.sanitizer ();
+    Cecsan.sanitizer ();
+    Baselines.Hwasan.sanitizer ();
+    Baselines.Pacmem.sanitizer ();
+  ]
+
+let kernel_correct (w : Workloads.Spec2006.t) =
+  Alcotest.test_case w.w_name `Slow (fun () ->
+      List.iter
+        (fun (san : Sanitizer.Spec.t) ->
+           match
+             (Sanitizer.Driver.run san ~budget:2_000_000_000 w.w_source)
+               .Sanitizer.Driver.outcome
+           with
+           | Vm.Machine.Exit c when c = w.w_expected -> ()
+           | o ->
+             Alcotest.failf "%s under %s: expected exit %d, got %a"
+               w.w_name san.Sanitizer.Spec.name w.w_expected
+               Vm.Machine.pp_outcome o)
+        (perf_sanitizers ()))
+
+let spec2006_tests = List.map kernel_correct Workloads.Spec2006.all
+let spec2017_tests = List.map kernel_correct Workloads.Spec2017.all
+
+let linux_flaw_tests =
+  List.map
+    (fun (m : Workloads.Linux_flaws.t) ->
+       Alcotest.test_case m.cve `Quick (fun () ->
+           let detected, clean =
+             Workloads.Linux_flaws.evaluate (Cecsan.sanitizer ()) m
+           in
+           Alcotest.(check bool) "bad input detected" true detected;
+           Alcotest.(check bool) "benign input clean" true clean))
+    Workloads.Linux_flaws.all
+  @ [
+      Alcotest.test_case "exactly the paper's 10 CVEs" `Quick (fun () ->
+          Alcotest.(check int) "count" 10
+            (List.length Workloads.Linux_flaws.all));
+      Alcotest.test_case "sub-object CVE needs narrowing" `Quick (fun () ->
+          (* CVE-2015-9101 overflows inside the Id3Tag allocation: the
+             object-granularity config misses it *)
+          let m =
+            List.find
+              (fun (m : Workloads.Linux_flaws.t) ->
+                 String.equal m.cve "CVE-2015-9101")
+              Workloads.Linux_flaws.all
+          in
+          let detected, _ =
+            Workloads.Linux_flaws.evaluate
+              (Cecsan.sanitizer ~config:Cecsan.Config.no_subobject ())
+              m
+          in
+          Alcotest.(check bool) "missed without sub-object" false detected);
+    ]
+
+let shape_tests =
+  [
+    Alcotest.test_case "Table IV shape invariants" `Slow (fun () ->
+        let rows = Harness.Overhead.measure Workloads.Spec2006.all in
+        List.iter
+          (fun (r : Harness.Overhead.row) ->
+             Alcotest.(check bool) (r.r_workload ^ " checksums") true
+               r.r_correct)
+          rows;
+        let (asan_rt, _), (asan_mem, _) =
+          Harness.Overhead.aggregates rows "ASan"
+        in
+        let (cec_rt, _), (cec_mem, _) =
+          Harness.Overhead.aggregates rows "CECSan"
+        in
+        let (am_rt, _), _ = Harness.Overhead.aggregates rows "ASan--" in
+        (* who wins, by what factor: the paper's qualitative claims *)
+        Alcotest.(check bool) "CECSan runtime above ASan's" true
+          (cec_rt > asan_rt);
+        Alcotest.(check bool) "CECSan runtime below 3x ASan's" true
+          (cec_rt < 3.0 *. asan_rt);
+        Alcotest.(check bool) "ASan-- no slower than ASan" true
+          (am_rt <= asan_rt +. 1.0);
+        Alcotest.(check bool) "CECSan memory under 10%" true
+          (cec_mem < 10.0);
+        Alcotest.(check bool) "ASan memory above 50%" true
+          (asan_mem > 50.0);
+        (* the perlbench anomaly: CECSan faster than ASan there *)
+        let perl = List.hd rows in
+        let g tool =
+          (List.find
+             (fun (m : Harness.Overhead.measurement) ->
+                String.equal m.m_tool tool)
+             perl.r_measurements)
+            .m_runtime_pct
+        in
+        Alcotest.(check string) "first row is perlbench" "400.perlbench"
+          perl.r_workload;
+        Alcotest.(check bool) "CECSan beats ASan on perlbench" true
+          (g "CECSan" < g "ASan"));
+    Alcotest.test_case "Table V shape invariants" `Slow (fun () ->
+        let rows = Harness.Overhead.measure Workloads.Spec2017.all in
+        List.iter
+          (fun (r : Harness.Overhead.row) ->
+             Alcotest.(check bool) (r.r_workload ^ " checksums") true
+               r.r_correct)
+          rows;
+        let _, (asan_mem_avg, asan_mem_geo) =
+          Harness.Overhead.aggregates rows "ASan"
+        in
+        let _, (cec_mem_avg, _) =
+          Harness.Overhead.aggregates rows "CECSan"
+        in
+        (* the 2017 signature: ASan's average memory explodes while the
+           geomean stays moderate; CECSan stays single-digit *)
+        Alcotest.(check bool) "ASan avg >> geomean" true
+          (asan_mem_avg > 3.0 *. asan_mem_geo);
+        Alcotest.(check bool) "ASan avg above 400%" true
+          (asan_mem_avg > 400.0);
+        Alcotest.(check bool) "CECSan avg below 10%" true
+          (cec_mem_avg < 10.0));
+    Alcotest.test_case "optimizations contribute (ablation order)" `Slow
+      (fun () ->
+         let avg config =
+           Harness.Stats.average
+             (List.map
+                (fun (w : Workloads.Spec2006.t) ->
+                   let base =
+                     Sanitizer.Driver.run Sanitizer.Spec.none
+                       ~budget:2_000_000_000 w.w_source
+                   in
+                   let r =
+                     Sanitizer.Driver.run
+                       (Cecsan.sanitizer ~config ())
+                       ~budget:2_000_000_000 w.w_source
+                   in
+                   Harness.Stats.percent_overhead
+                     ~base:base.Sanitizer.Driver.cycles
+                     ~measured:r.Sanitizer.Driver.cycles)
+                Workloads.Spec2006.all)
+         in
+         let full = avg Cecsan.Config.default in
+         let noopt = avg Cecsan.Config.no_opts in
+         Alcotest.(check bool)
+           (Printf.sprintf "no-opts (%.1f%%) slower than full (%.1f%%)"
+              noopt full)
+           true
+           (noopt > full +. 5.0));
+  ]
+
+let () =
+  Alcotest.run "workloads"
+    [
+      "spec2006", spec2006_tests;
+      "spec2017", spec2017_tests;
+      "linux-flaws", linux_flaw_tests;
+      "table-shapes", shape_tests;
+    ]
