@@ -7,6 +7,7 @@
      dune exec bench/main.exe -- --table N    -- one table (1-5)
      dune exec bench/main.exe -- --fig N      -- figure 3 or 4
      dune exec bench/main.exe -- --ablation   -- optimization ablation
+     dune exec bench/main.exe -- --faults     -- fault-injection table
      dune exec bench/main.exe -- --micro      -- bechamel microbenches
 *)
 
@@ -49,6 +50,11 @@ let run_fig4 () =
 let run_ablation () =
   section "Experiment: optimization ablation (section II.F)";
   Harness.Tables.ablation fmt Workloads.Spec2006.all
+
+let run_faults () =
+  section "Experiment: graceful degradation under injected faults";
+  let d = Harness.Faults.run () in
+  Harness.Faults.render fmt d
 
 (* --- bechamel microbenchmarks of the core data structures ----------------- *)
 
@@ -141,6 +147,7 @@ let () =
   | _, Some "4" -> run_fig4 ()
   | _ ->
     if has "--ablation" then run_ablation ()
+    else if has "--faults" then run_faults ()
     else if has "--micro" then microbenches ()
     else begin
       run_table1 ();
@@ -151,6 +158,7 @@ let () =
       run_fig3 ();
       run_fig4 ();
       run_ablation ();
+      run_faults ();
       microbenches ();
       Format.printf "@.All experiments completed.@."
     end

@@ -13,6 +13,8 @@ open Cmdliner
 
 let sanitizer_of_name = function
   | "cecsan" -> Ok (Cecsan.sanitizer ())
+  | "cecsan-chain" ->
+    Ok (Cecsan.sanitizer ~config:Cecsan.Config.with_chain ())
   | "cecsan-nosubobj" ->
     Ok (Cecsan.sanitizer ~config:Cecsan.Config.no_subobject ())
   | "cecsan-noopt" -> Ok (Cecsan.sanitizer ~config:Cecsan.Config.no_opts ())
@@ -39,8 +41,9 @@ let sanitizer =
        & opt sanitizer_conv (Cecsan.sanitizer ())
        & info [ "s"; "sanitizer" ] ~docv:"NAME"
            ~doc:
-             "Sanitizer: cecsan (default), cecsan-nosubobj, cecsan-noopt, \
-              asan, asan--, hwasan, softbound, pacmem, cryptsan, none.")
+             "Sanitizer: cecsan (default), cecsan-chain, cecsan-nosubobj, \
+              cecsan-noopt, asan, asan--, hwasan, softbound, pacmem, \
+              cryptsan, none.")
 
 let stdin_lines =
   Arg.(value & opt_all string []
@@ -71,14 +74,59 @@ let budget =
   Arg.(value & opt int 2_000_000_000
        & info [ "budget" ] ~docv:"CYCLES" ~doc:"Cycle budget for the run.")
 
+let recover =
+  Arg.(value & flag
+       & info [ "recover" ]
+           ~doc:"Keep running past failed checks: findings are recorded \
+                 (deduplicated, capped) and reported at exit instead of \
+                 halting the program.")
+
+let max_reports =
+  Arg.(value & opt (some int) None
+       & info [ "max-reports" ] ~docv:"N"
+           ~doc:"Cap on recorded findings under $(b,--recover) (default \
+                 64); further findings are counted as suppressed.  \
+                 Implies $(b,--recover).")
+
+let inject =
+  Arg.(value & opt_all string []
+       & info [ "inject" ] ~docv:"SPEC"
+           ~doc:"Inject a deterministic fault (repeatable): $(b,oom:N) \
+                 makes malloc return NULL after N allocations, \
+                 $(b,table:N) shrinks the metadata table to N entries, \
+                 $(b,tagflip:N) flips a tag bit on every N-th tagged \
+                 load.")
+
 let run_cmd (san : Sanitizer.Spec.t) src_file lines packets dump_ir stats
-    no_opt budget =
+    no_opt budget recover max_reports inject =
   let src =
     let ic = open_in_bin src_file in
     let n = in_channel_length ic in
     let s = really_input_string ic n in
     close_in ic;
     s
+  in
+  let policy =
+    if recover || max_reports <> None then
+      Vm.Report.Recover
+        { max_reports =
+            (match max_reports with
+             | Some n -> n
+             | None -> Vm.Report.default_max_reports) }
+    else Vm.Report.Halt
+  in
+  let fault =
+    let specs =
+      List.map
+        (fun s ->
+           match Vm.Fault.parse s with
+           | Ok spec -> spec
+           | Error m ->
+             Fmt.epr "--inject %s: %s@." s m;
+             exit 2)
+        inject
+    in
+    Vm.Fault.of_specs specs
   in
   match Sanitizer.Driver.build san ~optimize:(not no_opt) src with
   | exception Minic.Sema.Error (m, l) ->
@@ -96,16 +144,33 @@ let run_cmd (san : Sanitizer.Spec.t) src_file lines packets dump_ir stats
       print_string (Tir.Pp.module_to_string md);
       exit 0
     end;
-    let r = Sanitizer.Driver.run_module san ~lines ~packets ~budget md in
+    let r =
+      Sanitizer.Driver.run_module san ~lines ~packets ~budget ~policy ~fault
+        md
+    in
     print_string r.Sanitizer.Driver.output;
     if not (String.equal r.Sanitizer.Driver.output "") then print_newline ();
+    let print_stats c =
+      if stats then begin
+        Fmt.pr "[%s] exit %d, %d cycles, %d bytes resident@."
+          san.Sanitizer.Spec.name c r.Sanitizer.Driver.cycles
+          r.Sanitizer.Driver.resident;
+        List.iter (fun (k, v) -> Fmt.pr "[stat] %s = %d@." k v)
+          r.Sanitizer.Driver.telemetry
+      end
+    in
     (match r.Sanitizer.Driver.outcome with
      | Vm.Machine.Exit c ->
-       if stats then
-         Fmt.pr "[%s] exit %d, %d cycles, %d bytes resident@."
-           san.Sanitizer.Spec.name c r.Sanitizer.Driver.cycles
-           r.Sanitizer.Driver.resident;
+       print_stats c;
        exit (c land 0x7f)
+     | Vm.Machine.Completed_with_bugs { code; reports; suppressed } ->
+       List.iter (fun b -> Fmt.epr "==RECOVERED== %a@." Vm.Report.pp b)
+         reports;
+       Fmt.epr "==SUMMARY== %d finding(s) recorded, %d suppressed@."
+         (List.length reports) suppressed;
+       print_stats code;
+       (* recover mode preserves the program's own exit code *)
+       exit (code land 0x7f)
      | Vm.Machine.Bug b ->
        Fmt.epr "==ERROR== %a@." Vm.Report.pp b;
        exit 99
@@ -119,6 +184,7 @@ let cmd =
   Cmd.v
     (Cmd.info "cecsan_cli" ~version:"1.0" ~doc)
     Term.(const run_cmd $ sanitizer $ file $ stdin_lines $ packets
-          $ dump_ir $ stats $ no_opt $ budget)
+          $ dump_ir $ stats $ no_opt $ budget $ recover $ max_reports
+          $ inject)
 
 let () = exit (Cmd.eval cmd)

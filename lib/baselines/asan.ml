@@ -45,6 +45,9 @@ let chunk_total size = rz_left + align_up size 8 + rz_right size
 let asan_malloc rt (st : Vm.State.t) size =
   if size < 0 then
     Vm.Report.trap Vm.Report.Heap_corruption ~detail:"negative size";
+  (* the custom allocator bypasses Vm.Heap, so it probes the injector
+     itself to share the run's OOM budget *)
+  if Vm.Fault.should_oom st.Vm.State.fault then 0 else begin
   let total = chunk_total size in
   let chunk =
     match Hashtbl.find_opt rt.free_lists total with
@@ -69,16 +72,18 @@ let asan_malloc rt (st : Vm.State.t) size =
   (* malloc cost plus redzone poisoning, proportional to redzone bytes *)
   Vm.State.tick st (Vm.Cost.malloc size + ((total - size) / 8) + 55);
   payload
+  end
 
 let asan_free rt (st : Vm.State.t) payload =
   if payload = 0 then ()
   else if Hashtbl.mem rt.freed payload then
-    Vm.Report.bug ~by:name ~addr:payload Vm.Report.Double_free
+    (* a recovering run treats the bad free as a no-op *)
+    Vm.State.report st ~by:name ~addr:payload Vm.Report.Double_free
       ~detail:"attempting double-free"
   else
     match Hashtbl.find_opt rt.blocks payload with
     | None ->
-      Vm.Report.bug ~by:name ~addr:payload Vm.Report.Invalid_free
+      Vm.State.report st ~by:name ~addr:payload Vm.Report.Invalid_free
         ~detail:"attempting free on address which was not malloc()-ed"
     | Some size ->
       Hashtbl.remove rt.blocks payload;
@@ -107,12 +112,15 @@ let asan_free rt (st : Vm.State.t) payload =
         l := (q - rz_left) :: !l
       done
 
-let usable_size rt (_st : Vm.State.t) payload =
+let usable_size rt (st : Vm.State.t) payload =
   (* realloc of a quarantined block is a detected double-free/UAF *)
-  if Hashtbl.mem rt.freed payload then
-    Vm.Report.bug ~by:name ~addr:payload Vm.Report.Double_free
+  if Hashtbl.mem rt.freed payload then begin
+    Vm.State.report st ~by:name ~addr:payload Vm.Report.Double_free
       ~detail:"attempting realloc on freed memory";
-  Hashtbl.find_opt rt.blocks payload
+    (* recovered: hand realloc an empty old block *)
+    Some 0
+  end
+  else Hashtbl.find_opt rt.blocks payload
 
 (* --- checks ----------------------------------------------------------------- *)
 
@@ -124,7 +132,7 @@ let check rt (st : Vm.State.t) ~write addr size =
     let code =
       if code <> 0 then code else Shadow.get st ((addr lor 7) + 1)
     in
-    Vm.Report.bug ~by:name ~addr
+    Vm.State.report st ~by:name ~addr
       ~detail:(Printf.sprintf "shadow byte 0x%02x, %d-byte access" code size)
       (Shadow.classify code ~write)
   end
@@ -137,7 +145,7 @@ let check_region rt (st : Vm.State.t) ~write addr len =
     | None -> ()
     | Some bad ->
       let code = Shadow.get st bad in
-      Vm.Report.bug ~by:name ~addr:bad
+      Vm.State.report st ~by:name ~addr:bad
         ~detail:(Printf.sprintf "region of %d bytes" len)
         (Shadow.classify code ~write)
 
@@ -390,4 +398,5 @@ let sanitizer ?quarantine_cap () : Sanitizer.Spec.t =
     Sanitizer.Spec.name;
     instrument;
     fresh_runtime = (fun () -> fresh_runtime ?quarantine_cap ());
+    default_policy = Vm.Report.Halt;
   }

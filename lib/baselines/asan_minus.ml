@@ -55,4 +55,5 @@ let sanitizer () : Sanitizer.Spec.t =
     Sanitizer.Spec.name;
     instrument;
     fresh_runtime = (fun () -> Asan.fresh_runtime ());
+    default_policy = Vm.Report.Halt;
   }

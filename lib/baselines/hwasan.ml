@@ -54,22 +54,26 @@ let hw_malloc rt (st : Vm.State.t) size =
   (* sizes round to the granule so whole granules carry one tag *)
   let rounded = (max size 1 + granule - 1) / granule * granule in
   let p = Vm.Heap.malloc st rounded in
-  let t = random_tag rt st in
-  set_granules st p rounded t;
-  Hashtbl.replace rt.blocks p rounded;
-  Vm.State.tick st (10 + (rounded / granule));
-  with_tag p t
+  if p = 0 then 0  (* injected OOM: NULL carries no tag *)
+  else begin
+    let t = random_tag rt st in
+    set_granules st p rounded t;
+    Hashtbl.replace rt.blocks p rounded;
+    Vm.State.tick st (10 + (rounded / granule));
+    with_tag p t
+  end
 
 let hw_free rt (st : Vm.State.t) ptr =
   if ptr = 0 then ()
   else begin
     let raw = strip ptr in
     let t = tag_of ptr in
-    (* the only validation: pointer tag vs memory tag *)
+    (* the only validation: pointer tag vs memory tag; a recovering
+       run treats the mismatched free as a no-op *)
     if t <> 0 && get_tag st raw <> t then
-      Vm.Report.bug ~by:name ~addr:raw Vm.Report.Use_after_free
-        ~detail:"free(): pointer tag does not match memory tag";
-    (match Hashtbl.find_opt rt.blocks raw with
+      Vm.State.report st ~by:name ~addr:raw Vm.Report.Use_after_free
+        ~detail:"free(): pointer tag does not match memory tag"
+    else (match Hashtbl.find_opt rt.blocks raw with
      | Some rounded ->
        (* retag freed memory so stale pointers mismatch (until reuse) *)
        set_granules st raw rounded (random_tag rt st);
@@ -89,10 +93,13 @@ let hw_usable rt (st : Vm.State.t) p =
   | Some s -> Some s
   | None ->
     (* realloc of freed memory: the retagged granules no longer match *)
-    if tag_of p <> 0 && get_tag st raw <> tag_of p then
-      Vm.Report.bug ~by:name ~addr:raw Vm.Report.Use_after_free
+    if tag_of p <> 0 && get_tag st raw <> tag_of p then begin
+      Vm.State.report st ~by:name ~addr:raw Vm.Report.Use_after_free
         ~detail:"realloc(): pointer tag does not match memory tag";
-    None
+      (* recovered: hand realloc an empty old block *)
+      Some 0
+    end
+    else None
 
 (* --- checks ------------------------------------------------------------------ *)
 
@@ -102,7 +109,7 @@ let check (st : Vm.State.t) ~write addr size =
   let pt = tag_of addr in
   let mt = get_tag st raw in
   if pt <> mt then
-    Vm.Report.bug ~by:name ~addr:raw
+    Vm.State.report st ~by:name ~addr:raw
       ~detail:
         (Printf.sprintf "tag mismatch: ptr 0x%02x vs mem 0x%02x (%s of %d)"
            pt mt (if write then "store" else "load") size)
@@ -111,7 +118,7 @@ let check (st : Vm.State.t) ~write addr size =
   if size > granule - (raw mod granule) then begin
     let last = raw + size - 1 in
     if get_tag st last <> pt then
-      Vm.Report.bug ~by:name ~addr:last
+      Vm.State.report st ~by:name ~addr:last
         ~detail:"tag mismatch on access tail"
         (Vm.Report.Other "tag-mismatch")
   end
@@ -301,11 +308,13 @@ let check_granules st ~write ptr len =
          if Vm.Memory.load_byte st.Vm.State.mem (Vm.Layout46.tags_base + g)
             <> pt
          then begin
-           Vm.Report.bug ~by:name ~addr:(g * granule)
+           Vm.State.report st ~by:name ~addr:(g * granule)
              ~detail:
                (Printf.sprintf "range tag mismatch (%s of %d)"
                   (if write then "write" else "read") len)
-             (Vm.Report.Other "tag-mismatch")
+             (Vm.Report.Other "tag-mismatch");
+           (* one recovered report per range is enough *)
+           raise Exit
          end
        done
      with Exit -> ())
@@ -382,4 +391,5 @@ let fresh_runtime () : Vm.Runtime.t =
   vrt
 
 let sanitizer () : Sanitizer.Spec.t =
-  { Sanitizer.Spec.name; instrument; fresh_runtime }
+  { Sanitizer.Spec.name; instrument; fresh_runtime;
+    default_policy = Vm.Report.Halt }

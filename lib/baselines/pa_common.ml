@@ -81,15 +81,18 @@ let auth rt (st : Vm.State.t) ~write p size =
   else
     match Hashtbl.find_opt rt.entries id with
     | None ->
-      Vm.Report.bug ~by:rt.pol.p_name ~addr:raw
+      (* under Recover the access proceeds on the stripped pointer *)
+      Vm.State.report st ~by:rt.pol.p_name ~addr:raw
         (Vm.Report.Other "authentication-failure")
-        ~detail:"pointer authentication failed (no metadata)"
+        ~detail:"pointer authentication failed (no metadata)";
+      raw
     | Some e ->
       if not e.e_alive then
-        Vm.Report.bug ~by:rt.pol.p_name ~addr:raw Vm.Report.Use_after_free
-          ~detail:"authentication failed: object retired";
-      if raw < e.e_base || raw + size > e.e_bound then
-        Vm.Report.bug ~by:rt.pol.p_name ~addr:raw
+        Vm.State.report st ~by:rt.pol.p_name ~addr:raw
+          Vm.Report.Use_after_free
+          ~detail:"authentication failed: object retired"
+      else if raw < e.e_base || raw + size > e.e_bound then
+        Vm.State.report st ~by:rt.pol.p_name ~addr:raw
           ~detail:
             (Printf.sprintf "bounds [0x%x,0x%x)" e.e_base e.e_bound)
           (if write then Vm.Report.Oob_write else Vm.Report.Oob_read);
@@ -98,7 +101,8 @@ let auth rt (st : Vm.State.t) ~write p size =
 let pa_malloc rt (st : Vm.State.t) size =
   let p = Vm.Heap.malloc st size in
   Vm.State.tick st 14;
-  register rt p size
+  if p = 0 then 0  (* injected OOM: NULL carries no metadata *)
+  else register rt p size
 
 let pa_free rt (st : Vm.State.t) p =
   Vm.State.tick st 10;
@@ -110,20 +114,26 @@ let pa_free rt (st : Vm.State.t) p =
     else
       match Hashtbl.find_opt rt.entries id with
       | None ->
-        Vm.Report.bug ~by:rt.pol.p_name ~addr:raw Vm.Report.Invalid_free
-          ~detail:"free: authentication failed"
+        Vm.State.report st ~by:rt.pol.p_name ~addr:raw
+          Vm.Report.Invalid_free ~detail:"free: authentication failed"
       | Some e ->
-        if not e.e_alive then
-          Vm.Report.bug ~by:rt.pol.p_name ~addr:raw Vm.Report.Double_free
-            ~detail:"free of retired object";
-        if raw <> e.e_base then
-          Vm.Report.bug ~by:rt.pol.p_name ~addr:raw Vm.Report.Invalid_free
-            ~detail:"free of non-base pointer";
-        if raw < Vm.Layout46.heap_base || raw >= Vm.Layout46.heap_limit then
-          Vm.Report.bug ~by:rt.pol.p_name ~addr:raw Vm.Report.Invalid_free
-            ~detail:"free of non-heap object";
-        retire rt id;
-        Vm.Heap.free st raw
+        let verdict =
+          if not e.e_alive then
+            Some (Vm.Report.Double_free, "free of retired object")
+          else if raw <> e.e_base then
+            Some (Vm.Report.Invalid_free, "free of non-base pointer")
+          else if raw < Vm.Layout46.heap_base
+               || raw >= Vm.Layout46.heap_limit then
+            Some (Vm.Report.Invalid_free, "free of non-heap object")
+          else None
+        in
+        (match verdict with
+         | Some (kind, detail) ->
+           (* a recovering run treats the bad free as a no-op *)
+           Vm.State.report st ~by:rt.pol.p_name ~addr:raw kind ~detail
+         | None ->
+           retire rt id;
+           Vm.Heap.free st raw)
   end
 
 (* --- instrumentation (object granularity only; no sub-object pass) ---------- *)
@@ -441,26 +451,38 @@ let fresh_runtime (pol : policy) () : Vm.Runtime.t =
         let old_size =
           if id = 0 then
             match Vm.Heap.usable_size st raw with
-            | Some s -> s
+            | Some s -> Some s
             | None ->
               Vm.Report.trap ~addr:raw Vm.Report.Heap_corruption
                 ~detail:"realloc(): invalid pointer"
           else
             match Hashtbl.find_opt rt.entries id with
-            | Some e when e.e_alive && e.e_base = raw -> e.e_bound - e.e_base
+            | Some e when e.e_alive && e.e_base = raw ->
+              Some (e.e_bound - e.e_base)
             | Some { e_alive = false; _ } ->
-              Vm.Report.bug ~by:pol.p_name ~addr:raw Vm.Report.Double_free
-                ~detail:"realloc of retired object"
+              Vm.State.report st ~by:pol.p_name ~addr:raw
+                Vm.Report.Double_free ~detail:"realloc of retired object";
+              None
             | _ ->
-              Vm.Report.bug ~by:pol.p_name ~addr:raw Vm.Report.Invalid_free
-                ~detail:"realloc authentication failed"
+              Vm.State.report st ~by:pol.p_name ~addr:raw
+                Vm.Report.Invalid_free
+                ~detail:"realloc authentication failed";
+              None
         in
-        let p = pa_malloc rt st size in
-        Vm.Memory.copy st.Vm.State.mem ~src:raw ~dst:(strip p)
-          ~len:(min old_size size);
-        (if id <> 0 then retire rt id);
-        Vm.Heap.free st raw;
-        p
+        match old_size with
+        | None ->
+          (* recovered: serve a fresh block, leave the old one alone *)
+          pa_malloc rt st size
+        | Some old_size ->
+          let p = pa_malloc rt st size in
+          if p = 0 then 0  (* injected OOM: the old block survives *)
+          else begin
+            Vm.Memory.copy st.Vm.State.mem ~src:raw ~dst:(strip p)
+              ~len:(min old_size size);
+            (if id <> 0 then retire rt id);
+            Vm.Heap.free st raw;
+            p
+          end
       end);
   reg (pre ^ "_stack_seal") (fun st a ->
       Vm.State.tick st 9;
@@ -492,4 +514,5 @@ let sanitizer (pol : policy) : Sanitizer.Spec.t =
     Sanitizer.Spec.name = pol.p_name;
     instrument = instrument pol;
     fresh_runtime = fresh_runtime pol;
+    default_policy = Vm.Report.Halt;
   }

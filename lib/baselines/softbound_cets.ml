@@ -73,11 +73,11 @@ let sb_check rt (st : Vm.State.t) ~write v size =
     match Hashtbl.find_opt rt.locks m.lock with
     | Some k when k = m.key -> ()
     | _ ->
-      Vm.Report.bug ~by:name ~addr:v Vm.Report.Use_after_free
+      Vm.State.report st ~by:name ~addr:v Vm.Report.Use_after_free
         ~detail:"key/lock mismatch"
   end;
   if v < m.base || v + size > m.bound then
-    Vm.Report.bug ~by:name ~addr:v
+    Vm.State.report st ~by:name ~addr:v
       ~detail:
         (Printf.sprintf "bounds [0x%x,0x%x), access of %d" m.base m.bound
            size)
@@ -94,23 +94,28 @@ let sb_free rt (st : Vm.State.t) p =
   if p = 0 then ()
   else begin
     let m = meta_of rt p in
-    if m.bound = 0 then
-      Vm.Report.bug ~by:name ~addr:p Vm.Report.Invalid_free
-        ~detail:"free of pointer without metadata";
-    (if m.lock <> 0 then
-       match Hashtbl.find_opt rt.locks m.lock with
-       | Some k when k = m.key -> ()
-       | _ ->
-         Vm.Report.bug ~by:name ~addr:p Vm.Report.Double_free
-           ~detail:"free through dangling pointer");
-    if p <> m.base then
-      Vm.Report.bug ~by:name ~addr:p Vm.Report.Invalid_free
-        ~detail:"free of non-base pointer";
-    if p < Vm.Layout46.heap_base || p >= Vm.Layout46.heap_limit then
-      Vm.Report.bug ~by:name ~addr:p Vm.Report.Invalid_free
-        ~detail:"free of non-heap object";
-    if m.lock <> 0 then revoke rt m.lock;
-    Vm.Heap.free st p
+    let verdict =
+      if m.bound = 0 then
+        Some (Vm.Report.Invalid_free, "free of pointer without metadata")
+      else if
+        m.lock <> 0
+        && (match Hashtbl.find_opt rt.locks m.lock with
+            | Some k when k = m.key -> false
+            | _ -> true)
+      then Some (Vm.Report.Double_free, "free through dangling pointer")
+      else if p <> m.base then
+        Some (Vm.Report.Invalid_free, "free of non-base pointer")
+      else if p < Vm.Layout46.heap_base || p >= Vm.Layout46.heap_limit then
+        Some (Vm.Report.Invalid_free, "free of non-heap object")
+      else None
+    in
+    match verdict with
+    | Some (kind, detail) ->
+      (* a recovering run treats the bad free as a no-op *)
+      Vm.State.report st ~by:name ~addr:p kind ~detail
+    | None ->
+      if m.lock <> 0 then revoke rt m.lock;
+      Vm.Heap.free st p
   end
 
 (* --- instrumentation ----------------------------------------------------------- *)
@@ -337,20 +342,30 @@ let fresh_runtime () : Vm.Runtime.t =
       if old = 0 then sb_malloc rt st size
       else begin
         let m = meta_of rt old in
-        if m.lock <> 0 then begin
-          match Hashtbl.find_opt rt.locks m.lock with
-          | Some k when k = m.key -> ()
-          | _ ->
-            Vm.Report.bug ~by:name ~addr:old Vm.Report.Double_free
-              ~detail:"realloc through dangling pointer"
-        end;
-        let old_size = if m.bound > m.base then m.bound - m.base else 0 in
-        let p = sb_malloc rt st size in
-        Vm.Memory.copy st.Vm.State.mem ~src:old ~dst:p
-          ~len:(min old_size size);
-        if m.lock <> 0 then revoke rt m.lock;
-        Vm.Heap.free st old;
-        p
+        let dangling =
+          m.lock <> 0
+          && (match Hashtbl.find_opt rt.locks m.lock with
+              | Some k when k = m.key -> false
+              | _ -> true)
+        in
+        if dangling then begin
+          Vm.State.report st ~by:name ~addr:old Vm.Report.Double_free
+            ~detail:"realloc through dangling pointer";
+          (* recovered: serve a fresh block, leave the old one alone *)
+          sb_malloc rt st size
+        end
+        else begin
+          let old_size = if m.bound > m.base then m.bound - m.base else 0 in
+          let p = sb_malloc rt st size in
+          if p = 0 then 0  (* injected OOM: the old block survives *)
+          else begin
+            Vm.Memory.copy st.Vm.State.mem ~src:old ~dst:p
+              ~len:(min old_size size);
+            if m.lock <> 0 then revoke rt m.lock;
+            Vm.Heap.free st old;
+            p
+          end
+        end
       end);
   reg "__sb_check_load" (fun st a ->
       sb_check rt st ~write:false a.(0) a.(1);
@@ -392,4 +407,5 @@ let fresh_runtime () : Vm.Runtime.t =
   vrt
 
 let sanitizer () : Sanitizer.Spec.t =
-  { Sanitizer.Spec.name; instrument; fresh_runtime }
+  { Sanitizer.Spec.name; instrument; fresh_runtime;
+    default_policy = Vm.Report.Halt }

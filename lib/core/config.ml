@@ -14,6 +14,9 @@ type t = {
   (* section V.1 future work: on table exhaustion, chain conflicting
      metadata off shared indices instead of degrading to unprotected *)
   chain_overflow : bool;
+  (* what a failed check does: [Halt] raises on the first finding,
+     [Recover] records findings and keeps the program running *)
+  policy : Vm.Report.policy;
 }
 
 let default = {
@@ -25,6 +28,7 @@ let default = {
   opt_typeinfo = true;
   check_step = 5;
   chain_overflow = false;
+  policy = Vm.Report.Halt;
 }
 
 let no_opts = {
@@ -39,8 +43,18 @@ let no_subobject = { default with subobject = false }
 (* the section V.1 extension enabled *)
 let with_chain = { default with chain_overflow = true }
 
+(* keep running past findings, with the standard report cap *)
+let recover =
+  { default with
+    policy = Vm.Report.Recover
+        { max_reports = Vm.Report.default_max_reports } }
+
 let to_string c =
   Printf.sprintf
-    "subobject=%b stack=%b globals=%b redundant=%b loop=%b typeinfo=%b      step=%d chain=%b"
+    "subobject=%b stack=%b globals=%b redundant=%b loop=%b typeinfo=%b      step=%d chain=%b policy=%s"
     c.subobject c.protect_stack c.protect_globals c.opt_redundant c.opt_loop
     c.opt_typeinfo c.check_step c.chain_overflow
+    (match c.policy with
+     | Vm.Report.Halt -> "halt"
+     | Vm.Report.Recover { max_reports } ->
+       Printf.sprintf "recover:%d" max_reports)

@@ -14,6 +14,10 @@ type t = {
       (** the section V.1 future-work extension: on metadata-table
           exhaustion, chain conflicting metadata off shared indices
           instead of degrading to unprotected entry-0 pointers *)
+  policy : Vm.Report.policy;
+      (** what a failed check does: [Halt] (the default) raises on the
+          first finding; [Recover] records deduplicated findings and
+          keeps the program running *)
 }
 
 val default : t
@@ -27,5 +31,8 @@ val no_subobject : t
 
 val with_chain : t
 (** [default] plus the overflow-chain extension of section V.1. *)
+
+val recover : t
+(** [default] with a [Recover] policy at [Vm.Report.default_max_reports]. *)
 
 val to_string : t -> string

@@ -38,8 +38,18 @@ type t = {
   mutable chain_mode : bool;         (* section V.1 extension enabled *)
   chains : (int, chain_entry list ref) Hashtbl.t;
   mutable chained : int;             (* live chained objects *)
+  mutable chain_total : int;         (* objects ever chained *)
   mutable chain_cursor : int;        (* round-robin shared index *)
+  mutable chain_lookups : int;       (* slow-path chain searches *)
+  mutable chain_links_walked : int;  (* total links traversed *)
 }
+
+(* The table size this run honors: the architectural 2^17 unless the
+   fault injector shrank it (never below entry 0 plus one real slot). *)
+let effective_limit t =
+  max 2
+    (Vm.Fault.effective_table_limit t.st.Vm.State.fault
+       ~default:Vm.Layout46.tag_limit)
 
 let entry_addr i = Vm.Layout46.meta_base + (i * entry_bytes)
 
@@ -58,7 +68,9 @@ let set_next_id t i v =
 let create ?(chain_mode = false) (st : Vm.State.t) : t =
   let t = { st; gmi = 1; live = 0; peak_live = 0; total_allocated = 0;
             exhausted_fallbacks = 0; chain_mode;
-            chains = Hashtbl.create 16; chained = 0; chain_cursor = 1 } in
+            chains = Hashtbl.create 16; chained = 0; chain_total = 0;
+            chain_cursor = 1;
+            chain_lookups = 0; chain_links_walked = 0 } in
   set_low t 0 0;
   set_high t 0 Vm.Layout46.va_limit;
   set_next_id t 0 0;
@@ -68,11 +80,12 @@ let create ?(chain_mode = false) (st : Vm.State.t) : t =
    pointer.  On table exhaustion, falls back to the reserved entry 0
    (untagged, unprotected) -- the degradation discussed in section V.1. *)
 let alloc t ~base ~size : int =
-  if t.gmi >= Vm.Layout46.tag_limit then begin
+  let limit = effective_limit t in
+  if t.gmi >= limit then begin
     if t.chain_mode then begin
       (* share an index round-robin; the object's bounds live in the
          index's chain *)
-      let i = 1 + (t.chain_cursor mod (Vm.Layout46.tag_limit - 1)) in
+      let i = 1 + (t.chain_cursor mod (limit - 1)) in
       t.chain_cursor <- t.chain_cursor + 1;
       let l =
         match Hashtbl.find_opt t.chains i with
@@ -84,11 +97,15 @@ let alloc t ~base ~size : int =
       in
       l := { c_lo = base; c_hi = base + size } :: !l;
       t.chained <- t.chained + 1;
+      t.chain_total <- t.chain_total + 1;
       t.total_allocated <- t.total_allocated + 1;
       Vm.Layout46.with_tag base i
     end
     else begin
+      (* the entry-0 degradation still serves an allocation: count it,
+         or the stats under-count exactly when degradation kicks in *)
       t.exhausted_fallbacks <- t.exhausted_fallbacks + 1;
+      t.total_allocated <- t.total_allocated + 1;
       base
     end
   end
@@ -113,10 +130,39 @@ let chain_covers t i ~raw ~size : int option =
     match Hashtbl.find_opt t.chains i with
     | None -> None
     | Some l ->
+      t.chain_lookups <- t.chain_lookups + 1;
       let rec go k = function
-        | [] -> None
+        | [] ->
+          t.chain_links_walked <- t.chain_links_walked + k - 1;
+          None
         | e :: rest ->
-          if raw >= e.c_lo && raw + size <= e.c_hi then Some k
+          if raw >= e.c_lo && raw + size <= e.c_hi then begin
+            t.chain_links_walked <- t.chain_links_walked + k;
+            Some k
+          end
+          else go (k + 1) rest
+      in
+      go 1 !l
+
+(* The chain element of index [i] containing [raw], plus the links
+   walked to reach it (used by interceptors/realloc, which need the
+   element's own bounds rather than a yes/no cover answer). *)
+let chain_find t i ~raw : (chain_entry * int) option =
+  if not t.chain_mode then None
+  else
+    match Hashtbl.find_opt t.chains i with
+    | None -> None
+    | Some l ->
+      t.chain_lookups <- t.chain_lookups + 1;
+      let rec go k = function
+        | [] ->
+          t.chain_links_walked <- t.chain_links_walked + k - 1;
+          None
+        | e :: rest ->
+          if raw >= e.c_lo && raw < e.c_hi then begin
+            t.chain_links_walked <- t.chain_links_walked + k;
+            Some (e, k)
+          end
           else go (k + 1) rest
       in
       go 1 !l
@@ -129,17 +175,25 @@ let chain_release t i ~raw : bool =
     match Hashtbl.find_opt t.chains i with
     | None -> false
     | Some l ->
+      t.chain_lookups <- t.chain_lookups + 1;
       let found = ref false in
+      let walked = ref 0 in
       l :=
         List.filter
           (fun e ->
+             if not !found then incr walked;
              if (not !found) && e.c_lo = raw then begin
                found := true;
                false
              end
              else true)
           !l;
-      if !found then t.chained <- t.chained - 1;
+      t.chain_links_walked <- t.chain_links_walked + !walked;
+      if !found then begin
+        t.chained <- t.chained - 1;
+        (* a drained chain must not pin its (empty) list forever *)
+        if !l = [] then Hashtbl.remove t.chains i
+      end;
       !found
 
 (* Invalidates entry [i] and pushes it on the free list. *)

@@ -27,8 +27,13 @@ type t = {
           (paper section V.1) *)
   mutable chain_mode : bool;
   chains : (int, chain_entry list ref) Hashtbl.t;
-  mutable chained : int;
+  mutable chained : int;      (** live chained objects *)
+  mutable chain_total : int;  (** objects ever chained *)
   mutable chain_cursor : int;
+  mutable chain_lookups : int;
+      (** slow-path chain searches (lookup + release) *)
+  mutable chain_links_walked : int;
+      (** total links traversed across all chain searches *)
 }
 
 val create : ?chain_mode:bool -> Vm.State.t -> t
@@ -59,6 +64,11 @@ val alloc : t -> base:int -> size:int -> int
 val chain_covers : t -> int -> raw:int -> size:int -> int option
 (** Does some overflow-chain element of index [i] cover the access?
     Returns the number of links walked (the extension's cost). *)
+
+val chain_find : t -> int -> raw:int -> (chain_entry * int) option
+(** The chain element containing [raw] plus the links walked to reach
+    it; callers that need the element's bounds (strlen, realloc) use
+    this instead of {!chain_covers}. *)
 
 val chain_release : t -> int -> raw:int -> bool
 (** Removes the chain element whose base is [raw]; true on success. *)

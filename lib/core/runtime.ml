@@ -35,7 +35,7 @@ let classify_oob ~write tbl idx _raw =
   else Vm.Report.Oob_read
 [@@inline]
 
-let check_deref rt st ~write ~size ptr =
+let check_deref rt st ~write ~size ?(site = -1) ptr =
   let tbl = get_table rt st in
   Vm.State.tick st Costs.check;
   let idx = L.tag_of ptr in
@@ -51,7 +51,9 @@ let check_deref rt st ~write ~size ptr =
     match Meta_table.chain_covers tbl idx ~raw ~size with
     | Some links -> Vm.State.tick st (Costs.chain_link * links)
     | None ->
-      Vm.Report.bug ~by:name ~addr:raw
+      (* under Recover the access proceeds on the stripped pointer,
+         exactly as the uninstrumented program would *)
+      Vm.State.report st ~by:name ~addr:raw ~site
         ~detail:(Printf.sprintf "access of %d bytes, entry %d" size idx)
         (classify_oob ~write tbl idx raw)
   end;
@@ -70,7 +72,7 @@ let check_range rt st ~write ptr len =
       match Meta_table.chain_covers tbl idx ~raw ~size:len with
       | Some links -> Vm.State.tick st (Costs.chain_link * links)
       | None ->
-        Vm.Report.bug ~by:name ~addr:raw
+        Vm.State.report st ~by:name ~addr:raw
           ~detail:(Printf.sprintf "range of %d bytes, entry %d" len idx)
           (classify_oob ~write tbl idx raw)
     end
@@ -83,7 +85,8 @@ let cecsan_malloc rt st size =
   let tbl = get_table rt st in
   Vm.State.tick st Costs.malloc_extra;
   let base = Vm.Heap.malloc st size in
-  Meta_table.alloc tbl ~base ~size
+  (* injected OOM: NULL carries no metadata *)
+  if base = 0 then 0 else Meta_table.alloc tbl ~base ~size
 
 (* Algorithm 2: pointer deallocation check. *)
 let cecsan_free rt st ptr =
@@ -106,19 +109,22 @@ let cecsan_free rt st ptr =
           Vm.Heap.free st raw
         end
         else if lo = Meta_table.invalid_low then
-          Vm.Report.bug ~by:name ~addr:raw Vm.Report.Double_free
+          (* a recovering run treats the bad free as a no-op *)
+          Vm.State.report st ~by:name ~addr:raw Vm.Report.Double_free
             ~detail:"deallocation of a dangling pointer"
         else
-          Vm.Report.bug ~by:name ~addr:raw Vm.Report.Invalid_free
+          Vm.State.report st ~by:name ~addr:raw Vm.Report.Invalid_free
             ~detail:"pointer is not the base of a live object"
       end
       else begin
         (* freeing a tracked non-heap object through free() *)
         if raw < L.heap_base || raw >= L.heap_limit then
-          Vm.Report.bug ~by:name ~addr:raw Vm.Report.Invalid_free
-            ~detail:"free() of a non-heap object";
-        Meta_table.release tbl idx;
-        Vm.Heap.free st raw
+          Vm.State.report st ~by:name ~addr:raw Vm.Report.Invalid_free
+            ~detail:"free() of a non-heap object"
+        else begin
+          Meta_table.release tbl idx;
+          Vm.Heap.free st raw
+        end
       end
     end
   end
@@ -129,34 +135,51 @@ let cecsan_realloc rt st ptr size =
     let tbl = get_table rt st in
     let idx = L.tag_of ptr in
     let raw = L.strip ptr in
-    let old_size =
+    let disposition =
       if idx = 0 then
         match Vm.Heap.usable_size st raw with
-        | Some s -> s
+        | Some s -> `Entry s
         | None ->
           Vm.Report.trap ~addr:raw Vm.Report.Heap_corruption
             ~detail:"realloc(): invalid pointer"
       else begin
         let lo = Meta_table.low tbl idx in
-        if lo <> raw then begin
-          if lo = Meta_table.invalid_low then
-            Vm.Report.bug ~by:name ~addr:raw Vm.Report.Double_free
-              ~detail:"realloc() of a dangling pointer"
-          else
-            Vm.Report.bug ~by:name ~addr:raw Vm.Report.Invalid_free
-              ~detail:"realloc() of a non-base pointer"
-        end;
-        Meta_table.high tbl idx - lo
+        if lo = raw then `Entry (Meta_table.high tbl idx - lo)
+        else
+          (* the section V.1 slow path: the object may live in this
+             index's overflow chain *)
+          match Meta_table.chain_find tbl idx ~raw with
+          | Some (e, links) when e.Meta_table.c_lo = raw ->
+            Vm.State.tick st (Costs.chain_link * links);
+            `Chained (e.Meta_table.c_hi - raw)
+          | _ ->
+            (if lo = Meta_table.invalid_low then
+               Vm.State.report st ~by:name ~addr:raw Vm.Report.Double_free
+                 ~detail:"realloc() of a dangling pointer"
+             else
+               Vm.State.report st ~by:name ~addr:raw Vm.Report.Invalid_free
+                 ~detail:"realloc() of a non-base pointer");
+            (* recovered: the old block is not trustworthy -- serve a
+               fresh allocation and leave it alone *)
+            `Fresh
       end
     in
-    let fresh = cecsan_malloc rt st size in
-    let fraw = L.strip fresh in
-    Vm.Memory.copy st.Vm.State.mem ~src:raw ~dst:fraw
-      ~len:(min old_size size);
-    Vm.State.tick st (Vm.Cost.mem_op (min old_size size));
-    (if idx <> 0 then Meta_table.release tbl idx);
-    Vm.Heap.free st raw;
-    fresh
+    match disposition with
+    | `Fresh -> cecsan_malloc rt st size
+    | (`Entry old_size | `Chained old_size) as d ->
+      let fresh = cecsan_malloc rt st size in
+      if fresh = 0 then 0  (* injected OOM: the old block survives *)
+      else begin
+        let fraw = L.strip fresh in
+        Vm.Memory.copy st.Vm.State.mem ~src:raw ~dst:fraw
+          ~len:(min old_size size);
+        Vm.State.tick st (Vm.Cost.mem_op (min old_size size));
+        (match d with
+         | `Chained _ -> ignore (Meta_table.chain_release tbl idx ~raw)
+         | `Entry _ -> if idx <> 0 then Meta_table.release tbl idx);
+        Vm.Heap.free st raw;
+        fresh
+      end
   end
 
 (* --- stack, globals, sub-objects ----------------------------------------- *)
@@ -203,11 +226,13 @@ let sub_make rt st ptr fsize =
     match Meta_table.chain_covers tbl idx ~raw ~size:fsize with
     | Some links -> Vm.State.tick st (Costs.chain_link * links)
     | None ->
+      (* under Recover the narrowed entry is minted anyway so the field
+         keeps working like any other pointer *)
       if idx <> 0 && lo = Meta_table.invalid_low then
-        Vm.Report.bug ~by:name ~addr:raw Vm.Report.Use_after_free
+        Vm.State.report st ~by:name ~addr:raw Vm.Report.Use_after_free
           ~detail:"field access through dangling pointer"
       else
-        Vm.Report.bug ~by:name ~addr:raw Vm.Report.Oob_read
+        Vm.State.report st ~by:name ~addr:raw Vm.Report.Oob_read
           ~detail:"field address outside parent object"
   end;
   Meta_table.alloc tbl ~base:raw ~size:fsize
@@ -226,7 +251,7 @@ let extcall_strip rt st ptr =
     let raw = L.strip ptr in
     let lo = Meta_table.low tbl idx in
     if idx <> 0 && lo = Meta_table.invalid_low then
-      Vm.Report.bug ~by:name ~addr:raw Vm.Report.Use_after_free
+      Vm.State.report st ~by:name ~addr:raw Vm.Report.Use_after_free
         ~detail:"dangling pointer passed to external code";
     raw
   end
@@ -244,20 +269,43 @@ let bounded_strlen rt st ptr ~elem =
   let tbl = get_table rt st in
   let idx = L.tag_of ptr in
   let raw = L.strip ptr in
-  let hi = Meta_table.high tbl idx in
   let lo = Meta_table.low tbl idx in
-  if idx <> 0 && lo = Meta_table.invalid_low then
-    Vm.Report.bug ~by:name ~addr:raw Vm.Report.Use_after_free
-      ~detail:"string read through dangling pointer";
-  let rec go k =
-    let a = raw + (k * elem) in
-    if a + elem > hi then
-      Vm.Report.bug ~by:name ~addr:a Vm.Report.Oob_read
-        ~detail:"unterminated string: scan reached object end";
-    Vm.State.check_mapped st a elem;
-    if Vm.Memory.load st.Vm.State.mem a elem = 0 then k else go (k + 1)
+  let hi0 = Meta_table.high tbl idx in
+  let hi =
+    if idx = 0 || (raw >= lo && raw < hi0) then hi0
+    else
+      (* a chained object's bounds live in the index's overflow chain,
+         not the primary entry *)
+      match Meta_table.chain_find tbl idx ~raw with
+      | Some (e, links) ->
+        Vm.State.tick st (Costs.chain_link * links);
+        e.Meta_table.c_hi
+      | None ->
+        if lo = Meta_table.invalid_low then begin
+          Vm.State.report st ~by:name ~addr:raw Vm.Report.Use_after_free
+            ~detail:"string read through dangling pointer";
+          (* recovered: scan on, bounded only by the residency check *)
+          L.va_limit
+        end
+        else hi0
   in
-  go 0
+  (* report the overrun once, then keep scanning under [check_mapped]
+     like the uninstrumented program would *)
+  let rec go ~reported k =
+    let a = raw + (k * elem) in
+    let reported =
+      if (not reported) && a + elem > hi then begin
+        Vm.State.report st ~by:name ~addr:a Vm.Report.Oob_read
+          ~detail:"unterminated string: scan reached object end";
+        true
+      end
+      else reported
+    in
+    Vm.State.check_mapped st a elem;
+    if Vm.Memory.load st.Vm.State.mem a elem = 0 then k
+    else go ~reported (k + 1)
+  in
+  go ~reported:false 0
 
 (* The interceptor table.  CECSan's engineering-effort claim is coverage:
    including the wide-character functions most sanitizers overlook. *)
@@ -410,9 +458,9 @@ let intrinsic_table rt : (string * Vm.Runtime.intrinsic) list =
   [
     (* args.(last) is always the site id appended by the machine *)
     "__cecsan_check_load",
-    (fun st a -> check_deref rt st ~write:false ~size:a.(1) a.(0));
+    (fun st a -> check_deref rt st ~write:false ~size:a.(1) ~site:a.(2) a.(0));
     "__cecsan_check_store",
-    (fun st a -> check_deref rt st ~write:true ~size:a.(1) a.(0));
+    (fun st a -> check_deref rt st ~write:true ~size:a.(1) ~site:a.(2) a.(0));
     "__cecsan_malloc", (fun st a -> cecsan_malloc rt st a.(0));
     "__cecsan_free", (fun st a -> cecsan_free rt st a.(0); 0);
     "__cecsan_calloc",
@@ -450,7 +498,24 @@ let create ?(chain_overflow = false) () : t * Vm.Runtime.t =
     intercept = interceptors rt;
     usable_size = None;
     tbi_bits = 0;           (* x86-64: no TBI; checks strip explicitly *)
-    at_exit = (fun _ -> ());
+    at_exit =
+      (fun st ->
+         (* publish the table's degradation telemetry so the driver and
+            [--stats] can see coverage lost to exhaustion/chaining *)
+         match rt.table with
+         | None -> ()
+         | Some t ->
+           Vm.State.set_stat st "meta_live" t.Meta_table.live;
+           Vm.State.set_stat st "meta_peak_live" t.Meta_table.peak_live;
+           Vm.State.set_stat st "meta_total_allocated"
+             t.Meta_table.total_allocated;
+           Vm.State.set_stat st "exhausted_fallbacks"
+             t.Meta_table.exhausted_fallbacks;
+           Vm.State.set_stat st "chained" t.Meta_table.chain_total;
+           Vm.State.set_stat st "chain_live" t.Meta_table.chained;
+           Vm.State.set_stat st "chain_lookups" t.Meta_table.chain_lookups;
+           Vm.State.set_stat st "chain_links_walked"
+             t.Meta_table.chain_links_walked);
   } in
   List.iter (fun (n, f) -> Hashtbl.replace vrt.Vm.Runtime.intrinsics n f)
     (intrinsic_table rt);

@@ -1,0 +1,35 @@
+(** The graceful-degradation table: per-sanitizer behavior under
+    injected faults (allocator OOM, metadata-table exhaustion, tag
+    corruption), run in recover mode over a smoke workload. *)
+
+type cell = {
+  c_status : string;
+      (** ["ok"] expected exit; ["ok*"] expected exit with findings
+          recorded; ["exit:N"]/["exit*:N"] wrong exit code;
+          ["crash:..."] machine trap; ["excluded"] the sanitizer cannot
+          compile the workload *)
+  c_reports : int;
+  c_suppressed : int;
+  c_fallbacks : int;  (** allocations served unprotected via entry 0 *)
+  c_chained : int;    (** allocations served via overflow chains *)
+}
+
+type data = {
+  f_workload : string;
+  f_scenarios : string list;
+  f_rows : (string * cell list) list;
+}
+
+val scenarios : string list
+(** The default scenario set: none, oom:40, table:8, tagflip:97. *)
+
+val lineup : unit -> (string * Sanitizer.Spec.t) list
+
+val run_cell : Sanitizer.Spec.t -> Workloads.Spec2006.t -> string -> cell
+(** One sanitizer, one workload, one fault scenario, recover policy. *)
+
+val run : ?workload:Workloads.Spec2006.t -> unit -> data
+(** The full lineup x scenario grid (default workload:
+    [Workloads.Spec2006.perlbench]). *)
+
+val render : Format.formatter -> data -> unit

@@ -56,12 +56,12 @@ let run_one (san : Sanitizer.Spec.t) (c : t) : case_result =
     | bad, good ->
       let verdict =
         match bad.Sanitizer.Driver.outcome with
-        | Vm.Machine.Bug _ -> Detected
+        | Vm.Machine.Bug _ | Vm.Machine.Completed_with_bugs _ -> Detected
         | Vm.Machine.Exit _ | Vm.Machine.Fault _ -> Missed
       in
       let good_fp =
         match good.Sanitizer.Driver.outcome with
-        | Vm.Machine.Bug _ -> true
+        | Vm.Machine.Bug _ | Vm.Machine.Completed_with_bugs _ -> true
         | Vm.Machine.Exit _ | Vm.Machine.Fault _ -> false
       in
       { case = c; verdict; good_fp }

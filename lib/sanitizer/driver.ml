@@ -13,6 +13,9 @@ type run_result = {
   output : string;
   heap_allocs : int;
   instrumented_size : int; (* static instruction count after the pass *)
+  reports : Vm.Report.t list;  (* sink contents, submission order *)
+  suppressed : int;            (* findings deduplicated or over the cap *)
+  telemetry : (string * int) list; (* runtime counters, sorted by key *)
 }
 
 (* Parse, check and lower a source file; [optimize] runs the -O2 model
@@ -57,17 +60,32 @@ let build_link (san : Spec.t) ?(optimize = true)
     primary
 
 (* Runs an instrumented module.  [lines]/[packets] feed the dummy input
-   server; [budget] bounds the run in cycles. *)
+   server; [budget] bounds the run in cycles.  [policy] overrides the
+   sanitizer's default finding policy; [fault] threads a fault injector
+   into the run. *)
 let run_module (san : Spec.t) ?(lines = []) ?(packets = []) ?(externs = [])
-    ?(budget = 2_000_000_000) ?(seed = 0x5EED) (md : Tir.Ir.modul) :
-  run_result =
-  let st = Vm.State.create ~cycle_budget:budget ~seed () in
+    ?(budget = 2_000_000_000) ?(seed = 0x5EED) ?policy ?fault
+    (md : Tir.Ir.modul) : run_result =
+  let policy =
+    match policy with Some p -> p | None -> san.Spec.default_policy
+  in
+  let st = Vm.State.create ~cycle_budget:budget ~seed ~policy ?fault () in
   List.iter (Vm.Input.provide_line st.Vm.State.input) lines;
   List.iter (Vm.Input.provide_packet st.Vm.State.input) packets;
   let rt = san.Spec.fresh_runtime () in
   let m = Vm.Machine.create ~st ~rt md in
   List.iter (fun (name, fn) -> Vm.Machine.register_extern m name fn) externs;
   let outcome = Vm.Machine.run m in
+  let fl = st.Vm.State.fault in
+  if fl.Vm.Fault.oom_injected > 0 then
+    Vm.State.set_stat st "injected_oom" fl.Vm.Fault.oom_injected;
+  if fl.Vm.Fault.tagflips_injected > 0 then
+    Vm.State.set_stat st "injected_tagflips" fl.Vm.Fault.tagflips_injected;
+  let telemetry =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc)
+      st.Vm.State.telemetry []
+    |> List.sort compare
+  in
   {
     outcome;
     cycles = st.Vm.State.cycles;
@@ -76,9 +94,12 @@ let run_module (san : Spec.t) ?(lines = []) ?(packets = []) ?(externs = [])
     output = Buffer.contents st.Vm.State.output;
     heap_allocs = st.Vm.State.heap_allocs;
     instrumented_size = Tir.Ir.module_size md;
+    reports = Vm.Report.sink_reports st.Vm.State.sink;
+    suppressed = Vm.Report.sink_suppressed st.Vm.State.sink;
+    telemetry;
   }
 
-let run (san : Spec.t) ?lines ?packets ?externs ?budget ?seed
+let run (san : Spec.t) ?lines ?packets ?externs ?budget ?seed ?policy ?fault
     ?(optimize = true) (src : string) : run_result =
-  run_module san ?lines ?packets ?externs ?budget ?seed
+  run_module san ?lines ?packets ?externs ?budget ?seed ?policy ?fault
     (build san ~optimize src)

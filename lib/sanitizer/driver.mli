@@ -9,6 +9,13 @@ type run_result = {
   output : string;         (** captured stdout *)
   heap_allocs : int;
   instrumented_size : int; (** static instruction count after the pass *)
+  reports : Vm.Report.t list;
+      (** findings recorded by a [Recover] sink, in submission order;
+          empty under [Halt] (the finding is in [outcome]) *)
+  suppressed : int;        (** findings deduplicated or over the cap *)
+  telemetry : (string * int) list;
+      (** runtime counters (metadata-table degradation, injected
+          faults), sorted by key *)
 }
 
 val compile : ?optimize:bool -> string -> Tir.Ir.modul
@@ -34,10 +41,14 @@ val run_module :
   ?externs:(string * (Vm.State.t -> int array -> int)) list ->
   ?budget:int ->
   ?seed:int ->
+  ?policy:Vm.Report.policy ->
+  ?fault:Vm.Fault.t ->
   Tir.Ir.modul ->
   run_result
 (** Runs an instrumented module.  [lines]/[packets] feed the dummy input
-    server; [externs] resolve body-less external functions. *)
+    server; [externs] resolve body-less external functions.  [policy]
+    overrides the sanitizer's [default_policy]; [fault] threads a fault
+    injector into the run (see {!Vm.Fault}). *)
 
 val run :
   Spec.t ->
@@ -46,6 +57,8 @@ val run :
   ?externs:(string * (Vm.State.t -> int array -> int)) list ->
   ?budget:int ->
   ?seed:int ->
+  ?policy:Vm.Report.policy ->
+  ?fault:Vm.Fault.t ->
   ?optimize:bool ->
   string ->
   run_result

@@ -16,6 +16,8 @@ type t = {
   instrument : Tir.Ir.modul -> unit;
   (* fresh per-run runtime state *)
   fresh_runtime : unit -> Vm.Runtime.t;
+  (* what the driver does with findings unless told otherwise *)
+  default_policy : Vm.Report.policy;
 }
 
 (* The uninstrumented baseline: what plain `clang -O2` produces. *)
@@ -23,6 +25,7 @@ let none : t = {
   name = "none";
   instrument = (fun _ -> ());
   fresh_runtime = (fun () -> Vm.Runtime.none);
+  default_policy = Vm.Report.Halt;
 }
 
 (* The allocation-family callees that sanitizers rewrite/wrap. *)

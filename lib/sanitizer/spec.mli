@@ -11,6 +11,9 @@ type t = {
   instrument : Tir.Ir.modul -> unit;
       (** rewrites the linked module in place; may raise [Unsupported] *)
   fresh_runtime : unit -> Vm.Runtime.t;
+  default_policy : Vm.Report.policy;
+      (** what the driver does with findings unless its [?policy]
+          argument overrides it; [Halt] for every stock sanitizer *)
 }
 
 val none : t

@@ -1,0 +1,43 @@
+(** Deterministic, seedable fault injection, threaded through [State.t]
+    so allocators, the metadata table and the interpreter all consult
+    the same budgets.  Inert (every probe answers "no fault") unless
+    faults were requested. *)
+
+type spec =
+  | Oom of int      (** malloc returns NULL after N allocations *)
+  | Table of int    (** shrink the effective metadata table to N entries *)
+  | Tagflip of int  (** flip a tag bit on every N-th tagged load *)
+
+type t = {
+  mutable oom_after : int option;
+  mutable table_limit : int option;
+  mutable tagflip_every : int option;
+  mutable mallocs_seen : int;
+  mutable tagged_loads_seen : int;
+  mutable oom_injected : int;       (** telemetry: NULLs actually served *)
+  mutable tagflips_injected : int;  (** telemetry: bits actually flipped *)
+  mutable rng : int;
+}
+
+val none : unit -> t
+(** An inert injector (the default in [State.create]). *)
+
+val of_specs : ?seed:int -> spec list -> t
+
+val apply : t -> spec -> unit
+
+val active : t -> bool
+
+val parse : string -> (spec, string) result
+(** Parses the CLI surface: ["oom:N"], ["table:N"], ["tagflip:N"]. *)
+
+val spec_to_string : spec -> string
+
+val should_oom : t -> bool
+(** Consulted once per allocation; true means serve NULL. *)
+
+val effective_table_limit : t -> default:int -> int
+(** The metadata-table size this run should honor. *)
+
+val corrupt_load : t -> int -> int
+(** Passes a pointer-sized loaded value through the corruption model. *)

@@ -4,9 +4,12 @@
    installed. *)
 
 let malloc (st : State.t) size =
-  State.tick st (Cost.malloc size);
-  st.heap_allocs <- st.heap_allocs + 1;
-  Alloc.malloc st.alloc size
+  if Fault.should_oom st.fault then 0  (* injected allocator OOM: NULL *)
+  else begin
+    State.tick st (Cost.malloc size);
+    st.heap_allocs <- st.heap_allocs + 1;
+    Alloc.malloc st.alloc size
+  end
 
 let free (st : State.t) p =
   State.tick st Cost.free_base;

@@ -5,6 +5,13 @@ open Tir.Ir
 
 type outcome =
   | Exit of int
+  (* the run finished under a Recover sink with at least one recorded
+     report: the program's own exit code plus the ordered findings *)
+  | Completed_with_bugs of {
+      code : int;
+      reports : Report.t list;
+      suppressed : int;
+    }
   | Bug of Report.t
   | Fault of Report.trap
 
@@ -265,6 +272,10 @@ and exec_func m (lf : loaded_func) (args : int array) : int =
            let a = State.effective st (ev addr) in
            State.check_mapped st a size;
            let v = Memory.load st.State.mem a size in
+           (* fault injection: pointer-sized loads of tagged values may
+              come back with a flipped tag bit *)
+           let v = if size >= 8 then Fault.corrupt_load st.State.fault v
+             else v in
            regs.(dst) <-
              (if size >= 8 then v
               else if signed then sign_extend v size
@@ -319,29 +330,42 @@ and exec_func m (lf : loaded_func) (args : int array) : int =
   !result
 
 (* Runs [entry] (default main).  All ways a run can end are funneled into
-   the [outcome] type. *)
+   the [outcome] type.  A clean exit under a Recover sink that recorded
+   findings becomes [Completed_with_bugs]. *)
 let run ?(entry = "main") (m : t) : outcome =
+  let finish code =
+    m.rt.Runtime.at_exit m.st;
+    let sink = m.st.State.sink in
+    if Report.sink_recorded sink > 0 then
+      Completed_with_bugs
+        { code; reports = Report.sink_reports sink;
+          suppressed = Report.sink_suppressed sink }
+    else Exit code
+  in
   match
     match Hashtbl.find_opt m.funcs entry with
     | None -> Fault { t_kind = Unresolved_external entry; t_addr = 0;
                       t_detail = "no entry point" }
-    | Some lf ->
-      let v = exec_func m lf [||] in
-      m.rt.Runtime.at_exit m.st;
-      Exit v
+    | Some lf -> finish (exec_func m lf [||])
   with
   | outcome -> outcome
-  | exception State.Exited code ->
-    m.rt.Runtime.at_exit m.st;
-    Exit code
+  | exception State.Exited code -> finish code
   | exception Report.Bug r -> Bug r
   | exception Report.Trap t -> Fault t
 
 let pp_outcome fmt = function
   | Exit c -> Fmt.pf fmt "exit %d" c
+  | Completed_with_bugs { code; reports; suppressed } ->
+    Fmt.pf fmt "exit %d with %d recovered report%s%s" code
+      (List.length reports)
+      (if List.length reports = 1 then "" else "s")
+      (if suppressed = 0 then ""
+       else Printf.sprintf " (+%d suppressed)" suppressed)
   | Bug r -> Fmt.pf fmt "BUG %a" Report.pp r
   | Fault t -> Fmt.pf fmt "FAULT %a" Report.pp_trap t
 
 (* Convenience wrapper used throughout tests and the harness: compile a
    MiniC source and run it under a runtime. *)
-let outcome_is_bug = function Bug _ -> true | Exit _ | Fault _ -> false
+let outcome_is_bug = function
+  | Bug _ | Completed_with_bugs _ -> true
+  | Exit _ | Fault _ -> false

@@ -3,6 +3,11 @@
 
 type outcome =
   | Exit of int            (** normal termination *)
+  | Completed_with_bugs of {
+      code : int;
+      reports : Report.t list;   (** in submission order *)
+      suppressed : int;
+    }  (** finished under a [Recover] sink with recorded findings *)
   | Bug of Report.t        (** a sanitizer reported a violation *)
   | Fault of Report.trap   (** the machine/libc crashed on its own *)
 

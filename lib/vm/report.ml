@@ -19,6 +19,7 @@ type bug_kind =
 type t = {
   r_kind : bug_kind;
   r_addr : int;            (* faulting address (stripped) *)
+  r_site : int;            (* instrumentation site id, -1 if unknown *)
   r_by : string;           (* reporting sanitizer *)
   r_detail : string;
 }
@@ -37,11 +38,44 @@ type trap = { t_kind : trap_kind; t_addr : int; t_detail : string }
 exception Bug of t
 exception Trap of trap
 
-let bug ?(addr = 0) ?(detail = "") ~by kind =
-  raise (Bug { r_kind = kind; r_addr = addr; r_by = by; r_detail = detail })
+let bug ?(addr = 0) ?(site = -1) ?(detail = "") ~by kind =
+  raise
+    (Bug { r_kind = kind; r_addr = addr; r_site = site; r_by = by;
+           r_detail = detail })
 
 let trap ?(addr = 0) ?(detail = "") kind =
   raise (Trap { t_kind = kind; t_addr = addr; t_detail = detail })
+
+(* --- the per-run diagnostic sink ----------------------------------------
+
+   [Halt] is the historical behavior: the first finding raises and the
+   run ends.  [Recover] is the production-deployment mode (ASan's
+   halt_on_error=0): a failed check records a structured report and the
+   caller repairs the operation (strip and proceed, no-op the free) so
+   execution continues.  Reports are deduplicated by kind+address+site,
+   hard-capped at [max_reports], and every submission that is not
+   recorded bumps the overflow counter. *)
+
+type policy = Halt | Recover of { max_reports : int }
+
+type sink = {
+  mutable policy : policy;
+  mutable recorded_rev : t list;        (* newest first *)
+  seen : (string, unit) Hashtbl.t;      (* dedup keys *)
+  mutable n_recorded : int;
+  mutable suppressed : int;             (* deduped or over the cap *)
+}
+
+let default_max_reports = 64
+
+let make_sink ?(policy = Halt) () =
+  { policy; recorded_rev = []; seen = Hashtbl.create 16; n_recorded = 0;
+    suppressed = 0 }
+
+let sink_reports s = List.rev s.recorded_rev
+let sink_recorded s = s.n_recorded
+let sink_suppressed s = s.suppressed
+let recovering s = match s.policy with Halt -> false | Recover _ -> true
 
 let kind_to_string = function
   | Oob_read -> "out-of-bounds-read"
@@ -51,6 +85,32 @@ let kind_to_string = function
   | Invalid_free -> "invalid-free"
   | Sub_object_overflow -> "sub-object-overflow"
   | Other s -> s
+
+(* Submits a finding to the sink.  Under [Halt] this raises [Bug]
+   exactly like [bug]; under [Recover] it records (or suppresses) and
+   returns, and the caller is responsible for continuing safely. *)
+let submit sink ?(addr = 0) ?(site = -1) ?(detail = "") ~by kind =
+  let r =
+    { r_kind = kind; r_addr = addr; r_site = site; r_by = by;
+      r_detail = detail }
+  in
+  match sink.policy with
+  | Halt -> raise (Bug r)
+  | Recover { max_reports } ->
+    let key =
+      Printf.sprintf "%s|%x|%d" (kind_to_string kind) addr site
+    in
+    if Hashtbl.mem sink.seen key then
+      sink.suppressed <- sink.suppressed + 1
+    else begin
+      Hashtbl.replace sink.seen key ();
+      if sink.n_recorded >= max_reports then
+        sink.suppressed <- sink.suppressed + 1
+      else begin
+        sink.recorded_rev <- r :: sink.recorded_rev;
+        sink.n_recorded <- sink.n_recorded + 1
+      end
+    end
 
 let trap_kind_to_string = function
   | Segfault -> "SIGSEGV"

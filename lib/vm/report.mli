@@ -15,6 +15,7 @@ type bug_kind =
 type t = {
   r_kind : bug_kind;
   r_addr : int;     (** faulting address, stripped *)
+  r_site : int;     (** instrumentation site id, -1 if unknown *)
   r_by : string;    (** reporting sanitizer *)
   r_detail : string;
 }
@@ -33,11 +34,46 @@ type trap = { t_kind : trap_kind; t_addr : int; t_detail : string }
 exception Bug of t
 exception Trap of trap
 
-val bug : ?addr:int -> ?detail:string -> by:string -> bug_kind -> 'a
+val bug : ?addr:int -> ?site:int -> ?detail:string -> by:string ->
+  bug_kind -> 'a
 (** Raises [Bug]. *)
 
 val trap : ?addr:int -> ?detail:string -> trap_kind -> 'a
 (** Raises [Trap]. *)
+
+(** {1 The per-run diagnostic sink}
+
+    [Halt] reproduces the historical raise-on-first-finding behavior and
+    is the default.  [Recover] records findings (deduplicated by
+    kind+address+site, capped at [max_reports]) and returns to the
+    caller, which must repair the failed operation and continue — the
+    moral equivalent of ASan's [halt_on_error=0]. *)
+
+type policy = Halt | Recover of { max_reports : int }
+
+type sink = {
+  mutable policy : policy;
+  mutable recorded_rev : t list;   (** newest first; use [sink_reports] *)
+  seen : (string, unit) Hashtbl.t;
+  mutable n_recorded : int;
+  mutable suppressed : int;        (** deduplicated or over the cap *)
+}
+
+val default_max_reports : int
+
+val make_sink : ?policy:policy -> unit -> sink
+
+val submit : sink -> ?addr:int -> ?site:int -> ?detail:string ->
+  by:string -> bug_kind -> unit
+(** Under [Halt]: raises [Bug].  Under [Recover]: records or suppresses
+    the finding and returns. *)
+
+val sink_reports : sink -> t list
+(** Recorded reports in submission order. *)
+
+val sink_recorded : sink -> int
+val sink_suppressed : sink -> int
+val recovering : sink -> bool
 
 val kind_to_string : bug_kind -> string
 val trap_kind_to_string : trap_kind -> string

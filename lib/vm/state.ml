@@ -18,11 +18,19 @@ type t = {
   mutable addr_mask : int;
   (* per-site counters for sanitizer intrinsics (monotonic check grouping) *)
   site_state : (int, int) Hashtbl.t;
+  (* the per-run diagnostic sink: Halt (raise, historical) or Recover *)
+  sink : Report.sink;
+  (* deterministic fault injector consulted by allocators and the
+     metadata table; inert unless faults were requested *)
+  fault : Fault.t;
+  (* runtime-published counters surfaced by the driver and --stats *)
+  telemetry : (string, int) Hashtbl.t;
 }
 
 exception Exited of int
 
-let create ?(cycle_budget = 2_000_000_000) ?(seed = 0x5EED) () =
+let create ?(cycle_budget = 2_000_000_000) ?(seed = 0x5EED)
+    ?(policy = Report.Halt) ?fault () =
   let mem = Memory.create () in
   {
     mem;
@@ -38,7 +46,23 @@ let create ?(cycle_budget = 2_000_000_000) ?(seed = 0x5EED) () =
     heap_allocs = 0;
     addr_mask = -1;
     site_state = Hashtbl.create 64;
+    sink = Report.make_sink ~policy ();
+    fault = (match fault with Some f -> f | None -> Fault.none ());
+    telemetry = Hashtbl.create 16;
   }
+
+(* Submits a sanitizer finding through the run's sink.  Under [Halt]
+   this raises like [Report.bug] always did; under [Recover] it records
+   and returns, and the caller must repair the operation and continue. *)
+let report st ?addr ?site ?detail ~by kind =
+  Report.submit st.sink ?addr ?site ?detail ~by kind
+
+let recovering st = Report.recovering st.sink
+
+let set_stat st key v = Hashtbl.replace st.telemetry key v
+
+let stat st key =
+  match Hashtbl.find_opt st.telemetry key with Some v -> v | None -> 0
 
 let tick st c =
   st.cycles <- st.cycles + c;

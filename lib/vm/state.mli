@@ -18,12 +18,31 @@ type t = {
           top-byte-ignore *)
   site_state : (int, int) Hashtbl.t;
       (** per-instrumentation-site counters for runtimes *)
+  sink : Report.sink;
+      (** the per-run diagnostic sink (Halt by default) *)
+  fault : Fault.t;
+      (** the run's fault injector; inert unless faults were requested *)
+  telemetry : (string, int) Hashtbl.t;
+      (** counters runtimes publish for the driver and [--stats] *)
 }
 
 exception Exited of int
 (** Raised by the [exit] builtin. *)
 
-val create : ?cycle_budget:int -> ?seed:int -> unit -> t
+val create : ?cycle_budget:int -> ?seed:int -> ?policy:Report.policy ->
+  ?fault:Fault.t -> unit -> t
+
+val report : t -> ?addr:int -> ?site:int -> ?detail:string -> by:string ->
+  Report.bug_kind -> unit
+(** Submits a finding through the run's sink: raises under [Halt],
+    records and returns under [Recover] (the caller must then repair the
+    operation and continue). *)
+
+val recovering : t -> bool
+(** True when the sink's policy is [Recover]. *)
+
+val set_stat : t -> string -> int -> unit
+val stat : t -> string -> int
 
 val tick : t -> int -> unit
 (** Advances the clock; raises [Report.Trap Out_of_cycles] past the

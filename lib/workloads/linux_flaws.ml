@@ -256,13 +256,14 @@ let evaluate (san : Sanitizer.Spec.t) (m : t) : bool * bool =
   in
   let detected =
     match bad.Sanitizer.Driver.outcome with
-    | Vm.Machine.Bug _ -> true
+    | Vm.Machine.Bug _ | Vm.Machine.Completed_with_bugs _ -> true
     | Vm.Machine.Fault { t_kind = Vm.Report.Stack_exhausted; _ } -> true
     | Vm.Machine.Exit _ | Vm.Machine.Fault _ -> false
   in
   let clean =
     match good.Sanitizer.Driver.outcome with
     | Vm.Machine.Exit _ -> true
-    | Vm.Machine.Bug _ | Vm.Machine.Fault _ -> false
+    | Vm.Machine.Bug _ | Vm.Machine.Completed_with_bugs _
+    | Vm.Machine.Fault _ -> false
   in
   (detected, clean)

@@ -448,6 +448,26 @@ let table_tests =
           (Vm.Layout46.tag_of d);
         Alcotest.(check int) "e reuses b's slot" (Vm.Layout46.tag_of b)
           (Vm.Layout46.tag_of e));
+    Alcotest.test_case "interleaved alloc/release keeps LIFO order" `Quick
+      (fun () ->
+        let t = mk () in
+        let idx p = Vm.Layout46.tag_of p in
+        let a = idx (Cecsan.Meta_table.alloc t ~base:0x1000 ~size:8) in
+        let b = idx (Cecsan.Meta_table.alloc t ~base:0x2000 ~size:8) in
+        let c = idx (Cecsan.Meta_table.alloc t ~base:0x3000 ~size:8) in
+        Cecsan.Meta_table.release t a;
+        (* a's slot is the top of the free list: the very next alloc
+           takes it, and the frontier is restored behind it *)
+        let d = idx (Cecsan.Meta_table.alloc t ~base:0x4000 ~size:8) in
+        Alcotest.(check int) "d reuses a's slot" a d;
+        Cecsan.Meta_table.release t c;
+        Cecsan.Meta_table.release t b;
+        let e = idx (Cecsan.Meta_table.alloc t ~base:0x5000 ~size:8) in
+        let f = idx (Cecsan.Meta_table.alloc t ~base:0x6000 ~size:8) in
+        let g = idx (Cecsan.Meta_table.alloc t ~base:0x7000 ~size:8) in
+        Alcotest.(check int) "e reuses b's slot (released last)" b e;
+        Alcotest.(check int) "f reuses c's slot" c f;
+        Alcotest.(check int) "g advances the frontier" 4 g);
     QCheck_alcotest.to_alcotest
       (QCheck.Test.make ~name:"free list never hands out a live entry"
          ~count:200
@@ -572,6 +592,83 @@ let exhaustion_tests =
          | o ->
            Alcotest.failf "chain mode should detect, got %a"
              Vm.Machine.pp_outcome o);
+    (* An injected 8-entry table makes exhaustion cheap: the pointer
+       array takes entry 1, the first handful of blocks take 2..7, and
+       everything after is served degraded (entry 0 or a chain). *)
+    Alcotest.test_case "chain mode catches a double free past exhaustion"
+      `Quick (fun () ->
+        let r =
+          Sanitizer.Driver.run
+            (Cecsan.sanitizer ~config:Cecsan.Config.with_chain ())
+            ~fault:(Vm.Fault.of_specs [ Vm.Fault.Table 8 ])
+            {|
+int main() {
+  char **h = (char**)malloc(12 * sizeof(char*));
+  for (int i = 0; i < 12; i++) h[i] = (char*)malloc(16);
+  free(h[10]);
+  free(h[10]);
+  return 0;
+}
+|}
+        in
+        match r.Sanitizer.Driver.outcome with
+        | Vm.Machine.Bug b
+          when is_double_free b.Vm.Report.r_kind
+               || is_invalid_free b.Vm.Report.r_kind -> ()
+        | o ->
+          Alcotest.failf "chained double free undetected: %a"
+            Vm.Machine.pp_outcome o);
+    Alcotest.test_case "chain mode catches a UAF past exhaustion" `Quick
+      (fun () ->
+        let r =
+          Sanitizer.Driver.run
+            (Cecsan.sanitizer ~config:Cecsan.Config.with_chain ())
+            ~fault:(Vm.Fault.of_specs [ Vm.Fault.Table 8 ])
+            {|
+int main() {
+  char **h = (char**)malloc(12 * sizeof(char*));
+  for (int i = 0; i < 12; i++) h[i] = (char*)malloc(16);
+  free(h[10]);
+  int z = h[10][0];
+  return z;
+}
+|}
+        in
+        match r.Sanitizer.Driver.outcome with
+        (* the shared primary entry is still live, so the chain miss
+           surfaces as OOB rather than UAF; either way it is caught *)
+        | Vm.Machine.Bug b
+          when is_uaf b.Vm.Report.r_kind || is_oob b.Vm.Report.r_kind -> ()
+        | o ->
+          Alcotest.failf "chained UAF undetected: %a"
+            Vm.Machine.pp_outcome o);
+    Alcotest.test_case
+      "entry-0 fallback serves reads and writes unprotected but alive"
+      `Quick (fun () ->
+        let r =
+          Sanitizer.Driver.run cecsan
+            ~fault:(Vm.Fault.of_specs [ Vm.Fault.Table 8 ])
+            {|
+int main() {
+  char **h = (char**)malloc(12 * sizeof(char*));
+  for (int i = 0; i < 12; i++) { h[i] = (char*)malloc(16); h[i][0] = 'a'; }
+  h[6][20] = 'x';
+  int v = h[6][0];
+  for (int i = 0; i < 12; i++) free(h[i]);
+  free(h);
+  return v;
+}
+|}
+        in
+        (match r.Sanitizer.Driver.outcome with
+         | Vm.Machine.Exit 97 -> ()  (* the OOB write went through, silently *)
+         | o ->
+           Alcotest.failf "fallback run should complete with 'a', got %a"
+             Vm.Machine.pp_outcome o);
+        match List.assoc_opt "exhausted_fallbacks"
+                r.Sanitizer.Driver.telemetry with
+        | Some n when n > 0 -> ()
+        | _ -> Alcotest.fail "exhausted_fallbacks not published");
     Alcotest.test_case "chain mode stays clean on correct programs" `Quick
       (fun () ->
          let r =
