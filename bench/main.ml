@@ -9,6 +9,13 @@
      dune exec bench/main.exe -- --ablation   -- optimization ablation
      dune exec bench/main.exe -- --faults     -- fault-injection table
      dune exec bench/main.exe -- --micro      -- bechamel microbenches
+     dune exec bench/main.exe -- --smoke      -- <30 s validation subset
+
+   Modifiers:
+     -j N        run the grid on N domains (N=0: one per core); also
+                 settable via CECSAN_JOBS.  Default 1 (sequential).
+                 Results are bit-for-bit identical at any -j.
+     --timings   print wall-clock per experiment phase at the end
 *)
 
 let fmt = Format.std_formatter
@@ -16,45 +23,96 @@ let fmt = Format.std_formatter
 let section title =
   Format.printf "@.%s@.%s@.@." title (String.make (String.length title) '=')
 
+(* --- per-phase wall-clock accounting (--timings) --------------------------- *)
+
+let timings : (string * float) list ref = ref []
+
+let timed name f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  timings := (name, Unix.gettimeofday () -. t0) :: !timings;
+  r
+
+let report_timings ~jobs =
+  Format.printf "@.Timings (wall clock, -j %d)@.%s@." jobs
+    (String.make 44 '-');
+  let total = ref 0.0 in
+  List.iter
+    (fun (name, t) ->
+       total := !total +. t;
+       Format.printf "  %-30s %9.2f s@." name t)
+    (List.rev !timings);
+  Format.printf "%s@.  %-30s %9.2f s@." (String.make 44 '-') "total" !total
+
+(* --- experiments ----------------------------------------------------------- *)
+
 let run_table1 () =
   section "Experiment: Table I";
-  Harness.Tables.table1 fmt ()
+  timed "table1" (fun () -> Harness.Tables.table1 fmt ())
 
-let run_table2 () =
+let run_table2 ?pool () =
   section "Experiment: Table II (985 cases x 6 sanitizers, bad+good)";
-  let d = Harness.Tables.run_table2 () in
+  let d = timed "table2/run" (fun () -> Harness.Tables.run_table2 ?pool ()) in
   Harness.Tables.table2 fmt d
 
 let run_table3 () =
   section "Experiment: Table III (Linux-Flaw models under CECSan)";
-  Harness.Tables.table3 fmt ()
+  timed "table3" (fun () -> Harness.Tables.table3 fmt ())
 
-let run_table4 () =
+let run_table4 ?pool () =
   section "Experiment: Table IV (SPEC2006-like kernels)";
-  let rows = Harness.Overhead.measure Workloads.Spec2006.all in
+  let rows =
+    timed "table4/run" (fun () ->
+        Harness.Overhead.measure ?pool Workloads.Spec2006.all)
+  in
   Harness.Tables.table4 fmt rows
 
-let run_table5 () =
+let run_table5 ?pool () =
   section "Experiment: Table V (SPEC2017-like kernels)";
-  let rows = Harness.Overhead.measure Workloads.Spec2017.all in
+  let rows =
+    timed "table5/run" (fun () ->
+        Harness.Overhead.measure ?pool Workloads.Spec2017.all)
+  in
   Harness.Tables.table5 fmt rows
 
 let run_fig3 () =
   section "Experiment: Figure 3";
-  Harness.Figures.fig3 fmt ()
+  timed "fig3" (fun () -> Harness.Figures.fig3 fmt ())
 
 let run_fig4 () =
   section "Experiment: Figure 4";
-  Harness.Figures.fig4 fmt ()
+  timed "fig4" (fun () -> Harness.Figures.fig4 fmt ())
 
-let run_ablation () =
+let run_ablation ?pool () =
   section "Experiment: optimization ablation (section II.F)";
-  Harness.Tables.ablation fmt Workloads.Spec2006.all
+  timed "ablation" (fun () ->
+      Harness.Tables.ablation ?pool fmt Workloads.Spec2006.all)
 
-let run_faults () =
+let run_faults ?pool () =
   section "Experiment: graceful degradation under injected faults";
-  let d = Harness.Faults.run () in
+  let d = timed "faults/run" (fun () -> Harness.Faults.run ?pool ()) in
   Harness.Faults.render fmt d
+
+(* --smoke: a quick validation subset -- one overhead-table row, a few
+   Juliet families -- for local sanity checks and CI. *)
+let run_smoke ?pool () =
+  section "Smoke: Table I";
+  timed "smoke/table1" (fun () -> Harness.Tables.table1 fmt ());
+  section "Smoke: Table II subset (CWE415 + CWE416 families)";
+  let cases =
+    Juliet.Suite.cases_for Juliet.Case.C415
+    @ Juliet.Suite.cases_for Juliet.Case.C416
+  in
+  let d =
+    timed "smoke/table2" (fun () -> Harness.Tables.run_table2 ?pool ~cases ())
+  in
+  Harness.Tables.table2 fmt d;
+  section "Smoke: Table IV row (mcf)";
+  let rows =
+    timed "smoke/table4" (fun () ->
+        Harness.Overhead.measure ?pool [ Workloads.Spec2006.mcf ])
+  in
+  Harness.Tables.table4 fmt rows
 
 (* --- bechamel microbenchmarks of the core data structures ----------------- *)
 
@@ -137,28 +195,43 @@ let () =
     in
     go args
   in
-  match (arg_after "--table", arg_after "--fig") with
-  | Some "1", _ -> run_table1 ()
-  | Some "2", _ -> run_table2 ()
-  | Some "3", _ -> run_table3 ()
-  | Some "4", _ -> run_table4 ()
-  | Some "5", _ -> run_table5 ()
-  | _, Some "3" -> run_fig3 ()
-  | _, Some "4" -> run_fig4 ()
-  | _ ->
-    if has "--ablation" then run_ablation ()
-    else if has "--faults" then run_faults ()
-    else if has "--micro" then microbenches ()
-    else begin
-      run_table1 ();
-      run_table2 ();
-      run_table3 ();
-      run_table4 ();
-      run_table5 ();
-      run_fig3 ();
-      run_fig4 ();
-      run_ablation ();
-      run_faults ();
-      microbenches ();
-      Format.printf "@.All experiments completed.@."
-    end
+  let jobs =
+    match arg_after "-j" with
+    | Some s ->
+      (match int_of_string_opt s with
+       | Some 0 -> Domain.recommended_domain_count ()
+       | Some n when n > 0 -> n
+       | Some _ | None ->
+         Format.eprintf "-j %s: expected a non-negative integer@." s;
+         exit 2)
+    | None -> Harness.Pool.default_jobs ()
+  in
+  Harness.Pool.with_pool ~jobs (fun p ->
+      let pool = if jobs > 1 then Some p else None in
+      (match (arg_after "--table", arg_after "--fig") with
+       | Some "1", _ -> run_table1 ()
+       | Some "2", _ -> run_table2 ?pool ()
+       | Some "3", _ -> run_table3 ()
+       | Some "4", _ -> run_table4 ?pool ()
+       | Some "5", _ -> run_table5 ?pool ()
+       | _, Some "3" -> run_fig3 ()
+       | _, Some "4" -> run_fig4 ()
+       | _ ->
+         if has "--ablation" then run_ablation ?pool ()
+         else if has "--faults" then run_faults ?pool ()
+         else if has "--micro" then microbenches ()
+         else if has "--smoke" then run_smoke ?pool ()
+         else begin
+           run_table1 ();
+           run_table2 ?pool ();
+           run_table3 ();
+           run_table4 ?pool ();
+           run_table5 ?pool ();
+           run_fig3 ();
+           run_fig4 ();
+           run_ablation ?pool ();
+           run_faults ?pool ();
+           microbenches ();
+           Format.printf "@.All experiments completed.@."
+         end);
+      if has "--timings" then report_timings ~jobs)

@@ -71,7 +71,7 @@ let no_opt =
        & info [ "O0" ] ~doc:"Disable the -O2 model (slot promotion).")
 
 let budget =
-  Arg.(value & opt int 2_000_000_000
+  Arg.(value & opt int Vm.State.default_budget
        & info [ "budget" ] ~docv:"CYCLES" ~doc:"Cycle budget for the run.")
 
 let recover =

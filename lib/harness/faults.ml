@@ -80,15 +80,32 @@ let run_cell (san : Sanitizer.Spec.t) (w : Workloads.Spec2006.t) scenario :
       c_chained = chained;
     }
 
-let run ?(workload = Workloads.Spec2006.perlbench) () : data =
+(* Every (sanitizer, scenario) cell is independent: flatten the grid,
+   fan it out, regroup by row. *)
+let run ?pool ?(workload = Workloads.Spec2006.perlbench) () : data =
+  let rows = lineup () in
+  let grid =
+    List.concat_map
+      (fun (_, san) -> List.map (fun sc -> (san, sc)) scenarios)
+      rows
+  in
+  let cells =
+    Pool.maybe_map pool (fun (san, sc) -> run_cell san workload sc) grid
+  in
+  let per_row = List.length scenarios in
+  let f_rows =
+    List.mapi
+      (fun i (name, _) ->
+         ( name,
+           List.filteri
+             (fun j _ -> j >= i * per_row && j < (i + 1) * per_row)
+             cells ))
+      rows
+  in
   {
     f_workload = workload.Workloads.Spec2006.w_name;
     f_scenarios = scenarios;
-    f_rows =
-      List.map
-        (fun (name, san) ->
-           (name, List.map (run_cell san workload) scenarios))
-        (lineup ());
+    f_rows;
   }
 
 let cell_to_string c =

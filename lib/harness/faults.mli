@@ -28,8 +28,9 @@ val lineup : unit -> (string * Sanitizer.Spec.t) list
 val run_cell : Sanitizer.Spec.t -> Workloads.Spec2006.t -> string -> cell
 (** One sanitizer, one workload, one fault scenario, recover policy. *)
 
-val run : ?workload:Workloads.Spec2006.t -> unit -> data
+val run : ?pool:Pool.t -> ?workload:Workloads.Spec2006.t -> unit -> data
 (** The full lineup x scenario grid (default workload:
-    [Workloads.Spec2006.perlbench]). *)
+    [Workloads.Spec2006.perlbench]); [pool] fans the independent cells
+    out across domains. *)
 
 val render : Format.formatter -> data -> unit

@@ -20,9 +20,12 @@ type row = {
   r_correct : bool;   (* all runs returned the expected checksum *)
 }
 
-let budget = 2_000_000_000
+(* One shared, overridable budget: the same parameter bounds the
+   baseline run and every sanitizer run of a row (previously a duplicated
+   literal), and defaults to the VM-wide constant. *)
+let default_budget = Vm.State.default_budget
 
-let run_workload (sans : Sanitizer.Spec.t list)
+let run_workload ?(budget = default_budget) (sans : Sanitizer.Spec.t list)
     (w : Workloads.Spec2006.t) : row =
   let base = Sanitizer.Driver.run Sanitizer.Spec.none ~budget w.w_source in
   let base_ok =
@@ -67,8 +70,11 @@ let perf_lineup () : Sanitizer.Spec.t list =
     Cecsan.sanitizer ();
   ]
 
-let measure (workloads : Workloads.Spec2006.t list) : row list =
-  List.map (run_workload (perf_lineup ())) workloads
+(* Rows are independent (each re-derives its own baseline), so the pool
+   fans them out one workload per job. *)
+let measure ?budget ?pool (workloads : Workloads.Spec2006.t list) :
+  row list =
+  Pool.maybe_map pool (run_workload ?budget (perf_lineup ())) workloads
 
 (* Column extraction + aggregate rows. *)
 let column (rows : row list) (tool : string) (f : measurement -> float) :

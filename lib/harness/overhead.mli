@@ -18,14 +18,21 @@ type row = {
   r_correct : bool;  (** every run returned the expected checksum *)
 }
 
-val budget : int
+val default_budget : int
+(** The shared cycle budget ([Vm.State.default_budget]) bounding both
+    the baseline and every sanitizer run; override per call with
+    [?budget]. *)
 
-val run_workload : Sanitizer.Spec.t list -> Workloads.Spec2006.t -> row
+val run_workload :
+  ?budget:int -> Sanitizer.Spec.t list -> Workloads.Spec2006.t -> row
 
 val perf_lineup : unit -> Sanitizer.Spec.t list
 (** ASan, ASan--, CECSan: the Table IV/V columns. *)
 
-val measure : Workloads.Spec2006.t list -> row list
+val measure :
+  ?budget:int -> ?pool:Pool.t -> Workloads.Spec2006.t list -> row list
+(** One row per workload; [pool] fans the rows out across domains
+    (deterministic: identical to the sequential result). *)
 
 val column : row list -> string -> (measurement -> float) -> float list
 

@@ -1,0 +1,140 @@
+(* A fixed-size pool of OCaml 5 domains with a shared work queue.
+
+   The evaluation grid is embarrassingly parallel: every Driver.run is
+   seeded and cost-model deterministic, and no two runs share mutable
+   state (each gets its own Vm.State; the driver's compile cache is
+   mutex-guarded and hands out clones).  So the pool only has to fan
+   independent jobs out across cores and reassemble results in
+   submission order -- parallel output is then bit-for-bit identical to
+   sequential output by construction.
+
+   [map] blocks the submitting thread until every task finished.  Tasks
+   must not themselves call [map] on the same pool (a worker waiting on
+   workers can deadlock a full queue); the harness only ever
+   parallelizes the outermost loop of each experiment. *)
+
+type task = unit -> unit
+
+type t = {
+  jobs : int;
+  queue : task Queue.t;
+  lock : Mutex.t;
+  work_ready : Condition.t;
+  mutable shutting_down : bool;
+  mutable domains : unit Domain.t list;
+}
+
+let env_var = "CECSAN_JOBS"
+
+(* CECSAN_JOBS resolution: unset/empty/invalid -> 1 (sequential by
+   construction, so CI and tests stay reproducible); 0 -> one worker per
+   recommended domain. *)
+let default_jobs () =
+  match Sys.getenv_opt env_var with
+  | None | Some "" -> 1
+  | Some s ->
+    (match int_of_string_opt (String.trim s) with
+     | Some 0 -> Domain.recommended_domain_count ()
+     | Some n when n > 0 -> n
+     | Some _ | None -> 1)
+
+let worker pool () =
+  let rec loop () =
+    Mutex.lock pool.lock;
+    while Queue.is_empty pool.queue && not pool.shutting_down do
+      Condition.wait pool.work_ready pool.lock
+    done;
+    match Queue.take_opt pool.queue with
+    | Some task ->
+      Mutex.unlock pool.lock;
+      task ();
+      loop ()
+    | None ->
+      (* empty queue + shutting_down *)
+      Mutex.unlock pool.lock
+  in
+  loop ()
+
+let create ~jobs =
+  let jobs =
+    if jobs = 0 then Domain.recommended_domain_count () else max 1 jobs
+  in
+  let pool =
+    { jobs; queue = Queue.create (); lock = Mutex.create ();
+      work_ready = Condition.create (); shutting_down = false;
+      domains = [] }
+  in
+  (* jobs = 1 runs everything on the submitter: no domains at all *)
+  if jobs > 1 then
+    pool.domains <-
+      List.init (jobs - 1) (fun _ -> Domain.spawn (worker pool));
+  pool
+
+let shutdown pool =
+  Mutex.lock pool.lock;
+  pool.shutting_down <- true;
+  Condition.broadcast pool.work_ready;
+  Mutex.unlock pool.lock;
+  List.iter Domain.join pool.domains;
+  pool.domains <- []
+
+let with_pool ~jobs f =
+  let pool = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
+(* Deterministic parallel map: item i's result (or exception) goes to
+   slot i; after the barrier the lowest-index exception, if any, is
+   re-raised -- the same exception a sequential run would have surfaced
+   first. *)
+let map (pool : t) (f : 'a -> 'b) (xs : 'a list) : 'b list =
+  let items = Array.of_list xs in
+  let n = Array.length items in
+  if pool.jobs <= 1 || n <= 1 then List.map f xs
+  else begin
+    let results : ('b, exn) result option array = Array.make n None in
+    let remaining = Atomic.make n in
+    let all_done = Condition.create () in
+    let run i =
+      let r = try Ok (f items.(i)) with e -> Error e in
+      results.(i) <- Some r;
+      if Atomic.fetch_and_add remaining (-1) = 1 then begin
+        (* last task: wake the submitter *)
+        Mutex.lock pool.lock;
+        Condition.broadcast all_done;
+        Mutex.unlock pool.lock
+      end
+    in
+    Mutex.lock pool.lock;
+    for i = 0 to n - 1 do
+      Queue.add (fun () -> run i) pool.queue
+    done;
+    Condition.broadcast pool.work_ready;
+    Mutex.unlock pool.lock;
+    (* the submitter works the queue too, so jobs=N means N active
+       domains, and a pool is never idle while its owner waits *)
+    let rec drain () =
+      Mutex.lock pool.lock;
+      let task = Queue.take_opt pool.queue in
+      Mutex.unlock pool.lock;
+      match task with
+      | Some task -> task (); drain ()
+      | None -> ()
+    in
+    drain ();
+    Mutex.lock pool.lock;
+    while Atomic.get remaining > 0 do
+      Condition.wait all_done pool.lock
+    done;
+    Mutex.unlock pool.lock;
+    Array.to_list
+      (Array.map
+         (function
+           | Some (Ok v) -> v
+           | Some (Error e) -> raise e
+           | None -> assert false)
+         results)
+  end
+
+(* The harness entry points all take [?pool]; [None] means sequential. *)
+let maybe_map (pool : t option) (f : 'a -> 'b) (xs : 'a list) : 'b list =
+  match pool with Some p when p.jobs > 1 -> map p f xs | _ -> List.map f xs

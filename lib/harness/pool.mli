@@ -1,0 +1,39 @@
+(** A fixed-size pool of OCaml 5 domains with a shared work queue,
+    feeding the evaluation grid (Tables II/IV/V, the ablation, the fault
+    table).
+
+    Every job is an independent, seeded, cost-model-deterministic
+    [Driver.run]; [map] reassembles results in submission order, so
+    parallel output is bit-for-bit identical to sequential output.  Jobs
+    must not call [map] on the same pool recursively. *)
+
+type t
+
+val env_var : string
+(** ["CECSAN_JOBS"]. *)
+
+val default_jobs : unit -> int
+(** Resolves [CECSAN_JOBS]: unset/invalid means 1 (sequential), [0]
+    means [Domain.recommended_domain_count ()]. *)
+
+val create : jobs:int -> t
+(** [jobs] total workers (the submitting thread counts as one, so
+    [jobs - 1] domains are spawned).  [jobs = 0] means one worker per
+    recommended domain; [jobs <= 1] runs everything sequentially on the
+    submitter. *)
+
+val shutdown : t -> unit
+(** Drains the workers and joins their domains.  Idempotent. *)
+
+val with_pool : jobs:int -> (t -> 'a) -> 'a
+(** [create]/[shutdown] bracket. *)
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** Parallel [List.map] with results in submission order.  If tasks
+    raised, the lowest-index exception is re-raised after all tasks
+    finished -- the same exception a sequential run would surface
+    first. *)
+
+val maybe_map : t option -> ('a -> 'b) -> 'a list -> 'b list
+(** [map] when a pool with more than one worker is given, [List.map]
+    otherwise -- the shape every harness [?pool] entry point uses. *)

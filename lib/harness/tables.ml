@@ -33,8 +33,13 @@ type table2_data = {
   t2_tools : Juliet.Runner.tool_results list;
 }
 
-let run_table2 ?(cases = Juliet.Suite.all ()) () : table2_data =
-  { t2_tools = List.map (fun san -> Juliet.Runner.run_tool san cases)
+(* Tools run one after another; the pool parallelizes each tool's case
+   loop (985 independent bad+good runs per tool). *)
+let run_table2 ?pool ?(cases = Juliet.Suite.all ()) () : table2_data =
+  { t2_tools =
+      List.map
+        (fun san ->
+           Juliet.Runner.run_tool ~map:(Pool.maybe_map pool) san cases)
         (Juliet.Runner.lineup ()) }
 
 let paper_table2 =
@@ -164,27 +169,35 @@ let table5 fmt (rows : Overhead.row list) =
 
 (* --- Ablation: contribution of each optimization (section II.F) ------------- *)
 
-let ablation fmt (workloads : Workloads.Spec2006.t list) =
+let ablation ?pool fmt (workloads : Workloads.Spec2006.t list) =
   Fmt.pf fmt "ABLATION: CECSan optimizations (section II.F) on the \
               SPEC2006-like kernels@.";
   rule fmt 76;
   Fmt.pf fmt "%-20s %12s %16s@." "Configuration" "runtime avg"
     "vs full CECSan";
   rule fmt 76;
+  (* the uninstrumented baseline is configuration-independent: measure
+     it once per workload instead of once per (configuration, workload) *)
+  let bases =
+    Pool.maybe_map pool
+      (fun (w : Workloads.Spec2006.t) ->
+         (Sanitizer.Driver.run Sanitizer.Spec.none
+            ~budget:Overhead.default_budget w.w_source)
+           .Sanitizer.Driver.cycles)
+      workloads
+  in
+  let pairs = List.combine workloads bases in
   let measure_with (san : Sanitizer.Spec.t) =
     let rts =
-      List.map
-        (fun (w : Workloads.Spec2006.t) ->
-           let base =
-             Sanitizer.Driver.run Sanitizer.Spec.none
-               ~budget:Overhead.budget w.w_source
-           in
+      Pool.maybe_map pool
+        (fun ((w : Workloads.Spec2006.t), base_cycles) ->
            let r =
-             Sanitizer.Driver.run san ~budget:Overhead.budget w.w_source
+             Sanitizer.Driver.run san ~budget:Overhead.default_budget
+               w.w_source
            in
-           Stats.percent_overhead ~base:base.Sanitizer.Driver.cycles
+           Stats.percent_overhead ~base:base_cycles
              ~measured:r.Sanitizer.Driver.cycles)
-        workloads
+        pairs
     in
     Stats.average rts
   in

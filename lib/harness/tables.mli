@@ -5,7 +5,11 @@ val table1 : Format.formatter -> unit -> unit
 
 type table2_data = { t2_tools : Juliet.Runner.tool_results list }
 
-val run_table2 : ?cases:Juliet.Case.t list -> unit -> table2_data
+val run_table2 :
+  ?pool:Pool.t -> ?cases:Juliet.Case.t list -> unit -> table2_data
+(** [pool] parallelizes each tool's case loop; results are identical
+    to the sequential run. *)
+
 val paper_table2 : (string * float list) list
 val table2 : Format.formatter -> table2_data -> unit
 
@@ -14,4 +18,5 @@ val table3 : Format.formatter -> unit -> unit
 val table4 : Format.formatter -> Overhead.row list -> unit
 val table5 : Format.formatter -> Overhead.row list -> unit
 
-val ablation : Format.formatter -> Workloads.Spec2006.t list -> unit
+val ablation :
+  ?pool:Pool.t -> Format.formatter -> Workloads.Spec2006.t list -> unit

@@ -68,8 +68,13 @@ let run_one (san : Sanitizer.Spec.t) (c : t) : case_result =
     | exception Sanitizer.Spec.Unsupported _ ->
       { case = c; verdict = Excluded; good_fp = false }
 
-let run_tool (san : Sanitizer.Spec.t) (cases : t list) : tool_results =
-  let results = List.map (run_one san) cases in
+(* [map] lets the harness substitute a parallel map (Harness.Pool) for
+   the case loop; cases are independent and results keep submission
+   order, so the default List.map and any order-preserving parallel map
+   produce identical tables. *)
+let run_tool ?(map = List.map) (san : Sanitizer.Spec.t) (cases : t list) :
+  tool_results =
+  let results = map (run_one san) cases in
   let evaluated =
     List.length (List.filter (fun r -> r.verdict <> Excluded) results)
   in

@@ -27,7 +27,13 @@ val excluded_by : string -> Case.t -> bool
     [Sanitizer.Spec.Unsupported] at build time. *)
 
 val run_one : Sanitizer.Spec.t -> Case.t -> case_result
-val run_tool : Sanitizer.Spec.t -> Case.t list -> tool_results
+
+val run_tool :
+  ?map:((Case.t -> case_result) -> Case.t list -> case_result list) ->
+  Sanitizer.Spec.t -> Case.t list -> tool_results
+(** [map] (default [List.map]) runs the per-case loop; the harness
+    passes an order-preserving parallel map ([Harness.Pool.map]), which
+    yields identical results because cases are independent. *)
 
 val rate : tool_results -> Case.cwe -> float option
 (** Detection percentage over the tool's evaluated subset of that CWE. *)

@@ -1,9 +1,13 @@
 (* End-to-end driver: MiniC source -> checked AST -> Tir -> promoted IR
    -> sanitizer instrumentation -> VM run.
 
-   The driver re-lowers from source for every sanitizer (instrumentation
-   mutates the module), which keeps each pipeline independent -- the
-   moral equivalent of recompiling with a different -fsanitize= flag. *)
+   Each sanitizer still gets its own module to mutate (the moral
+   equivalent of recompiling with a different -fsanitize= flag), but the
+   front end runs once per source: [build] parses/checks/lowers/promotes
+   through a compile cache and hands every sanitizer a deep clone
+   ([Tir.Ir.clone]) of the pristine module.  The cache is keyed by
+   (source, optimize) and guarded by a mutex so parallel harness runs
+   (Harness.Pool) share it safely. *)
 
 type run_result = {
   outcome : Vm.Machine.outcome;
@@ -19,16 +23,58 @@ type run_result = {
 }
 
 (* Parse, check and lower a source file; [optimize] runs the -O2 model
-   (slot promotion).  Raises [Minic.Sema.Error] or [Tir.Lower.Error]. *)
+   (slot promotion).  Raises [Minic.Sema.Error] or [Tir.Lower.Error].
+   Always runs the front end; callers that can tolerate a shared
+   pristine module go through [compile_cached] instead. *)
 let compile ?(optimize = true) (src : string) : Tir.Ir.modul =
   let checked = Minic.Sema.parse_and_check src in
   let md = Tir.Lower.lower checked in
   if optimize then ignore (Tir.Promote.run md) else Tir.Analysis.run md;
   md
 
+(* The compile cache.  Pristine modules are inserted once and never
+   mutated afterwards; every consumer receives a deep clone.  Concurrent
+   readers of an immutable-after-insert module are safe, so the lock only
+   covers the table itself. *)
+let cache_lock = Mutex.create ()
+let cache : (bool * string, Tir.Ir.modul) Hashtbl.t = Hashtbl.create 256
+
+(* Safety valve for pathological workloads (the harness compiles a few
+   thousand distinct sources at most). *)
+let cache_capacity = 16_384
+
+let clear_compile_cache () =
+  Mutex.lock cache_lock;
+  Hashtbl.reset cache;
+  Mutex.unlock cache_lock
+
+let compile_cached ~optimize (src : string) : Tir.Ir.modul =
+  let key = (optimize, src) in
+  let cached =
+    Mutex.lock cache_lock;
+    let r = Hashtbl.find_opt cache key in
+    Mutex.unlock cache_lock;
+    r
+  in
+  let pristine =
+    match cached with
+    | Some md -> md
+    | None ->
+      (* compiled outside the lock: front-end errors must propagate to
+         this caller, and compilation is deterministic so a racing
+         duplicate insert is harmless (last write wins, same value) *)
+      let md = compile ~optimize src in
+      Mutex.lock cache_lock;
+      if Hashtbl.length cache >= cache_capacity then Hashtbl.reset cache;
+      Hashtbl.replace cache key md;
+      Mutex.unlock cache_lock;
+      md
+  in
+  Tir.Ir.clone pristine
+
 (* Compiles under a sanitizer.  May raise [Spec.Unsupported]. *)
 let build (san : Spec.t) ?(optimize = true) (src : string) : Tir.Ir.modul =
-  let md = compile ~optimize src in
+  let md = compile_cached ~optimize src in
   san.Spec.instrument md;
   md
 
@@ -43,13 +89,13 @@ let build_link (san : Spec.t) ?(optimize = true)
   match units with
   | [] -> invalid_arg "build_link: no units"
   | (first_src, first_kind) :: rest ->
-    let primary = compile ~optimize first_src in
+    let primary = compile_cached ~optimize first_src in
     (match first_kind with
      | `Instrumented -> ()
      | `Uninstrumented -> invalid_arg "build_link: main unit must be instrumented");
     List.iter
       (fun (src, kind) ->
-         let md = compile ~optimize src in
+         let md = compile_cached ~optimize src in
          Tir.Link.merge
            ~mark_external:(match kind with
                | `Uninstrumented -> true
@@ -64,7 +110,7 @@ let build_link (san : Spec.t) ?(optimize = true)
    sanitizer's default finding policy; [fault] threads a fault injector
    into the run. *)
 let run_module (san : Spec.t) ?(lines = []) ?(packets = []) ?(externs = [])
-    ?(budget = 2_000_000_000) ?(seed = 0x5EED) ?policy ?fault
+    ?(budget = Vm.State.default_budget) ?(seed = 0x5EED) ?policy ?fault
     (md : Tir.Ir.modul) : run_result =
   let policy =
     match policy with Some p -> p | None -> san.Spec.default_policy

@@ -20,10 +20,20 @@ type run_result = {
 
 val compile : ?optimize:bool -> string -> Tir.Ir.modul
 (** Parse, check, lower; [optimize] (default true) runs the -O2 model
-    (slot promotion).  Raises [Minic.Sema.Error] or [Tir.Lower.Error]. *)
+    (slot promotion).  Raises [Minic.Sema.Error] or [Tir.Lower.Error].
+    Always runs the front end (no caching). *)
+
+val compile_cached : optimize:bool -> string -> Tir.Ir.modul
+(** Like [compile], but parse/check/lower/promote run once per
+    (source, optimize) pair; the result is a deep clone ([Tir.Ir.clone])
+    of the cached pristine module, safe to mutate.  Thread-safe: the
+    cache is shared across Harness.Pool workers. *)
+
+val clear_compile_cache : unit -> unit
+(** Drops every cached module (tests, memory pressure). *)
 
 val build : Spec.t -> ?optimize:bool -> string -> Tir.Ir.modul
-(** [compile] then instrument.  May raise [Spec.Unsupported]. *)
+(** [compile_cached] then instrument.  May raise [Spec.Unsupported]. *)
 
 val build_link :
   Spec.t ->

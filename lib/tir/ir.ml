@@ -113,6 +113,51 @@ let fresh_reg f =
   f.f_nregs <- r + 1;
   r
 
+(* --- deep clone --------------------------------------------------------- *)
+
+(* Deep-copies every mutable structure of a module so that instrumenting
+   (or otherwise rewriting) the clone cannot be observed through the
+   original.  Instructions, terminators and operands are immutable and
+   shared; blocks, slots, functions, globals (including the initializer
+   image), the function table and the layout table are copied.  This is
+   what lets the driver's compile cache hand each sanitizer its own
+   module without re-running the front end. *)
+
+let clone_block b = { b_id = b.b_id; b_instrs = b.b_instrs; b_term = b.b_term }
+
+let clone_slot s =
+  { s_id = s.s_id; s_name = s.s_name; s_size = s.s_size; s_align = s.s_align;
+    s_ty = s.s_ty; s_unsafe = s.s_unsafe }
+
+let clone_func f =
+  {
+    f_name = f.f_name;
+    f_params = f.f_params;
+    f_nregs = f.f_nregs;
+    f_slots = List.map clone_slot f.f_slots;
+    f_blocks = Array.map clone_block f.f_blocks;
+    f_external = f.f_external;
+    f_ret_void = f.f_ret_void;
+    f_sig_ptrs = f.f_sig_ptrs;
+    f_ret_ptr = f.f_ret_ptr;
+  }
+
+let clone_global g =
+  { g_name = g.g_name; g_size = g.g_size; g_align = g.g_align;
+    g_image = Bytes.copy g.g_image; g_ty = g.g_ty;
+    g_internal = g.g_internal; g_unsafe = g.g_unsafe }
+
+let clone m =
+  let funcs = Hashtbl.create (Hashtbl.length m.m_funcs) in
+  Hashtbl.iter (fun name f -> Hashtbl.replace funcs name (clone_func f))
+    m.m_funcs;
+  {
+    m_globals = List.map clone_global m.m_globals;
+    m_funcs = funcs;
+    m_layouts = Hashtbl.copy m.m_layouts;
+    m_next_site = m.m_next_site;
+  }
+
 (* --- operand / instruction utilities ----------------------------------- *)
 
 let defs = function

@@ -104,6 +104,12 @@ type modul = {
 val fresh_site : modul -> int
 (** A unique id for a new instrumentation site. *)
 
+val clone : modul -> modul
+(** Deep copy: every mutable structure (blocks, slots, functions, global
+    images, the function and layout tables) is duplicated, so rewriting
+    the clone leaves the original untouched.  Immutable instructions and
+    operands are shared.  Backs the driver's compile-once cache. *)
+
 val fresh_reg : func -> int
 
 val defs : instr -> int option

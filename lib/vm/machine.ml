@@ -15,13 +15,40 @@ type outcome =
   | Bug of Report.t
   | Fault of Report.trap
 
+(* Functions are "loaded" in two phases.  [load_func] computes the frame
+   layout and registers the function; a second pass then pre-resolves the
+   code, turning per-execution hashtable lookups into load-time work:
+
+   - [Glob] operands whose symbol is known become [Imm] addresses
+     (globals have fixed addresses once placed);
+   - direct-call targets are resolved to the callee's [loaded_func]
+     ([Vdirect]) -- only genuinely external callees keep the by-name
+     slow path ([Vnamed]);
+   - intrinsics are resolved to the runtime's implementation, with the
+     site id pre-appended to the argument vector.
+
+   Unknown globals and unregistered intrinsics stay lazy so they still
+   trap at execution time (not at load time), as before. *)
+
 type loaded_func = {
   lf : func;
-  code : instr array array;      (* per block *)
-  terms : term array;
+  mutable code : vinstr array array;   (* per block; filled by [resolve] *)
+  mutable terms : term array;
   frame_size : int;
   slot_off : int array;
 }
+
+and vinstr =
+  | Vplain of instr                    (* operands pre-resolved *)
+  | Vcall of { dst : int option; target : vtarget; args : opnd array }
+  | Vintrin of {
+      dst : int option;
+      mutable fn : Runtime.intrinsic option;  (* memoized re-resolution *)
+      name : string;
+      args : opnd array;               (* site id appended as [Imm] *)
+    }
+
+and vtarget = Vdirect of loaded_func | Vnamed of string
 
 type t = {
   st : State.t;
@@ -49,12 +76,51 @@ let load_func (f : func) : loaded_func =
     f.f_slots;
   {
     lf = f;
-    code = Array.map (fun b -> Array.of_list b.b_instrs) f.f_blocks;
+    code = [||];
     terms = Array.map (fun b -> b.b_term) f.f_blocks;
     (* a minimum frame models the saved ra/fp pair *)
     frame_size = align_up (max !off 32) 16;
     slot_off;
   }
+
+let resolve_opnd globals (o : opnd) : opnd =
+  match o with
+  | Glob g ->
+    (match Hashtbl.find_opt globals g with
+     | Some a -> Imm a
+     | None -> o)  (* unknown global: traps at execution, as before *)
+  | Reg _ | Imm _ -> o
+
+let resolve_instr funcs globals rt (i : instr) : vinstr =
+  let r = resolve_opnd globals in
+  match i with
+  | Icall { dst; callee; args } ->
+    let args = Array.of_list (List.map r args) in
+    let target =
+      match Hashtbl.find_opt funcs callee with
+      | Some lf -> Vdirect lf
+      | None -> Vnamed callee
+    in
+    Vcall { dst; target; args }
+  | Iintrin { dst; name; args; site } ->
+    let args = Array.of_list (List.map r args @ [ Imm site ]) in
+    Vintrin { dst; fn = Runtime.find_intrinsic rt name; name; args }
+  | Imov { dst; src } -> Vplain (Imov { dst; src = r src })
+  | Ibin { op; dst; a; b } -> Vplain (Ibin { op; dst; a = r a; b = r b })
+  | Icmp { op; dst; a; b } -> Vplain (Icmp { op; dst; a = r a; b = r b })
+  | Isext { dst; src; bytes } -> Vplain (Isext { dst; src = r src; bytes })
+  | Iload { dst; addr; size; signed; safe } ->
+    Vplain (Iload { dst; addr = r addr; size; signed; safe })
+  | Istore { addr; src; size; safe } ->
+    Vplain (Istore { addr = r addr; src = r src; size; safe })
+  | Islot _ -> Vplain i
+  | Igep { dst; base; idx; info } ->
+    Vplain (Igep { dst; base = r base; idx = Option.map r idx; info })
+
+let resolve_term globals = function
+  | Tret (Some o) -> Tret (Some (resolve_opnd globals o))
+  | Tcbr (o, a, b) -> Tcbr (resolve_opnd globals o, a, b)
+  | (Tret None | Tbr _) as t -> t
 
 (* Loads globals into the globals region and snapshots the functions. *)
 let create ?(st = State.create ()) ?(rt = Runtime.none) (md : modul) : t =
@@ -75,6 +141,17 @@ let create ?(st = State.create ()) ?(rt = Runtime.none) (md : modul) : t =
   iter_funcs md (fun f ->
       if Array.length f.f_blocks > 0 then
         Hashtbl.replace funcs f.f_name (load_func f));
+  (* phase 2: every function and global address is known -- resolve *)
+  Hashtbl.iter
+    (fun _ lf ->
+       lf.code <-
+         Array.map
+           (fun b ->
+              Array.of_list
+                (List.map (resolve_instr funcs globals rt) b.b_instrs))
+           lf.lf.f_blocks;
+       lf.terms <- Array.map (resolve_term globals) lf.terms)
+    funcs;
   let m =
     { st; md; rt; funcs; globals;
       ctx = { Libc.st; malloc = (fun _ -> 0); free = ignore;
@@ -184,28 +261,29 @@ let tbi_wrap m (callee : string) (raw_fn : int array -> int)
   end
 
 let rec exec_call m (callee : string) (args : int array) : int =
-  let st = m.st in
   match Hashtbl.find_opt m.funcs callee with
   | Some lf -> exec_func m lf args
+  | None -> exec_named m callee args
+
+(* The by-name slow path: the allocation family, libc builtins (with
+   interception and TBI), registered externs.  Pre-resolution guarantees
+   [Vnamed] callees are never module functions, so the funcs lookup is
+   skipped. *)
+and exec_named m (callee : string) (args : int array) : int =
+  let st = m.st in
+  match run_alloc_family m callee args with
+  | Some v -> v
   | None ->
-    (match run_alloc_family m callee args with
-     | Some v -> v
+    (match Libc.find callee with
+     | Some raw_fn ->
+       let raw args = tbi_wrap m callee (fun a -> raw_fn m.ctx a) args in
+       (match m.rt.Runtime.intercept callee with
+        | Some wrapper -> wrapper st ~raw args
+        | None -> raw args)
      | None ->
-       (match Libc.find callee with
-        | Some raw_fn ->
-          let raw args = tbi_wrap m callee (fun a -> raw_fn m.ctx a) args in
-          (match m.rt.Runtime.intercept callee with
-           | Some wrapper -> wrapper st ~raw args
-           | None -> raw args)
-        | None ->
-          (match Hashtbl.find_opt m.externs callee with
-           | Some fn -> fn st args
-           | None ->
-             (match find_func m.md callee with
-              | Some { f_external = true; _ } ->
-                Report.trap (Report.Unresolved_external callee)
-              | _ ->
-                Report.trap (Report.Unresolved_external callee)))))
+       (match Hashtbl.find_opt m.externs callee with
+        | Some fn -> fn st args
+        | None -> Report.trap (Report.Unresolved_external callee)))
 
 and exec_func m (lf : loaded_func) (args : int array) : int =
   let st = m.st in
@@ -237,6 +315,33 @@ and exec_func m (lf : loaded_func) (args : int array) : int =
        State.tick st n;  (* baseline: one cycle per instruction *)
        for pc = 0 to n - 1 do
          match Array.unsafe_get code pc with
+         | Vcall { dst; target; args } ->
+           State.tick st (Cost.call - 1);
+           let argv = Array.map ev args in
+           let v =
+             match target with
+             | Vdirect lf -> exec_func m lf argv
+             | Vnamed callee -> exec_named m callee argv
+           in
+           (match dst with Some d -> regs.(d) <- v | None -> ())
+         | Vintrin ({ dst; fn; name; args } as vi) ->
+           let argv = Array.map ev args in  (* site id is the last arg *)
+           (match fn with
+            | Some fn ->
+              let v = fn st argv in
+              (match dst with Some d -> regs.(d) <- v | None -> ())
+            | None ->
+              (* registered after load? re-resolve once, else trap *)
+              (match Runtime.find_intrinsic m.rt name with
+               | Some fn ->
+                 vi.fn <- Some fn;
+                 let v = fn st argv in
+                 (match dst with Some d -> regs.(d) <- v | None -> ())
+               | None ->
+                 Report.trap
+                   (Report.Unresolved_external ("intrinsic " ^ name))))
+         | Vplain i ->
+         match i with
          | Imov { dst; src } -> regs.(dst) <- ev src
          | Ibin { op; dst; a; b } ->
            let x = ev a and y = ev b in

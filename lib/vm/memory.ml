@@ -17,22 +17,36 @@ type t = {
   mutable resident_pages : int;
   (* residency split for reporting: program vs sanitizer areas *)
   mutable sanitizer_pages : int;
+  (* last-page cache: consecutive accesses to the same 4 KiB page (the
+     overwhelmingly common case -- stack frames, string scans, stencil
+     rows) skip the page hashtable *)
+  mutable last_pn : int;
+  mutable last_page : bytes;
 }
 
 let create () =
-  { pages = Hashtbl.create 1024; resident_pages = 0; sanitizer_pages = 0 }
+  { pages = Hashtbl.create 1024; resident_pages = 0; sanitizer_pages = 0;
+    last_pn = min_int; last_page = Bytes.empty }
 
-let page mem a =
-  let pn = Layout46.page_of a in
+let page_slow mem a pn =
   match Hashtbl.find_opt mem.pages pn with
-  | Some p -> p
+  | Some p ->
+    mem.last_pn <- pn;
+    mem.last_page <- p;
+    p
   | None ->
     let p = Bytes.make Layout46.page_size '\000' in
     Hashtbl.replace mem.pages pn p;
     mem.resident_pages <- mem.resident_pages + 1;
     if a >= Layout46.shadow_base then
       mem.sanitizer_pages <- mem.sanitizer_pages + 1;
+    mem.last_pn <- pn;
+    mem.last_page <- p;
     p
+
+let page mem a =
+  let pn = Layout46.page_of a in
+  if pn = mem.last_pn then mem.last_page else page_slow mem a pn
 
 let load_byte mem a =
   Char.code (Bytes.get (page mem a) (a land (Layout46.page_size - 1)))

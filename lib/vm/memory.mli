@@ -9,6 +9,8 @@ type t = {
   pages : (int, bytes) Hashtbl.t;
   mutable resident_pages : int;
   mutable sanitizer_pages : int;
+  mutable last_pn : int;    (** last-page cache: page number ... *)
+  mutable last_page : bytes;  (** ... and its backing store *)
 }
 
 val create : unit -> t

@@ -29,7 +29,11 @@ type t = {
 
 exception Exited of int
 
-let create ?(cycle_budget = 2_000_000_000) ?(seed = 0x5EED)
+(* The one authoritative default cycle budget: the driver, the overhead
+   harness and the CLI all inherit it instead of repeating the literal. *)
+let default_budget = 2_000_000_000
+
+let create ?(cycle_budget = default_budget) ?(seed = 0x5EED)
     ?(policy = Report.Halt) ?fault () =
   let mem = Memory.create () in
   {

@@ -29,6 +29,10 @@ type t = {
 exception Exited of int
 (** Raised by the [exit] builtin. *)
 
+val default_budget : int
+(** The default cycle budget (2e9), shared by [create], the driver and
+    the overhead harness. *)
+
 val create : ?cycle_budget:int -> ?seed:int -> ?policy:Report.policy ->
   ?fault:Fault.t -> unit -> t
 

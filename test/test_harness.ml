@@ -105,10 +105,55 @@ let sampled_eval_tests =
            d.Harness.Tables.t2_tools);
   ]
 
+(* the tentpole guarantee: running the grid on a domain pool produces
+   results structurally identical to the sequential run *)
+let parallel_tests =
+  [
+    Alcotest.test_case "pool map preserves submission order" `Quick
+      (fun () ->
+         Harness.Pool.with_pool ~jobs:4 (fun p ->
+             let xs = List.init 100 Fun.id in
+             Alcotest.(check (list int))
+               "order" (List.map (fun x -> x * x) xs)
+               (Harness.Pool.map p (fun x -> x * x) xs)));
+    Alcotest.test_case "pool map re-raises the lowest-index exception"
+      `Quick
+      (fun () ->
+         Harness.Pool.with_pool ~jobs:4 (fun p ->
+             match
+               Harness.Pool.map p
+                 (fun x -> if x mod 5 = 3 then failwith (string_of_int x)
+                   else x)
+                 (List.init 32 Fun.id)
+             with
+             | (_ : int list) -> Alcotest.fail "expected an exception"
+             | exception Failure m ->
+               Alcotest.(check string) "first failing index" "3" m));
+    Alcotest.test_case "-j 4 Table II subset equals sequential" `Quick
+      (fun () ->
+         let cases = Juliet.Suite.cases_for Juliet.Case.C415 in
+         let seq = Harness.Tables.run_table2 ~cases () in
+         let par =
+           Harness.Pool.with_pool ~jobs:4 (fun p ->
+               Harness.Tables.run_table2 ~pool:p ~cases ())
+         in
+         Alcotest.(check bool) "identical results" true (seq = par));
+    Alcotest.test_case "-j 4 Table IV row equals sequential" `Quick
+      (fun () ->
+         let w = [ Workloads.Spec2006.mcf ] in
+         let seq = Harness.Overhead.measure w in
+         let par =
+           Harness.Pool.with_pool ~jobs:4 (fun p ->
+               Harness.Overhead.measure ~pool:p w)
+         in
+         Alcotest.(check bool) "identical rows" true (seq = par));
+  ]
+
 let () =
   Alcotest.run "harness"
     [
       "stats", stats_tests;
       "rendering", rendering_tests;
       "sampled-eval", sampled_eval_tests;
+      "parallel", parallel_tests;
     ]

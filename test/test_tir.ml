@@ -348,6 +348,31 @@ let differential_test =
            Baselines.Softbound_cets.sanitizer ();
          ])
 
+let clone_deep =
+  (* Ir.clone must copy every mutable structure: a sanitizer pass run on
+     the clone (rewriting blocks, slots, globals in place) may not leak
+     through to the original.  This is what makes Driver.compile_cached
+     sound. *)
+  QCheck.Test.make
+    ~name:"Ir.clone is deep (instrumenting the clone leaves the \
+           original byte-identical)"
+    ~count:60
+    (QCheck.make Fuzz.program ~print:(fun s -> s))
+    (fun src ->
+       let m = Sanitizer.Driver.compile src in
+       let before = Tir.Pp.module_to_string m in
+       let c = Tir.Ir.clone m in
+       if not (String.equal before (Tir.Pp.module_to_string c)) then
+         QCheck.Test.fail_report "clone is not a faithful copy";
+       (Cecsan.sanitizer ()).Sanitizer.Spec.instrument c;
+       if String.equal before (Tir.Pp.module_to_string c) then
+         QCheck.Test.fail_report
+           "instrumentation was a no-op; the test is vacuous";
+       if not (String.equal before (Tir.Pp.module_to_string m)) then
+         QCheck.Test.fail_report
+           "instrumenting the clone mutated the original";
+       true)
+
 let promote_differential =
   QCheck.Test.make ~name:"promotion (-O2 model) preserves semantics"
     ~count:80
@@ -528,6 +553,7 @@ let () =
       "differential",
       [
         QCheck_alcotest.to_alcotest differential_test;
+        QCheck_alcotest.to_alcotest clone_deep;
         QCheck_alcotest.to_alcotest promote_differential;
       ];
     ]
