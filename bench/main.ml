@@ -9,18 +9,27 @@
      dune exec bench/main.exe -- --ablation   -- optimization ablation
      dune exec bench/main.exe -- --faults     -- fault-injection table
      dune exec bench/main.exe -- --micro      -- bechamel microbenches
+     dune exec bench/main.exe -- --fuzz N     -- N-program differential
+                                                fuzz campaign
      dune exec bench/main.exe -- --smoke      -- <30 s validation subset
 
    Modifiers:
      -j N        run the grid on N domains (N=0: one per core); also
                  settable via CECSAN_JOBS.  Default 1 (sequential).
                  Results are bit-for-bit identical at any -j.
+     --seed S    run seed (default 0x5EED), echoed in every section
+                 header so any report is reproducible from its log
      --timings   print wall-clock per experiment phase at the end
 *)
 
 let fmt = Format.std_formatter
 
+(* Every experiment header carries the run seed: a report is
+   reproducible from its own text. *)
+let run_seed = ref 0x5EED
+
 let section title =
+  let title = Printf.sprintf "%s [seed=0x%x]" title !run_seed in
   Format.printf "@.%s@.%s@.@." title (String.make (String.length title) '=')
 
 (* --- per-phase wall-clock accounting (--timings) --------------------------- *)
@@ -92,6 +101,14 @@ let run_faults ?pool () =
   section "Experiment: graceful degradation under injected faults";
   let d = timed "faults/run" (fun () -> Harness.Faults.run ?pool ()) in
   Harness.Faults.render fmt d
+
+let run_fuzz ?pool ~jobs n =
+  section "Experiment: differential fuzz campaign";
+  let s =
+    timed "fuzz" (fun () -> Fuzz.Campaign.run ?pool ~seed:!run_seed ~n ())
+  in
+  Fuzz.Campaign.render fmt ~jobs s;
+  if not (Fuzz.Campaign.passed s) then exit 1
 
 (* --smoke: a quick validation subset -- one overhead-table row, a few
    Juliet families -- for local sanity checks and CI. *)
@@ -206,6 +223,14 @@ let () =
          exit 2)
     | None -> Harness.Pool.default_jobs ()
   in
+  (match arg_after "--seed" with
+   | Some s ->
+     (match int_of_string_opt s with
+      | Some v when v >= 0 -> run_seed := v
+      | Some _ | None ->
+        Format.eprintf "--seed %s: expected a non-negative integer@." s;
+        exit 2)
+   | None -> ());
   Harness.Pool.with_pool ~jobs (fun p ->
       let pool = if jobs > 1 then Some p else None in
       (match (arg_after "--table", arg_after "--fig") with
@@ -220,6 +245,13 @@ let () =
          if has "--ablation" then run_ablation ?pool ()
          else if has "--faults" then run_faults ?pool ()
          else if has "--micro" then microbenches ()
+         else if has "--fuzz" then begin
+           match Option.bind (arg_after "--fuzz") int_of_string_opt with
+           | Some n when n > 0 -> run_fuzz ?pool ~jobs n
+           | _ ->
+             Format.eprintf "--fuzz: expected a positive program count@.";
+             exit 2
+         end
          else if has "--smoke" then run_smoke ?pool ()
          else begin
            run_table1 ();

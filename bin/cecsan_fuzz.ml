@@ -1,0 +1,135 @@
+(* cecsan_fuzz: differential fuzzing campaigns for the simulated stack.
+
+   Generate seeded MiniC programs (half clean, half with one planted
+   bug), run each uninstrumented and under CECSan (Halt/Recover, opt
+   on/off) plus selected baselines, and cross-check every verdict
+   against DESIGN.md section 3's capability matrix.  Failures are
+   shrunk to standalone repros.
+
+     dune exec bin/cecsan_fuzz.exe -- -n 500
+     dune exec bin/cecsan_fuzz.exe -- -n 500 --seed 0xBEEF -j 4
+     dune exec bin/cecsan_fuzz.exe -- --smoke -j 2
+     dune exec bin/cecsan_fuzz.exe -- -n 200 --tools asan,hwasan
+     dune exec bin/cecsan_fuzz.exe -- --write-corpus --corpus-dir test/corpus
+*)
+
+open Cmdliner
+
+let seed_conv =
+  let parse s =
+    match int_of_string_opt s with
+    | Some v when v >= 0 -> Ok v
+    | _ -> Error (`Msg ("expected a non-negative integer (0x.. ok): " ^ s))
+  in
+  Arg.conv (parse, fun fmt v -> Fmt.pf fmt "0x%x" v)
+
+let n_programs =
+  Arg.(value & opt int 500
+       & info [ "n" ] ~docv:"N" ~doc:"Number of programs to generate.")
+
+let seed =
+  Arg.(value & opt seed_conv 0x5EED
+       & info [ "seed" ] ~docv:"SEED"
+           ~doc:"Campaign seed; every per-program seed derives from it, \
+                 so a campaign is reproducible from the report header.")
+
+let jobs =
+  Arg.(value & opt int 1
+       & info [ "j"; "jobs" ] ~docv:"J"
+           ~doc:"Run the campaign on J domains (0: one per core).  \
+                 Verdicts are bit-for-bit identical at any J.")
+
+let smoke =
+  Arg.(value & flag
+       & info [ "smoke" ]
+           ~doc:"Quick CI subset: 120 programs, CECSan only.")
+
+let tools =
+  Arg.(value & opt string ""
+       & info [ "tools" ] ~docv:"NAMES"
+           ~doc:"Comma-separated baselines to cross-check in addition to \
+                 CECSan: asan, asan--, hwasan, softbound, pacmem, \
+                 cryptsan.")
+
+let max_shrink =
+  Arg.(value & opt int 5
+       & info [ "max-shrink" ] ~docv:"K"
+           ~doc:"Shrink at most K failing cases (shrinking is \
+                 sequential).")
+
+let repro_dir =
+  Arg.(value & opt (some string) None
+       & info [ "repro-dir" ] ~docv:"DIR"
+           ~doc:"Write each shrunk failure as a standalone .mc repro \
+                 into DIR.")
+
+let write_corpus =
+  Arg.(value & flag
+       & info [ "write-corpus" ]
+           ~doc:"Instead of a campaign, regenerate the regression corpus \
+                 (shrunk bug-injected programs CECSan detects) into \
+                 $(b,--corpus-dir).")
+
+let corpus_dir =
+  Arg.(value & opt string "test/corpus"
+       & info [ "corpus-dir" ] ~docv:"DIR"
+           ~doc:"Target directory for $(b,--write-corpus).")
+
+let corpus_count =
+  Arg.(value & opt int 10
+       & info [ "corpus-count" ] ~docv:"N"
+           ~doc:"Corpus entries to write under $(b,--write-corpus).")
+
+let run_cmd n seed jobs smoke tools max_shrink repro_dir write_corpus
+    corpus_dir corpus_count =
+  if write_corpus then begin
+    let paths =
+      Fuzz.Campaign.write_corpus ~dir:corpus_dir ~seed ~count:corpus_count ()
+    in
+    Fmt.pr "Corpus: seed=0x%x, %d entries under %s@." seed
+      (List.length paths) corpus_dir;
+    List.iter (fun p -> Fmt.pr "  %s@." p) paths;
+    exit 0
+  end;
+  let tool_names =
+    if String.trim tools = "" then []
+    else
+      List.map String.trim (String.split_on_char ',' tools)
+      |> List.filter (fun s -> s <> "")
+  in
+  List.iter
+    (fun name ->
+       if Fuzz.Oracle.baseline_of_name name = None then begin
+         Fmt.epr "--tools %s: unknown baseline@." name;
+         exit 2
+       end)
+    tool_names;
+  let n = if smoke then 120 else n in
+  let jobs =
+    if jobs = 0 then Domain.recommended_domain_count ()
+    else if jobs < 1 then (Fmt.epr "-j: expected >= 0@."; exit 2)
+    else jobs
+  in
+  let summary =
+    Harness.Pool.with_pool ~jobs (fun p ->
+        let pool = if jobs > 1 then Some p else None in
+        Fuzz.Campaign.run ?pool ~tool_names ~max_shrink ~seed ~n ())
+  in
+  Fuzz.Campaign.render Format.std_formatter ~jobs summary;
+  (match repro_dir with
+   | Some dir when summary.Fuzz.Campaign.shrunk <> [] ->
+     let paths = Fuzz.Campaign.write_repros ~dir summary in
+     List.iter (fun p -> Fmt.pr "repro written: %s@." p) paths
+   | _ -> ());
+  exit (if Fuzz.Campaign.passed summary then 0 else 1)
+
+let cmd =
+  let doc = "differential fuzzing of the CECSan reproduction: seeded \
+             program generation, cross-sanitizer oracle, tape shrinking" in
+  Cmd.v
+    (Cmd.info "cecsan_fuzz" ~version:"1.0" ~doc)
+    Term.(const run_cmd $ n_programs $ seed $ jobs $ smoke $ tools
+          $ max_shrink $ repro_dir $ write_corpus $ corpus_dir
+          $ corpus_count)
+
+let () = Cmd.eval cmd |> exit

@@ -1,0 +1,287 @@
+(* Fuzz.Campaign: seeded differential campaigns over Harness.Pool.
+
+   Program i of a campaign gets the independent seed
+   [Tape.mix campaign_seed i] (odd indices carry a planted bug), so the
+   grid is embarrassingly parallel and the verdict stream is identical
+   at any job count: Pool.map keeps submission order, and shrinking of
+   the (rare) failures happens sequentially afterwards. *)
+
+let sp = Printf.sprintf
+
+type row = {
+  index : int;
+  seed : int;
+  plan : Gen.plan option;
+  failures : string list;      (* Oracle.failure_name labels *)
+}
+
+type shrunk = {
+  s_row : row;
+  s_failures : Oracle.failure list;
+  s_src : string;
+  s_tape : int array;
+  s_lines : int;
+}
+
+type summary = {
+  campaign_seed : int;
+  n : int;
+  tool_names : string list;
+  rows : row list;
+  shrunk : shrunk list;
+  clean : int;
+  buggy : int;
+  false_positives : int;
+  false_negatives : int;
+  divergences : int;
+  opt_unsound : int;
+  misclassified : int;
+  gen_invalid : int;
+}
+
+let inject_of_index i = i land 1 = 1
+
+let tools_of_names names = List.filter_map Oracle.baseline_of_name names
+
+(* One self-contained job: everything derived from (campaign_seed, i). *)
+let run_one ~tool_names ~campaign_seed i =
+  let tools = tools_of_names tool_names in
+  let seed = Tape.mix campaign_seed i in
+  let p = Gen.generate ~inject:(inject_of_index i) (Tape.fresh ~seed) in
+  let fs = Oracle.evaluate ~tools p in
+  (p, { index = i; seed; plan = p.Gen.plan; failures = List.map Oracle.failure_name fs },
+   fs)
+
+(* Shrinks a failing case: the minimized tape must regenerate a program
+   that still exhibits every one of the original failure labels. *)
+let shrink_failure ~tool_names ~inject (p : Gen.program)
+    (failures : Oracle.failure list) : shrunk option =
+  let tools = tools_of_names tool_names in
+  let wanted = List.map Oracle.failure_name failures in
+  let evaluate_tape tape =
+    let p' = Gen.generate ~inject (Tape.replay tape) in
+    (p', Oracle.evaluate ~tools p')
+  in
+  let still_fails tape =
+    let _, fs = evaluate_tape tape in
+    let names = List.map Oracle.failure_name fs in
+    List.for_all (fun w -> List.mem w names) wanted
+  in
+  if not (still_fails p.Gen.tape) then None
+  else
+    let best = Shrink.minimize ~still_fails p.Gen.tape in
+    let p_min, fs_min = evaluate_tape best in
+    Some
+      { s_row = { index = -1; seed = 0; plan = p_min.Gen.plan;
+                  failures = List.map Oracle.failure_name fs_min };
+        s_failures = fs_min;
+        s_src = p_min.Gen.src;
+        s_tape = best;
+        s_lines = Gen.line_count p_min.Gen.src }
+
+let count_kind rows pred =
+  List.fold_left
+    (fun acc r -> acc + List.length (List.filter pred r)) 0
+    (List.map (fun r -> r.failures) rows)
+
+let has_prefix ~prefix s =
+  String.length s >= String.length prefix
+  && String.equal (String.sub s 0 (String.length prefix)) prefix
+
+let run ?pool ?(tool_names = []) ?(max_shrink = 5) ~seed ~n () : summary =
+  let indices = List.init n (fun i -> i) in
+  let results =
+    Harness.Pool.maybe_map pool
+      (run_one ~tool_names ~campaign_seed:seed)
+      indices
+  in
+  let rows = List.map (fun (_, r, _) -> r) results in
+  let failing =
+    List.filter (fun (_, r, _) -> r.failures <> []) results
+  in
+  let shrunk =
+    List.filteri (fun i _ -> i < max_shrink) failing
+    |> List.filter_map (fun (p, r, fs) ->
+        match
+          shrink_failure ~tool_names ~inject:(inject_of_index r.index) p fs
+        with
+        | Some s -> Some { s with s_row = { s.s_row with index = r.index;
+                                            seed = r.seed } }
+        | None ->
+          (* non-reproducible from its own tape: report unshrunk *)
+          Some { s_row = r; s_failures = fs; s_src = p.Gen.src;
+                 s_tape = p.Gen.tape;
+                 s_lines = Gen.line_count p.Gen.src })
+  in
+  {
+    campaign_seed = seed;
+    n;
+    tool_names;
+    rows;
+    shrunk;
+    clean = List.length (List.filter (fun r -> r.plan = None) rows);
+    buggy = List.length (List.filter (fun r -> r.plan <> None) rows);
+    false_positives = count_kind rows (has_prefix ~prefix:"false-positive");
+    false_negatives = count_kind rows (has_prefix ~prefix:"false-negative");
+    divergences = count_kind rows (has_prefix ~prefix:"divergence");
+    opt_unsound = count_kind rows (has_prefix ~prefix:"opt-unsound");
+    misclassified = count_kind rows (has_prefix ~prefix:"misclassified");
+    gen_invalid = count_kind rows (has_prefix ~prefix:"gen-invalid");
+  }
+
+let passed s =
+  s.false_positives = 0 && s.false_negatives = 0 && s.divergences = 0
+  && s.opt_unsound = 0 && s.misclassified = 0 && s.gen_invalid = 0
+
+(* --- rendering ----------------------------------------------------------- *)
+
+let class_histogram rows =
+  List.fold_left
+    (fun acc r ->
+       match r.plan with
+       | None -> acc
+       | Some p ->
+         let k = Gen.class_name p.Gen.cls in
+         (k, 1 + Option.value (List.assoc_opt k acc) ~default:0)
+         :: List.remove_assoc k acc)
+    [] rows
+  |> List.sort compare
+
+(* The header carries everything needed to replay the campaign from the
+   log alone: seed, size, job count, tool lineup. *)
+let render fmt ~jobs (s : summary) =
+  Format.fprintf fmt
+    "Fuzz campaign: seed=0x%x n=%d jobs=%d tools=cecsan%s@."
+    s.campaign_seed s.n jobs
+    (match s.tool_names with
+     | [] -> ""
+     | ts -> "," ^ String.concat "," ts);
+  Format.fprintf fmt "  programs: %d clean + %d bug-injected@." s.clean
+    s.buggy;
+  List.iter
+    (fun (k, v) -> Format.fprintf fmt "    planted %-16s %4d@." k v)
+    (class_histogram s.rows);
+  Format.fprintf fmt "  false positives   : %d@." s.false_positives;
+  Format.fprintf fmt "  false negatives   : %d@." s.false_negatives;
+  Format.fprintf fmt "  divergences       : %d@." s.divergences;
+  Format.fprintf fmt "  optimizer-unsound : %d@." s.opt_unsound;
+  Format.fprintf fmt "  misclassified     : %d@." s.misclassified;
+  Format.fprintf fmt "  generator-invalid : %d@." s.gen_invalid;
+  List.iter
+    (fun sh ->
+       Format.fprintf fmt
+         "@.  FAILURE (program %d, seed 0x%x, shrunk to %d lines):@."
+         sh.s_row.index sh.s_row.seed sh.s_lines;
+       List.iter
+         (fun f ->
+            Format.fprintf fmt "    %s: %s@." (Oracle.failure_name f)
+              (Oracle.failure_detail f))
+         sh.s_failures;
+       Format.fprintf fmt "    tape: %s@." (Tape.to_string sh.s_tape);
+       List.iter
+         (fun l -> Format.fprintf fmt "    | %s@." l)
+         (String.split_on_char '\n' sh.s_src))
+    s.shrunk;
+  Format.fprintf fmt "@.  RESULT: %s@."
+    (if passed s then "PASS" else "FAIL")
+
+(* --- repro / corpus files ------------------------------------------------ *)
+
+let repro_contents ~seed ~inject ~(failures : Oracle.failure list)
+    ~(tape : int array) (src : string) =
+  String.concat "\n"
+    ([ "/* cecsan-fuzz repro";
+       sp "   seed: 0x%x" seed;
+       sp "   inject: %b" inject;
+     ]
+     @ List.map
+       (fun f -> sp "   failure: %s (%s)" (Oracle.failure_name f)
+           (Oracle.failure_detail f))
+       failures
+     @ [ sp "   tape: %s" (Tape.to_string tape); "*/"; src; "" ])
+
+let corpus_contents ~cls ~seed ~(tape : int array) (src : string) =
+  String.concat "\n"
+    [ "/* cecsan-fuzz corpus entry";
+      sp "   class: %s" (Gen.class_name cls);
+      sp "   seed: 0x%x" seed;
+      sp "   tape: %s" (Tape.to_string tape);
+      "   expect: detected by CECSan under Halt and Recover"; "*/"; src;
+      "" ]
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+let mkdir_p dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
+
+(* Writes shrunk failure repros; returns the paths. *)
+let write_repros ~dir (s : summary) : string list =
+  if s.shrunk = [] then []
+  else begin
+    mkdir_p dir;
+    List.map
+      (fun sh ->
+         let path =
+           Filename.concat dir
+             (sp "repro_%04d_%s.mc" sh.s_row.index
+                (match sh.s_failures with
+                 | f :: _ ->
+                   String.map
+                     (function ':' -> '_' | c -> c)
+                     (Oracle.failure_name f)
+                 | [] -> "unknown"))
+         in
+         write_file path
+           (repro_contents ~seed:sh.s_row.seed
+              ~inject:(inject_of_index sh.s_row.index)
+              ~failures:sh.s_failures ~tape:sh.s_tape sh.s_src);
+         path)
+      s.shrunk
+  end
+
+(* Seeds a regression corpus: the first [count] bug-injected programs
+   that CECSan detects, each shrunk to the smallest tape on which the
+   SAME class is still planted and still detected (with the right
+   kind).  Deterministic in [seed]. *)
+let write_corpus ~dir ~seed ~count () : string list =
+  mkdir_p dir;
+  let detect_same_class cls tape =
+    let p = Gen.generate ~inject:true (Tape.replay tape) in
+    match p.Gen.plan with
+    | Some pl when pl.Gen.cls = cls ->
+      (match
+         Oracle.run_tool (Cecsan.sanitizer ()) ~optimize:true p.Gen.src
+       with
+       | tr ->
+         tr.Oracle.detected
+         && (match tr.Oracle.first_kind with
+             | Some k -> Oracle.kind_ok cls k
+             | None -> false)
+       | exception Oracle.Compile_error _ -> false)
+    | _ -> false
+  in
+  let rec go i collected paths =
+    if collected >= count || i > 10_000 then List.rev paths
+    else
+      let pseed = Tape.mix seed i in
+      let p = Gen.generate ~inject:true (Tape.fresh ~seed:pseed) in
+      match p.Gen.plan with
+      | Some pl when detect_same_class pl.Gen.cls p.Gen.tape ->
+        let tape =
+          Shrink.minimize ~still_fails:(detect_same_class pl.Gen.cls)
+            p.Gen.tape
+        in
+        let p_min = Gen.generate ~inject:true (Tape.replay tape) in
+        let path =
+          Filename.concat dir
+            (sp "%02d_%s.mc" collected (Gen.class_name pl.Gen.cls))
+        in
+        write_file path
+          (corpus_contents ~cls:pl.Gen.cls ~seed:pseed ~tape p_min.Gen.src);
+        go (i + 1) (collected + 1) (path :: paths)
+      | _ -> go (i + 1) collected paths
+  in
+  go 1 0 []

@@ -1,0 +1,68 @@
+(** Seeded differential campaigns over [Harness.Pool]: per-program
+    derived seeds, submission-order deterministic verdicts (identical at
+    any job count), shrunk failure repros, and corpus seeding. *)
+
+type row = {
+  index : int;
+  seed : int;                 (** per-program derived seed *)
+  plan : Gen.plan option;
+  failures : string list;     (** [Oracle.failure_name] labels *)
+}
+
+type shrunk = {
+  s_row : row;
+  s_failures : Oracle.failure list;
+  s_src : string;             (** minimized repro source *)
+  s_tape : int array;
+  s_lines : int;
+}
+
+type summary = {
+  campaign_seed : int;
+  n : int;
+  tool_names : string list;
+  rows : row list;
+  shrunk : shrunk list;
+  clean : int;
+  buggy : int;
+  false_positives : int;
+  false_negatives : int;
+  divergences : int;
+  opt_unsound : int;
+  misclassified : int;
+  gen_invalid : int;
+}
+
+val inject_of_index : int -> bool
+(** Odd program indices carry a planted bug. *)
+
+val run :
+  ?pool:Harness.Pool.t -> ?tool_names:string list -> ?max_shrink:int ->
+  seed:int -> n:int -> unit -> summary
+(** Runs the campaign; shrinks up to [max_shrink] failures (default 5)
+    sequentially after the parallel phase. *)
+
+val passed : summary -> bool
+
+val render : Format.formatter -> jobs:int -> summary -> unit
+(** The header line carries seed, n, jobs and tools, so any campaign is
+    reproducible from the log alone. *)
+
+val shrink_failure :
+  tool_names:string list -> inject:bool -> Gen.program ->
+  Oracle.failure list -> shrunk option
+(** Minimizes one failing case; [None] if its own tape does not
+    reproduce the failure. *)
+
+val repro_contents :
+  seed:int -> inject:bool -> failures:Oracle.failure list ->
+  tape:int array -> string -> string
+
+val write_repros : dir:string -> summary -> string list
+(** Writes each shrunk failure as a standalone [.mc] file; returns the
+    paths. *)
+
+val write_corpus : dir:string -> seed:int -> count:int -> unit -> string list
+(** Seeds a regression corpus with the first [count] detected
+    bug-injected programs, each shrunk while CECSan still detects the
+    same class. *)

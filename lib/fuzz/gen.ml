@@ -1,0 +1,362 @@
+(* Fuzz.Gen: a seeded generator of well-defined MiniC programs, with an
+   optional bug-injection mode that plants exactly one labeled
+   memory-safety defect.
+
+   Clean programs are deterministic and allocator-layout independent by
+   construction, so every sanitizer must reproduce the uninstrumented
+   run byte for byte (stdout + exit code):
+
+   - every object is fully initialized at creation (memset / fill loop /
+     calloc), so no read ever observes recycled allocator contents;
+   - no pointer VALUE ever reaches stdout or the exit code, only data,
+     so redzone allocators (ASan) and tagged pointers (HWASan) cannot
+     perturb the output;
+   - all loops have constant bounds, so termination is structural and
+     the run fits any sane cycle budget.
+
+   Bug injection appends one flawed action at the end of the program.
+   The ground truth -- class, far/adjacent, victim size alignment -- is
+   machine-readable in [plan], which is what the oracle's capability
+   matrix keys on (DESIGN.md section 3 / section 10). *)
+
+let sp = Printf.sprintf
+
+type bug_class =
+  | Spatial_heap
+  | Spatial_stack
+  | Spatial_global
+  | Subobject
+  | Uaf
+  | Double_free
+  | Invalid_free
+
+let all_classes =
+  [ Spatial_heap; Spatial_stack; Spatial_global; Subobject; Uaf;
+    Double_free; Invalid_free ]
+
+let class_name = function
+  | Spatial_heap -> "spatial-heap"
+  | Spatial_stack -> "spatial-stack"
+  | Spatial_global -> "spatial-global"
+  | Subobject -> "subobject"
+  | Uaf -> "uaf"
+  | Double_free -> "double-free"
+  | Invalid_free -> "invalid-free"
+
+let class_of_name s =
+  List.find_opt (fun c -> String.equal (class_name c) s) all_classes
+
+type plan = {
+  cls : bug_class;
+  far : bool;        (* the OOB stride jumps well past any redzone *)
+  write : bool;      (* the flawed access is a write (else a read) *)
+  granule16 : bool;  (* victim byte size is a multiple of 16 *)
+}
+
+type program = {
+  src : string;
+  plan : plan option;
+  tape : int array;
+}
+
+(* --- the scene: objects the generated program owns ----------------------- *)
+
+type region = Heap | Stack | Global
+
+type obj = {
+  name : string;
+  elem : string;            (* "char" | "int" | "long" *)
+  esize : int;
+  mutable count : int;      (* elements *)
+  region : region;
+  mutable freed : bool;
+}
+
+let generate ?(inject = false) (t : Tape.t) : program =
+  (* The plan is drawn FIRST so a shrunk tape prefix keeps the class
+     stable for as long as possible. *)
+  let plan =
+    if inject then
+      Some
+        {
+          cls = Tape.pick t all_classes;
+          far = Tape.bool t;
+          write = Tape.bool t;
+          granule16 = false (* filled in once the victim is chosen *);
+        }
+    else None
+  in
+  let globals = ref [] in
+  let body = ref [] in
+  let emit s = body := s :: !body in
+  let objs : obj list ref = ref [] in
+  let next_id = ref 0 in
+  let fresh p =
+    let n = sp "%s%d" p !next_id in
+    incr next_id;
+    n
+  in
+  let add o = objs := !objs @ [ o ] in
+  let live region =
+    List.filter (fun o -> o.region = region && not o.freed) !objs
+  in
+  let live_elem region elem =
+    List.filter (fun o -> String.equal o.elem elem) (live region)
+  in
+  (* --- object constructors (always fully initialized) --- *)
+  let mk_global () =
+    let count = 4 + (4 * Tape.draw t 7) in
+    let name = fresh "g" in
+    globals := !globals @ [ sp "int %s[%d];" name count ];
+    (* globals are zero-initialized by the loader: already defined *)
+    add { name; elem = "int"; esize = 4; count; region = Global;
+          freed = false }
+  in
+  let mk_stack () =
+    let name = fresh "s" in
+    if Tape.bool t then begin
+      let count = 8 + Tape.draw t 25 in
+      emit (sp "char %s[%d];" name count);
+      emit (sp "memset(%s, %d, %d);" name (65 + Tape.draw t 26) count);
+      add { name; elem = "char"; esize = 1; count; region = Stack;
+            freed = false }
+    end
+    else begin
+      let count = 4 + Tape.draw t 13 in
+      let i = fresh "i" in
+      emit (sp "int %s[%d];" name count);
+      emit (sp "for (int %s = 0; %s < %d; %s++) %s[%s] = %s + %d;" i i count
+              i name i i (Tape.draw t 50));
+      add { name; elem = "int"; esize = 4; count; region = Stack;
+            freed = false }
+    end
+  in
+  let mk_heap () =
+    let name = fresh "h" in
+    match Tape.draw t 3 with
+    | 0 ->
+      let count = 8 + Tape.draw t 25 in
+      emit (sp "char *%s = (char*)malloc(%d);" name count);
+      emit (sp "memset(%s, %d, %d);" name (65 + Tape.draw t 26) count);
+      add { name; elem = "char"; esize = 1; count; region = Heap;
+            freed = false }
+    | 1 ->
+      let count = 4 + Tape.draw t 13 in
+      let i = fresh "i" in
+      emit (sp "int *%s = (int*)malloc(%d * sizeof(int));" name count);
+      emit (sp "for (int %s = 0; %s < %d; %s++) %s[%s] = %s * %d;" i i count
+              i name i i (1 + Tape.draw t 9));
+      add { name; elem = "int"; esize = 4; count; region = Heap;
+            freed = false }
+    | _ ->
+      let count = 4 + Tape.draw t 13 in
+      emit (sp "long *%s = (long*)calloc(%d, sizeof(long));" name count);
+      add { name; elem = "long"; esize = 8; count; region = Heap;
+            freed = false }
+  in
+  (* --- the fixed prologue: one of each region, so every bug class has
+     a victim no matter what the action draws do --- *)
+  mk_global ();
+  emit "int sum = 0;";
+  let heap0 =
+    let count = 8 + Tape.draw t 25 in
+    let name = fresh "h" in
+    emit (sp "char *%s = (char*)malloc(%d);" name count);
+    emit (sp "memset(%s, %d, %d);" name (65 + Tape.draw t 26) count);
+    let o =
+      { name; elem = "char"; esize = 1; count; region = Heap; freed = false }
+    in
+    add o;
+    o
+  in
+  ignore heap0;
+  let stack0 =
+    let count = 8 + Tape.draw t 25 in
+    let name = fresh "s" in
+    emit (sp "char %s[%d];" name count);
+    emit (sp "memset(%s, %d, %d);" name (65 + Tape.draw t 26) count);
+    let o =
+      { name; elem = "char"; esize = 1; count; region = Stack;
+        freed = false }
+    in
+    add o;
+    o
+  in
+  (* --- random actions --- *)
+  let pick_live () =
+    match live Heap @ live Stack @ live Global with
+    | [] -> None
+    | xs -> Some (Tape.pick t xs)
+  in
+  let cast_of o = if String.equal o.elem "int" then "" else "(int)" in
+  let action () =
+    match Tape.draw t 12 with
+    | 0 -> mk_heap ()
+    | 1 -> mk_stack ()
+    | 2 -> mk_global ()
+    | 3 ->
+      (* fill loop *)
+      (match pick_live () with
+       | None -> ()
+       | Some o ->
+         let i = fresh "i" in
+         emit (sp "for (int %s = 0; %s < %d; %s++) %s[%s] = %s %% %d;" i i
+                 o.count i o.name i i (2 + Tape.draw t 120)))
+    | 4 ->
+      (* in-bounds point write *)
+      (match pick_live () with
+       | None -> ()
+       | Some o ->
+         emit (sp "%s[%d] = %d;" o.name (Tape.draw t o.count)
+                 (Tape.draw t 100)))
+    | 5 ->
+      (* checksum read loop *)
+      (match pick_live () with
+       | None -> ()
+       | Some o ->
+         let i = fresh "i" in
+         emit (sp "for (int %s = 0; %s < %d; %s++) sum = sum + %s%s[%s];" i i
+                 o.count i (cast_of o) o.name i))
+    | 6 ->
+      (* pointer-arithmetic read, heap pointers only *)
+      (match live Heap with
+       | [] -> ()
+       | xs ->
+         let o = Tape.pick t xs in
+         emit (sp "sum = sum + %s*(%s + %d);" (cast_of o) o.name
+                 (Tape.draw t o.count)))
+    | 7 ->
+      (* memcpy between two distinct same-element objects *)
+      (let candidates = live_elem Heap "char" @ live_elem Stack "char" in
+       match candidates with
+       | a :: _ :: _ ->
+         let b = Tape.pick t (List.filter (fun o -> o != a) candidates) in
+         let len = 1 + Tape.draw t (min a.count b.count) in
+         emit (sp "memcpy(%s, %s, %d);" a.name b.name len)
+       | _ -> ())
+    | 8 ->
+      (* realloc-grow a heap char object, then define the new tail *)
+      (match live_elem Heap "char" with
+       | [] -> ()
+       | xs ->
+         let o = Tape.pick t xs in
+         let grow = 8 + Tape.draw t 17 in
+         emit (sp "%s = (char*)realloc(%s, %d);" o.name o.name
+                 (o.count + grow));
+         emit (sp "memset(%s + %d, %d, %d);" o.name o.count
+                 (97 + Tape.draw t 26) grow);
+         o.count <- o.count + grow)
+    | 9 ->
+      (* free a heap object, keeping at least one alive for the plan *)
+      (match live Heap with
+       | (_ :: _ :: _) as xs ->
+         let o = Tape.pick t xs in
+         emit (sp "free(%s);" o.name);
+         o.freed <- true
+       | _ -> ())
+    | 10 ->
+      (* extern call: tag stripping at the boundary *)
+      (match live_elem Heap "char" @ live_elem Stack "char" with
+       | [] -> emit (sp "sum = sum + ext_note(sum & %d);" (Tape.draw t 64))
+       | xs ->
+         let o = Tape.pick t xs in
+         emit (sp "sum = sum + ext_sum(%s, %d);" o.name o.count))
+    | _ ->
+      (* struct locals and a data-dependent branch *)
+      if Tape.bool t then begin
+        let m = fresh "m" in
+        emit (sp "struct Mix %s;" m);
+        emit (sp "memset(%s.tag, %d, 16);" m (65 + Tape.draw t 26));
+        emit (sp "%s.a = %d; %s.b = %d;" m (Tape.draw t 100) m
+                (Tape.draw t 100));
+        emit (sp "sum = sum + %s.tag[%d] + (int)%s.a;" m (Tape.draw t 16) m)
+      end
+      else
+        emit (sp "if ((sum & %d) == 0) { sum = sum + %d; } else { sum = sum - %d; }"
+                (1 + Tape.draw t 7) (Tape.draw t 50) (Tape.draw t 50))
+  in
+  let n_actions = Tape.draw t 9 in
+  for _ = 1 to n_actions do action () done;
+  (* --- bug injection ------------------------------------------------ *)
+  let plan =
+    match plan with
+    | None -> None
+    | Some p ->
+      let heap_victim () =
+        match live Heap with
+        | [] -> assert false (* the prologue object is never freed last *)
+        | xs -> Tape.pick t xs
+      in
+      let oob o (p : plan) =
+        let off =
+          if p.far then o.count + ((72 + o.esize - 1) / o.esize)
+          else o.count
+        in
+        if p.write then emit (sp "%s[%d] = %d;" o.name off (Tape.draw t 100))
+        else emit (sp "sum = sum + %s%s[%d];" (cast_of o) o.name off);
+        { p with granule16 = o.count * o.esize mod 16 = 0 }
+      in
+      Some
+        (match p.cls with
+         | Spatial_heap -> oob (heap_victim ()) p
+         | Spatial_stack ->
+           let o =
+             match live Stack with [] -> stack0 | xs -> Tape.pick t xs
+           in
+           oob o p
+         | Spatial_global -> oob (Tape.pick t (live Global)) p
+         | Subobject ->
+           (* memcpy past a field but inside the allocation: the class
+              only CECSan's narrowing catches *)
+           emit "struct Mix bugs;";
+           emit "char bugsrc[32];";
+           emit (sp "memset(bugsrc, %d, 32);" (65 + Tape.draw t 26));
+           emit (sp "bugs.a = %d;" (Tape.draw t 100));
+           emit "memcpy(bugs.tag, bugsrc, sizeof(struct Mix));";
+           emit "sum = sum + bugs.tag[0] + (int)bugs.a;";
+           { p with far = false; write = true; granule16 = true }
+         | Uaf ->
+           let o = heap_victim () in
+           emit (sp "free(%s);" o.name);
+           o.freed <- true;
+           if p.write then emit (sp "%s[0] = %d;" o.name (Tape.draw t 100))
+           else emit (sp "sum = sum + %s%s[0];" (cast_of o) o.name);
+           { p with far = false; granule16 = o.count * o.esize mod 16 = 0 }
+         | Double_free ->
+           let o = heap_victim () in
+           emit (sp "free(%s);" o.name);
+           emit (sp "free(%s);" o.name);
+           o.freed <- true;
+           { p with far = false; write = false; granule16 = true }
+         | Invalid_free ->
+           if Tape.bool t then begin
+             let o = heap_victim () in
+             emit (sp "free(%s + %d);" o.name (1 + Tape.draw t (o.count - 1)))
+           end
+           else begin
+             let o =
+               match live Stack with [] -> stack0 | xs -> Tape.pick t xs
+             in
+             emit (sp "free(%s);" o.name)
+           end;
+           { p with far = false; write = false; granule16 = true })
+  in
+  emit "printf(\"S:%d\\n\", sum & 65535);";
+  emit "return sum & 63;";
+  let header =
+    [ "struct Mix { char tag[16]; long a; long b; };";
+      "extern int ext_sum(char *p, int n);";
+      "extern int ext_note(int x);" ]
+    @ !globals
+  in
+  let src =
+    String.concat "\n"
+      (header
+       @ [ "int main() {" ]
+       @ List.rev_map (fun s -> "  " ^ s) !body
+       @ [ "}" ])
+  in
+  { src; plan; tape = Tape.recorded t }
+
+let line_count src =
+  List.length (String.split_on_char '\n' src)

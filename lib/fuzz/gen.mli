@@ -1,0 +1,39 @@
+(** Seeded generator of well-defined MiniC programs (loops, structs,
+    heap/stack/global objects, pointer arithmetic, realloc/free chains,
+    extern calls), with a bug-injection mode that plants exactly one
+    labeled memory-safety defect and returns its machine-readable
+    ground truth. *)
+
+type bug_class =
+  | Spatial_heap
+  | Spatial_stack
+  | Spatial_global
+  | Subobject        (** overflow inside one allocation (field -> field) *)
+  | Uaf
+  | Double_free
+  | Invalid_free     (** interior or stack pointer through free() *)
+
+val all_classes : bug_class list
+val class_name : bug_class -> string
+val class_of_name : string -> bug_class option
+
+type plan = {
+  cls : bug_class;
+  far : bool;        (** OOB stride jumps well past any redzone *)
+  write : bool;      (** flawed access is a write *)
+  granule16 : bool;  (** victim byte size is a multiple of 16 *)
+}
+
+type program = {
+  src : string;            (** MiniC source *)
+  plan : plan option;      (** [None] for a clean program *)
+  tape : int array;        (** full decision tape; replaying regenerates *)
+}
+
+val generate : ?inject:bool -> Tape.t -> program
+(** Clean programs are deterministic, fully initialized and
+    allocator-layout independent: every sanitizer must reproduce the
+    uninstrumented stdout and exit code.  With [inject:true], exactly
+    one defect from [plan] is planted as the program's last action. *)
+
+val line_count : string -> int

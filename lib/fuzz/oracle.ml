@@ -1,0 +1,258 @@
+(* Fuzz.Oracle: the differential verdict machinery.
+
+   Each generated program runs uninstrumented (the ground truth) and
+   under CECSan in Halt and Recover modes with the optimizer on and off,
+   plus any selected baselines.  The verdict rules mirror DESIGN.md
+   section 3's capability matrix:
+
+   - false positive: a clean program drew a report from any tool;
+   - divergence: on a clean program, an instrumented run's stdout or
+     exit code differs from the uninstrumented run (clean programs are
+     allocator-layout independent by construction, so any difference is
+     an instrumentation bug);
+   - false negative: a planted bug was missed by a sanitizer whose
+     capability matrix row says it MUST catch that class (the matrix
+     below encodes only the unambiguous cells; "tag-collision chance"
+     style cells are never required);
+   - misclassified: CECSan caught the planted bug but reported the
+     wrong kind (only CECSan is held to kind accuracy);
+   - optimizer unsoundness: CECSan detects with the optimizer on but
+     not off, or vice versa. *)
+
+let sp = Printf.sprintf
+
+(* Extern implementations registered for every run (generated programs
+   may call these; they model precompiled legacy code).  [effective]
+   applies the TBI address mask so HWASan-tagged pointers translate the
+   way real hardware would; CECSan strips tags in software before the
+   call, which is exactly the boundary behavior under test. *)
+let externs =
+  [
+    ( "ext_sum",
+      fun (st : Vm.State.t) (args : int array) ->
+        let a = Vm.State.effective st args.(0) in
+        let n = args.(1) in
+        let s = ref 0 in
+        for i = 0 to n - 1 do
+          s := !s + Vm.Memory.load_byte st.Vm.State.mem (a + i)
+        done;
+        !s land 0xffff );
+    ("ext_note", fun _ args -> ((args.(0) * 3) + 1) land 0xff);
+  ]
+
+type tool_run = {
+  tool : string;
+  detected : bool;          (* a report was produced (Bug / sink entry) *)
+  outcome : string;         (* compact outcome class, for messages *)
+  out_text : string;
+  exit_code : int option;
+  excluded : bool;          (* Spec.Unsupported: outside the tool's set *)
+  first_kind : Vm.Report.bug_kind option;
+}
+
+type failure =
+  | Gen_invalid of string   (* generator emitted a non-clean/ill program *)
+  | False_positive of { tool : string; detail : string }
+  | False_negative of { tool : string; cls : Gen.bug_class }
+  | Misclassified of { tool : string; expected : Gen.bug_class;
+                       got : string }
+  | Divergence of { tool : string; detail : string }
+  | Opt_unsound of { detail : string }
+
+(* Stable constructor+tool label: shrinking preserves the failure class,
+   and campaign summaries histogram on it. *)
+let failure_name = function
+  | Gen_invalid _ -> "gen-invalid"
+  | False_positive { tool; _ } -> sp "false-positive:%s" tool
+  | False_negative { tool; cls } ->
+    sp "false-negative:%s:%s" tool (Gen.class_name cls)
+  | Misclassified { tool; expected; _ } ->
+    sp "misclassified:%s:%s" tool (Gen.class_name expected)
+  | Divergence { tool; _ } -> sp "divergence:%s" tool
+  | Opt_unsound _ -> "opt-unsound"
+
+let failure_detail = function
+  | Gen_invalid d -> d
+  | False_positive { detail; _ } -> detail
+  | False_negative { cls; _ } ->
+    sp "planted %s not reported" (Gen.class_name cls)
+  | Misclassified { expected; got; _ } ->
+    sp "planted %s reported as %s" (Gen.class_name expected) got
+  | Divergence { detail; _ } -> detail
+  | Opt_unsound { detail } -> detail
+
+(* --- the must-catch capability matrix (conservative cells only) ---------- *)
+
+(* [must_catch ~tool plan]: true only where DESIGN.md section 3 has an
+   unambiguous checkmark for this mechanism.  Far strides are required
+   of bounds-based tools only; HWASan granule padding, quarantine
+   eviction etc. make the redzone/tag tools "may" on everything
+   spatial that is not adjacent. *)
+let must_catch ~tool (p : Gen.plan) =
+  match tool with
+  | "CECSan" | "CECSan-noopt" | "CECSan-chain" -> true
+  | "CECSan-nosubobj" -> p.cls <> Gen.Subobject
+  | "ASan" | "ASan--" ->
+    (match p.cls with
+     | Gen.Spatial_heap | Gen.Spatial_stack | Gen.Spatial_global ->
+       not p.far  (* adjacent bytes land in the redzone *)
+     | Gen.Subobject -> false
+     | Gen.Uaf -> true   (* immediate reuse: quarantine still holds it *)
+     | Gen.Double_free -> true
+     | Gen.Invalid_free -> false (* "mostly" per the paper: not required *))
+  | "HWASan" ->
+    (match p.cls with
+     | Gen.Uaf -> true   (* freed memory is retagged immediately *)
+     | Gen.Double_free -> true
+     | _ -> false        (* granule padding / tag collisions / no free
+                            check: nothing else is guaranteed *))
+  | "PACMem" | "CryptSan" ->
+    (match p.cls with
+     | Gen.Spatial_heap -> not p.far
+     | Gen.Uaf | Gen.Double_free | Gen.Invalid_free -> true
+     | _ -> false)
+  | "SoftBound+CETS" | "SoftBound" ->
+    (match p.cls with
+     | Gen.Spatial_heap -> not p.far
+     | Gen.Uaf | Gen.Double_free -> true
+     | _ -> false)
+  | _ -> false
+
+let kind_ok (cls : Gen.bug_class) (k : Vm.Report.bug_kind) =
+  match cls, k with
+  | (Gen.Spatial_heap | Gen.Spatial_stack | Gen.Spatial_global),
+    (Vm.Report.Oob_read | Vm.Report.Oob_write) -> true
+  | Gen.Subobject,
+    (Vm.Report.Sub_object_overflow | Vm.Report.Oob_read
+    | Vm.Report.Oob_write) -> true
+  | Gen.Uaf, Vm.Report.Use_after_free -> true
+  | Gen.Double_free, Vm.Report.Double_free -> true
+  | Gen.Invalid_free, Vm.Report.Invalid_free -> true
+  | _ -> false
+
+(* --- running one tool ---------------------------------------------------- *)
+
+exception Compile_error of string
+
+let run_tool (san : Sanitizer.Spec.t) ?policy ~optimize (src : string) :
+  tool_run =
+  let tool = san.Sanitizer.Spec.name in
+  match Sanitizer.Driver.run san ~externs ?policy ~optimize src with
+  | r ->
+    let detected =
+      Vm.Machine.outcome_is_bug r.Sanitizer.Driver.outcome
+      || r.Sanitizer.Driver.reports <> []
+    in
+    let outcome, exit_code =
+      match r.Sanitizer.Driver.outcome with
+      | Vm.Machine.Exit c -> (sp "exit:%d" c, Some c)
+      | Vm.Machine.Completed_with_bugs { code; _ } ->
+        (sp "recovered-exit:%d" code, Some code)
+      | Vm.Machine.Bug b ->
+        (sp "bug:%s" (Vm.Report.kind_to_string b.Vm.Report.r_kind), None)
+      | Vm.Machine.Fault t ->
+        (sp "fault:%s" (Vm.Report.trap_kind_to_string t.Vm.Report.t_kind),
+         None)
+    in
+    let first_kind =
+      match r.Sanitizer.Driver.outcome with
+      | Vm.Machine.Bug b -> Some b.Vm.Report.r_kind
+      | _ ->
+        (match r.Sanitizer.Driver.reports with
+         | b :: _ -> Some b.Vm.Report.r_kind
+         | [] -> None)
+    in
+    { tool; detected; outcome; out_text = r.Sanitizer.Driver.output;
+      exit_code; excluded = false; first_kind }
+  | exception Sanitizer.Spec.Unsupported _ ->
+    { tool; detected = false; outcome = "excluded"; out_text = "";
+      exit_code = None; excluded = true; first_kind = None }
+  | exception Minic.Sema.Error (m, l) ->
+    raise (Compile_error (sp "line %d: %s" l m))
+  | exception Tir.Lower.Error m -> raise (Compile_error m)
+
+(* --- the full verdict ---------------------------------------------------- *)
+
+let recover_policy =
+  Vm.Report.Recover { max_reports = Vm.Report.default_max_reports }
+
+(* Baselines selectable for a campaign, by CLI name. *)
+let baseline_of_name = function
+  | "asan" -> Some (Baselines.Asan.sanitizer ())
+  | "asan--" -> Some (Baselines.Asan_minus.sanitizer ())
+  | "hwasan" -> Some (Baselines.Hwasan.sanitizer ())
+  | "softbound" -> Some (Baselines.Softbound_cets.sanitizer ())
+  | "pacmem" -> Some (Baselines.Pacmem.sanitizer ())
+  | "cryptsan" -> Some (Baselines.Cryptsan.sanitizer ())
+  | _ -> None
+
+let evaluate ?(tools = []) (p : Gen.program) : failure list =
+  match
+    let cec () = Cecsan.sanitizer () in
+    let ref_run = run_tool Sanitizer.Spec.none ~optimize:true p.Gen.src in
+    let cec_on = run_tool (cec ()) ~optimize:true p.Gen.src in
+    let cec_off =
+      { (run_tool (cec ()) ~optimize:false p.Gen.src) with
+        tool = "CECSan-O0" }
+    in
+    let cec_rec =
+      { (run_tool (cec ()) ~policy:recover_policy ~optimize:true p.Gen.src)
+        with tool = "CECSan-recover" }
+    in
+    let extras =
+      List.map (fun san -> run_tool san ~optimize:true p.Gen.src) tools
+    in
+    (ref_run, cec_on, cec_off, cec_rec, extras)
+  with
+  | exception Compile_error m -> [ Gen_invalid (sp "does not compile: %s" m) ]
+  | ref_run, cec_on, cec_off, cec_rec, extras ->
+    let failures = ref [] in
+    let flag f = failures := f :: !failures in
+    (match p.Gen.plan with
+     | None ->
+       (* clean program: the reference must exit, everyone must agree *)
+       (match ref_run.exit_code with
+        | None ->
+          flag (Gen_invalid (sp "clean program did not exit cleanly (%s)"
+                               ref_run.outcome))
+        | Some _ ->
+          List.iter
+            (fun tr ->
+               if tr.excluded then ()
+               else if tr.detected then
+                 flag (False_positive
+                         { tool = tr.tool;
+                           detail = sp "clean program reported as %s"
+                               tr.outcome })
+               else if
+                 tr.exit_code <> ref_run.exit_code
+                 || not (String.equal tr.out_text ref_run.out_text)
+               then
+                 flag (Divergence
+                         { tool = tr.tool;
+                           detail =
+                             sp "expected %s %S, got %s %S" ref_run.outcome
+                               ref_run.out_text tr.outcome tr.out_text }))
+            (cec_on :: cec_off :: cec_rec :: extras))
+     | Some plan ->
+       let check_tool ~matrix_tool tr =
+         if (not tr.excluded) && must_catch ~tool:matrix_tool plan
+         && not tr.detected
+         then flag (False_negative { tool = tr.tool; cls = plan.Gen.cls })
+       in
+       check_tool ~matrix_tool:"CECSan" cec_on;
+       check_tool ~matrix_tool:"CECSan" cec_off;
+       check_tool ~matrix_tool:"CECSan" cec_rec;
+       List.iter (fun tr -> check_tool ~matrix_tool:tr.tool tr) extras;
+       if cec_on.detected <> cec_off.detected then
+         flag (Opt_unsound
+                 { detail =
+                     sp "opt-on %s vs opt-off %s" cec_on.outcome
+                       cec_off.outcome });
+       (match cec_on.first_kind with
+        | Some k when not (kind_ok plan.Gen.cls k) ->
+          flag (Misclassified
+                  { tool = cec_on.tool; expected = plan.Gen.cls;
+                    got = Vm.Report.kind_to_string k })
+        | _ -> ()));
+    List.rev !failures

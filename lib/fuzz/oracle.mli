@@ -1,0 +1,50 @@
+(** Differential oracle: runs a generated program uninstrumented and
+    under CECSan (Halt/Recover, optimizer on/off) plus selected
+    baselines, and classifies disagreements against the DESIGN.md
+    section 3 capability matrix. *)
+
+val externs : (string * (Vm.State.t -> int array -> int)) list
+(** The extern functions generated programs may call (tag-stripping
+    boundary models); registered for every oracle run. *)
+
+type tool_run = {
+  tool : string;
+  detected : bool;
+  outcome : string;
+  out_text : string;
+  exit_code : int option;
+  excluded : bool;
+  first_kind : Vm.Report.bug_kind option;
+}
+
+type failure =
+  | Gen_invalid of string
+  | False_positive of { tool : string; detail : string }
+  | False_negative of { tool : string; cls : Gen.bug_class }
+  | Misclassified of { tool : string; expected : Gen.bug_class;
+                       got : string }
+  | Divergence of { tool : string; detail : string }
+  | Opt_unsound of { detail : string }
+
+val failure_name : failure -> string
+(** Stable constructor+tool label; shrinking preserves it. *)
+
+val failure_detail : failure -> string
+
+val must_catch : tool:string -> Gen.plan -> bool
+(** The conservative capability matrix: true only where DESIGN.md
+    section 3 has an unambiguous checkmark. *)
+
+val kind_ok : Gen.bug_class -> Vm.Report.bug_kind -> bool
+
+exception Compile_error of string
+
+val run_tool :
+  Sanitizer.Spec.t -> ?policy:Vm.Report.policy -> optimize:bool ->
+  string -> tool_run
+
+val baseline_of_name : string -> Sanitizer.Spec.t option
+(** CLI names: asan, asan--, hwasan, softbound, pacmem, cryptsan. *)
+
+val evaluate : ?tools:Sanitizer.Spec.t list -> Gen.program -> failure list
+(** Empty list = the program passes every oracle rule. *)

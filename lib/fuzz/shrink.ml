@@ -1,0 +1,81 @@
+(* Fuzz.Shrink: deterministic delta debugging over a decision tape.
+
+   Because any int array is a valid tape (Tape.replay is total), a
+   failing case can be minimized purely structurally: delete chunks of
+   decisions, zero entries, and halve values, keeping each mutation only
+   if the caller's predicate says the SAME failure still occurs.  The
+   pass order is fixed and there is no randomness, so a given
+   (tape, predicate) pair always shrinks to the same minimum. *)
+
+let minimize ?(budget = 2000) ~(still_fails : int array -> bool)
+    (tape : int array) : int array =
+  let evals = ref 0 in
+  let try_ best cand =
+    if !evals >= budget || Array.length cand >= Array.length best then None
+    else begin
+      incr evals;
+      if still_fails cand then Some cand else None
+    end
+  in
+  (* value-level passes don't change the length *)
+  let try_value cand =
+    if !evals >= budget then None
+    else begin
+      incr evals;
+      if still_fails cand then Some cand else None
+    end
+  in
+  let delete_chunks best =
+    let best = ref best in
+    let size = ref (max 1 (Array.length !best / 2)) in
+    while !size >= 1 do
+      let start = ref 0 in
+      while !start < Array.length !best do
+        let n = Array.length !best in
+        let len = min !size (n - !start) in
+        let cand =
+          Array.append (Array.sub !best 0 !start)
+            (Array.sub !best (!start + len) (n - !start - len))
+        in
+        (match try_ !best cand with
+         | Some c -> best := c (* same start now covers the next chunk *)
+         | None -> start := !start + !size)
+      done;
+      size := !size / 2
+    done;
+    !best
+  in
+  let lower_values best =
+    let best = ref best in
+    let continue_ = ref true in
+    while !continue_ do
+      continue_ := false;
+      Array.iteri
+        (fun i v ->
+           if v > 0 then begin
+             let attempt nv =
+               let cand = Array.copy !best in
+               cand.(i) <- nv;
+               match try_value cand with
+               | Some c ->
+                 best := c;
+                 continue_ := true;
+                 true
+               | None -> false
+             in
+             (* biggest first: 0, then halving, then decrement *)
+             if not (attempt 0) then
+               if v > 1 then (if not (attempt (v / 2)) then ignore (attempt (v - 1)))
+               else ()
+           end)
+        !best
+    done;
+    !best
+  in
+  let rec fixpoint best =
+    let next = lower_values (delete_chunks best) in
+    if Array.length next < Array.length best || next <> best then
+      if !evals >= budget then next else fixpoint next
+    else best
+  in
+  if still_fails tape then fixpoint tape else tape

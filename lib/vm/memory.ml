@@ -19,10 +19,24 @@ type t = {
   mutable sanitizer_pages : int;
   (* last-page cache: consecutive accesses to the same 4 KiB page (the
      overwhelmingly common case -- stack frames, string scans, stencil
-     rows) skip the page hashtable *)
+     rows) skip the page hashtable.
+
+     Staleness invariant: the cache holds the SAME bytes object as the
+     hashtable entry, and nothing in the VM ever removes or replaces a
+     page once materialized -- free/realloc recycle address ranges
+     without touching the page table, and fault injection (table:N)
+     only narrows the metadata table's logical entry limit.  So the
+     cache can be stale in page-number only (after another page is
+     touched), never in content.  Any future operation that removes or
+     swaps a pages entry MUST call [invalidate_cache] or the next
+     same-page access reads freed backing store. *)
   mutable last_pn : int;
   mutable last_page : bytes;
 }
+
+let invalidate_cache mem =
+  mem.last_pn <- min_int;
+  mem.last_page <- Bytes.empty
 
 let create () =
   { pages = Hashtbl.create 1024; resident_pages = 0; sanitizer_pages = 0;

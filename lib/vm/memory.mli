@@ -15,6 +15,14 @@ type t = {
 
 val create : unit -> t
 
+val invalidate_cache : t -> unit
+(** Drops the last-page cache.  Today no VM operation removes or
+    replaces a materialized page (free/realloc recycle address ranges;
+    fault-injected table shrink only narrows the metadata table's
+    logical limit), so the cache can never hold dangling backing store;
+    any future page-table mutation that breaks that invariant must call
+    this first. *)
+
 val load_byte : t -> int -> int
 val store_byte : t -> int -> int -> unit
 

@@ -1,0 +1,276 @@
+(* Tests of the differential fuzzing subsystem (lib/fuzz): generator
+   validity, campaign determinism across job counts, tape shrinking,
+   and the regression corpus replay. *)
+
+let seed_gen = QCheck.(map abs int)
+
+let clean_program seed =
+  Fuzz.Gen.generate ~inject:false (Fuzz.Tape.fresh ~seed)
+
+let injected_program seed =
+  Fuzz.Gen.generate ~inject:true (Fuzz.Tape.fresh ~seed)
+
+let render_to_string ~jobs s =
+  let buf = Buffer.create 4096 in
+  let fmt = Format.formatter_of_buffer buf in
+  Fuzz.Campaign.render fmt ~jobs s;
+  Format.pp_print_flush fmt ();
+  Buffer.contents buf
+
+(* --- generator properties ------------------------------------------------- *)
+
+let gen_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"clean programs type-check" ~count:150
+         seed_gen
+         (fun seed ->
+            let p = clean_program seed in
+            match Minic.Sema.parse_and_check p.Fuzz.Gen.src with
+            | _ -> true
+            | exception Minic.Sema.Error (m, l) ->
+              QCheck.Test.fail_reportf "seed %d: line %d: %s@.%s" seed l m
+                p.Fuzz.Gen.src));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"bug-injected programs type-check" ~count:150
+         seed_gen
+         (fun seed ->
+            let p = injected_program seed in
+            match Minic.Sema.parse_and_check p.Fuzz.Gen.src with
+            | _ -> p.Fuzz.Gen.plan <> None
+            | exception Minic.Sema.Error (m, l) ->
+              QCheck.Test.fail_reportf "seed %d: line %d: %s@.%s" seed l m
+                p.Fuzz.Gen.src));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make
+         ~name:"clean programs terminate within the default budget"
+         ~count:80 seed_gen
+         (fun seed ->
+            let p = clean_program seed in
+            let r =
+              Sanitizer.Driver.run Sanitizer.Spec.none
+                ~externs:Fuzz.Oracle.externs p.Fuzz.Gen.src
+            in
+            match r.Sanitizer.Driver.outcome with
+            | Vm.Machine.Exit _ -> true
+            | o ->
+              QCheck.Test.fail_reportf "seed %d: %a@.%s" seed
+                Vm.Machine.pp_outcome o p.Fuzz.Gen.src));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"replaying a recorded tape regenerates"
+         ~count:100 seed_gen
+         (fun seed ->
+            let p = clean_program seed in
+            let p' =
+              Fuzz.Gen.generate ~inject:false
+                (Fuzz.Tape.replay p.Fuzz.Gen.tape)
+            in
+            String.equal p.Fuzz.Gen.src p'.Fuzz.Gen.src));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"any int array is a valid tape" ~count:100
+         QCheck.(small_list small_nat)
+         (fun choices ->
+            let tape = Array.of_list choices in
+            let p =
+              Fuzz.Gen.generate ~inject:false (Fuzz.Tape.replay tape)
+            in
+            match Minic.Sema.parse_and_check p.Fuzz.Gen.src with
+            | _ -> true
+            | exception Minic.Sema.Error _ -> false));
+  ]
+
+(* --- per-class detection -------------------------------------------------- *)
+
+(* Scan derived seeds for one program of each class and check CECSan
+   reports it with a matching kind, under Halt and under Recover. *)
+let detection_tests =
+  List.map
+    (fun cls ->
+       Alcotest.test_case
+         (Printf.sprintf "CECSan detects %s" (Fuzz.Gen.class_name cls))
+         `Quick
+         (fun () ->
+            let rec find i =
+              if i > 500 then
+                Alcotest.failf "no %s program in 500 seeds"
+                  (Fuzz.Gen.class_name cls)
+              else
+                let p = injected_program (Fuzz.Tape.mix 0xD151EA5E i) in
+                match p.Fuzz.Gen.plan with
+                | Some pl when pl.Fuzz.Gen.cls = cls -> p
+                | _ -> find (i + 1)
+            in
+            let p = find 0 in
+            let halt =
+              Fuzz.Oracle.run_tool (Cecsan.sanitizer ()) ~optimize:true
+                p.Fuzz.Gen.src
+            in
+            Alcotest.(check bool) "detected under Halt" true
+              halt.Fuzz.Oracle.detected;
+            (match halt.Fuzz.Oracle.first_kind with
+             | Some k ->
+               Alcotest.(check bool) "kind matches class" true
+                 (Fuzz.Oracle.kind_ok cls k)
+             | None -> Alcotest.fail "no report kind under Halt");
+            let recover =
+              Fuzz.Oracle.run_tool (Cecsan.sanitizer ())
+                ~policy:(Vm.Report.Recover
+                           { max_reports = Vm.Report.default_max_reports })
+                ~optimize:true p.Fuzz.Gen.src
+            in
+            Alcotest.(check bool) "detected under Recover" true
+              recover.Fuzz.Oracle.detected))
+    Fuzz.Gen.all_classes
+
+(* --- campaign -------------------------------------------------------------- *)
+
+let campaign_tests =
+  [
+    Alcotest.test_case "200-program campaign passes" `Quick (fun () ->
+        let s = Fuzz.Campaign.run ~seed:0x5EED ~n:200 () in
+        if not (Fuzz.Campaign.passed s) then
+          Alcotest.failf "campaign failed:@.%s" (render_to_string ~jobs:1 s));
+    Alcotest.test_case "byte-identical verdicts at -j1 and -j4" `Quick
+      (fun () ->
+         let s1 = Fuzz.Campaign.run ~seed:0xD00D ~n:80 () in
+         let s4 =
+           Harness.Pool.with_pool ~jobs:4 (fun p ->
+               Fuzz.Campaign.run ~pool:p ~seed:0xD00D ~n:80 ())
+         in
+         Alcotest.(check string) "rendered summaries"
+           (render_to_string ~jobs:0 s1) (render_to_string ~jobs:0 s4));
+  ]
+
+(* --- shrinking ------------------------------------------------------------- *)
+
+let shrink_tests =
+  [
+    Alcotest.test_case "oracle failure shrinks to a <= 30 line repro"
+      `Quick (fun () ->
+        (* A genuine capability-matrix failure: cecsan-nosubobj misses
+           sub-object overflows that the full matrix requires.  Shrink
+           while that false negative persists. *)
+        let nosubobj () =
+          Cecsan.sanitizer ~config:Cecsan.Config.no_subobject ()
+        in
+        let misses tape =
+          let p = Fuzz.Gen.generate ~inject:true (Fuzz.Tape.replay tape) in
+          match p.Fuzz.Gen.plan with
+          | Some pl when pl.Fuzz.Gen.cls = Fuzz.Gen.Subobject ->
+            (match
+               Fuzz.Oracle.run_tool (nosubobj ()) ~optimize:true
+                 p.Fuzz.Gen.src
+             with
+             | tr -> not tr.Fuzz.Oracle.detected
+             | exception Fuzz.Oracle.Compile_error _ -> false)
+          | _ -> false
+        in
+        let rec find i =
+          if i > 500 then Alcotest.fail "no missed subobject case found"
+          else
+            let p = injected_program (Fuzz.Tape.mix 0xFA11 i) in
+            if misses p.Fuzz.Gen.tape then p else find (i + 1)
+        in
+        let p = find 0 in
+        let tape = Fuzz.Shrink.minimize ~still_fails:misses p.Fuzz.Gen.tape in
+        let p_min = Fuzz.Gen.generate ~inject:true (Fuzz.Tape.replay tape) in
+        Alcotest.(check bool) "still fails after shrinking" true
+          (misses tape);
+        let lines = Fuzz.Gen.line_count p_min.Fuzz.Gen.src in
+        if lines > 30 then
+          Alcotest.failf "shrunk repro has %d lines:@.%s" lines
+            p_min.Fuzz.Gen.src);
+    Alcotest.test_case "shrinking is deterministic" `Quick (fun () ->
+        (* same (tape, predicate) -> same minimum, twice *)
+        let wants_uaf tape =
+          let p = Fuzz.Gen.generate ~inject:true (Fuzz.Tape.replay tape) in
+          match p.Fuzz.Gen.plan with
+          | Some pl -> pl.Fuzz.Gen.cls = Fuzz.Gen.Uaf
+          | None -> false
+        in
+        let rec find i =
+          if i > 500 then Alcotest.fail "no uaf case found"
+          else
+            let p = injected_program (Fuzz.Tape.mix 0xDE7 i) in
+            if wants_uaf p.Fuzz.Gen.tape then p else find (i + 1)
+        in
+        let p = find 0 in
+        let t1 = Fuzz.Shrink.minimize ~still_fails:wants_uaf p.Fuzz.Gen.tape in
+        let t2 = Fuzz.Shrink.minimize ~still_fails:wants_uaf p.Fuzz.Gen.tape in
+        Alcotest.(check (array int)) "same minimum" t1 t2);
+  ]
+
+(* --- corpus replay ---------------------------------------------------------- *)
+
+(* Every corpus entry replays under CECSan: Halt reports the planted
+   class; Recover completes with findings. *)
+let corpus_dir = "corpus"
+
+let corpus_class_of_contents contents =
+  let lines = String.split_on_char '\n' contents in
+  List.find_map
+    (fun l ->
+       let l = String.trim l in
+       let prefix = "class: " in
+       if String.length l > String.length prefix
+       && String.sub l 0 (String.length prefix) = prefix
+       then
+         Fuzz.Gen.class_of_name
+           (String.sub l (String.length prefix)
+              (String.length l - String.length prefix))
+       else None)
+    lines
+
+let corpus_tests =
+  let files =
+    if Sys.file_exists corpus_dir then
+      Sys.readdir corpus_dir |> Array.to_list
+      |> List.filter (fun f -> Filename.check_suffix f ".mc")
+      |> List.sort compare
+    else []
+  in
+  Alcotest.test_case "corpus is present" `Quick (fun () ->
+      Alcotest.(check bool) "at least 10 entries" true
+        (List.length files >= 10))
+  :: List.map
+    (fun file ->
+       Alcotest.test_case (Printf.sprintf "corpus %s replays" file) `Quick
+         (fun () ->
+            let path = Filename.concat corpus_dir file in
+            let ic = open_in_bin path in
+            let src = really_input_string ic (in_channel_length ic) in
+            close_in ic;
+            let cls =
+              match corpus_class_of_contents src with
+              | Some c -> c
+              | None -> Alcotest.failf "%s: no class header" file
+            in
+            let halt =
+              Fuzz.Oracle.run_tool (Cecsan.sanitizer ()) ~optimize:true src
+            in
+            Alcotest.(check bool) "detected under Halt" true
+              halt.Fuzz.Oracle.detected;
+            (match halt.Fuzz.Oracle.first_kind with
+             | Some k ->
+               Alcotest.(check bool) "kind matches class header" true
+                 (Fuzz.Oracle.kind_ok cls k)
+             | None -> Alcotest.fail "no report kind");
+            let recover =
+              Fuzz.Oracle.run_tool (Cecsan.sanitizer ())
+                ~policy:(Vm.Report.Recover
+                           { max_reports = Vm.Report.default_max_reports })
+                ~optimize:true src
+            in
+            Alcotest.(check bool) "detected under Recover" true
+              recover.Fuzz.Oracle.detected))
+    files
+
+let () =
+  Alcotest.run "fuzz"
+    [
+      "generator", gen_tests;
+      "detection", detection_tests;
+      "campaign", campaign_tests;
+      "shrink", shrink_tests;
+      "corpus", corpus_tests;
+    ]

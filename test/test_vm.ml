@@ -453,6 +453,127 @@ let substrate_tests =
             Vm.Machine.pp_outcome o);
   ]
 
+(* --- last-page cache audit -------------------------------------------------- *)
+
+(* [Vm.Memory]'s last-page cache holds the bytes object of the most
+   recently touched page.  Its safety rests on pages never being
+   removed or replaced once materialized (free/realloc recycle address
+   ranges; fault-injected table shrink only narrows a logical limit).
+   These tests pin that invariant down against a model and against the
+   operations the audit flagged as suspects. *)
+let page_cache_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make
+         ~name:"cache coherent with a model across page-hopping ops"
+         ~count:200
+         QCheck.(small_list (triple (int_bound 40) (int_bound 8191) int))
+         (fun ops ->
+            let mem = Vm.Memory.create () in
+            let model = Hashtbl.create 64 in
+            (* spread accesses over 40 pages in two regions so the
+               single-entry cache is evicted and refilled constantly *)
+            let addr pg off =
+              let base =
+                if pg land 1 = 0 then Vm.Layout46.heap_base
+                else Vm.Layout46.globals_base
+              in
+              base + (pg * 8192) + off
+            in
+            List.for_all
+              (fun (pg, off, v) ->
+                 let a = addr pg off in
+                 match v land 3 with
+                 | 0 ->
+                   Vm.Memory.store_byte mem a (v land 0xff);
+                   Hashtbl.replace model a (v land 0xff);
+                   true
+                 | 1 ->
+                   Vm.Memory.invalidate_cache mem;
+                   true
+                 | _ ->
+                   let expect =
+                     match Hashtbl.find_opt model a with
+                     | Some x -> x
+                     | None -> 0
+                   in
+                   Vm.Memory.load_byte mem a = expect)
+              ops));
+    Alcotest.test_case "cache survives free/realloc recycling" `Quick
+      (fun () ->
+         let mem = Vm.Memory.create () in
+         let t = Vm.Alloc.create mem in
+         let a = Vm.Alloc.malloc t 64 in
+         Vm.Memory.fill mem ~dst:a ~len:64 0xAA;
+         (* cache now holds a's page; free and re-malloc must recycle
+            the block without invalidating its backing store *)
+         Vm.Alloc.free t a;
+         let b = Vm.Alloc.malloc t 64 in
+         Alcotest.(check int) "block recycled" a b;
+         Vm.Memory.store_byte mem b 0x55;
+         (* touch a distant page to evict, then come back *)
+         Vm.Memory.store_byte mem Vm.Layout46.globals_base 1;
+         Alcotest.(check int) "recycled byte reads back" 0x55
+           (Vm.Memory.load_byte mem b);
+         Alcotest.(check int) "old fill still backing the page" 0xAA
+           (Vm.Memory.load_byte mem (b + 1));
+         (* realloc at the libc level: malloc bigger + copy + free *)
+         let c = Vm.Alloc.malloc t 4096 in
+         Vm.Memory.copy mem ~src:b ~dst:c ~len:64;
+         Vm.Alloc.free t b;
+         Alcotest.(check int) "grown copy preserved data" 0x55
+           (Vm.Memory.load_byte mem c));
+    Alcotest.test_case "invalidate_cache is transparent" `Quick (fun () ->
+        let mem = Vm.Memory.create () in
+        let a = Vm.Layout46.heap_base in
+        Vm.Memory.store mem a 8 0x1122334455667788;
+        Vm.Memory.invalidate_cache mem;
+        Alcotest.(check int) "load after invalidation" 0x1122334455667788
+          (Vm.Memory.load mem a 8);
+        Vm.Memory.invalidate_cache mem;
+        Vm.Memory.store_byte mem (a + 1) 0xFF;
+        Alcotest.(check int) "store after invalidation merges" 0x112233445566FF88
+          (Vm.Memory.load mem a 8));
+    Alcotest.test_case "fault-injected table shrink is repeatable" `Quick
+      (fun () ->
+         (* a stale cache would show up as run-to-run divergence once
+            the metadata table degrades under table:N; two identical
+            runs must agree byte for byte *)
+         let src =
+           "int main() {\n\
+           \  int sum = 0;\n\
+           \  for (int i = 0; i < 24; i++) {\n\
+           \    char *p = malloc(32 + i);\n\
+           \    for (int k = 0; k < 32; k++) p[k] = k + i;\n\
+           \    sum = sum + p[31];\n\
+           \    if (i % 3 == 0) { p = realloc(p, 128); sum = sum + p[0]; }\n\
+           \    free(p);\n\
+           \  }\n\
+           \  printf(\"S:%d\\n\", sum);\n\
+           \  return sum & 63;\n\
+            }\n"
+         in
+         let go () =
+           let fault =
+             match Vm.Fault.parse "table:8" with
+             | Ok s -> Vm.Fault.of_specs [ s ]
+             | Error m -> Alcotest.fail m
+           in
+           let r =
+             Sanitizer.Driver.run (Cecsan.sanitizer ()) ~fault
+               ~policy:(Vm.Report.Recover
+                          { max_reports = Vm.Report.default_max_reports })
+               src
+           in
+           (Format.asprintf "%a" Vm.Machine.pp_outcome
+              r.Sanitizer.Driver.outcome,
+            r.Sanitizer.Driver.output)
+         in
+         let o1, out1 = go () and o2, out2 = go () in
+         Alcotest.(check string) "outcome stable" o1 o2;
+         Alcotest.(check string) "output stable" out1 out2);
+  ]
+
 let () =
   Alcotest.run "vm"
     [
@@ -464,4 +585,5 @@ let () =
       "faults", fault_tests;
       "promote", promote_tests;
       "substrate", substrate_tests;
+      "page cache", page_cache_tests;
     ]
