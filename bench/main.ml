@@ -11,6 +11,8 @@
      dune exec bench/main.exe -- --micro      -- bechamel microbenches
      dune exec bench/main.exe -- --fuzz N     -- N-program differential
                                                 fuzz campaign
+     dune exec bench/main.exe -- --verify     -- Tir.Verify wall time and
+                                                coverage per SPEC kernel
      dune exec bench/main.exe -- --smoke      -- <30 s validation subset
 
    Modifiers:
@@ -110,6 +112,66 @@ let run_fuzz ?pool ~jobs n =
   Fuzz.Campaign.render fmt ~jobs s;
   if not (Fuzz.Campaign.passed s) then exit 1
 
+(* --verify: run the Tir.Verify static verifier over every SPEC kernel
+   under every sanitizer and report wall time plus how many unsafe
+   accesses it proved covered (the translation-validation half of the
+   section II.F story). *)
+let run_verify () =
+  section "Experiment: static verification (Tir.Verify, SPEC kernels)";
+  let tools =
+    [ Cecsan.sanitizer ();
+      Baselines.Asan.sanitizer ();
+      Baselines.Asan_minus.sanitizer ();
+      Baselines.Hwasan.sanitizer ();
+      Baselines.Softbound_cets.sanitizer ();
+      Baselines.Pacmem.sanitizer ();
+      Baselines.Cryptsan.sanitizer () ]
+  in
+  Format.printf "  %-14s %-14s %9s %9s %10s@." "kernel" "tool" "accesses"
+    "covered" "verify";
+  timed "verify" (fun () ->
+      List.iter
+        (fun (w : Workloads.Spec2006.t) ->
+           List.iter
+             (fun (san : Sanitizer.Spec.t) ->
+                match
+                  let md =
+                    Sanitizer.Driver.compile_cached ~optimize:true
+                      w.Workloads.Spec2006.w_source
+                  in
+                  let spec = san.Sanitizer.Spec.verify in
+                  san.Sanitizer.Spec.instrument md;
+                  let t0 = Unix.gettimeofday () in
+                  let pre = Tir.Verify.check ?spec md in
+                  let t1 = Unix.gettimeofday () in
+                  san.Sanitizer.Spec.optimize md;
+                  let t2 = Unix.gettimeofday () in
+                  let post = Tir.Verify.check ?spec md in
+                  let dt = t1 -. t0 +. (Unix.gettimeofday () -. t2) in
+                  (pre, post, dt)
+                with
+                | exception Sanitizer.Spec.Unsupported _ ->
+                  Format.printf "  %-14s %-14s %9s@."
+                    w.Workloads.Spec2006.w_name san.Sanitizer.Spec.name
+                    "excluded"
+                | pre, post, dt ->
+                  let issues =
+                    List.length pre.Tir.Verify.r_errors
+                    + List.length post.Tir.Verify.r_errors
+                    + (if post.Tir.Verify.r_covered
+                          < pre.Tir.Verify.r_covered
+                       then 1
+                       else 0)
+                  in
+                  Format.printf "  %-14s %-14s %9d %9d %7.1f ms%s@."
+                    w.Workloads.Spec2006.w_name san.Sanitizer.Spec.name
+                    post.Tir.Verify.r_accesses post.Tir.Verify.r_covered
+                    (dt *. 1000.)
+                    (if issues = 0 then ""
+                     else Printf.sprintf "  (%d issue(s))" issues))
+             tools)
+        (Workloads.Spec2006.all @ Workloads.Spec2017.all))
+
 (* --smoke: a quick validation subset -- one overhead-table row, a few
    Juliet families -- for local sanity checks and CI. *)
 let run_smoke ?pool () =
@@ -202,6 +264,9 @@ let microbenches () =
     tests
 
 let () =
+  (* Measurement runs report verifier findings instead of failing on
+     them (the tests keep the Strict default). *)
+  Sanitizer.Driver.verify_mode := Sanitizer.Driver.Warn;
   let args = Array.to_list Sys.argv in
   let has flag = List.mem flag args in
   let arg_after flag =
@@ -252,6 +317,7 @@ let () =
              Format.eprintf "--fuzz: expected a positive program count@.";
              exit 2
          end
+         else if has "--verify" then run_verify ()
          else if has "--smoke" then run_smoke ?pool ()
          else begin
            run_table1 ();

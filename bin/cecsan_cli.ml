@@ -62,6 +62,23 @@ let dump_ir =
        & info [ "dump-ir" ]
            ~doc:"Print the instrumented IR instead of running.")
 
+let dump_tir =
+  Arg.(value
+       & opt (some (enum [ ("preopt", `Preopt); ("postopt", `Postopt) ]))
+           None
+       & info [ "dump-tir" ] ~docv:"STAGE"
+           ~doc:"Print the instrumented Tir at STAGE ($(b,preopt): before \
+                 the check optimizations, $(b,postopt): after them) \
+                 instead of running.")
+
+let verify =
+  Arg.(value & flag
+       & info [ "verify" ]
+           ~doc:"Static check only: instrument, run the Tir.Verify \
+                 IR/coverage verifier before and after the check \
+                 optimizations, print the report and exit (0 verified, \
+                 4 rejected) without executing the program.")
+
 let stats =
   Arg.(value & flag
        & info [ "stats" ] ~doc:"Print cycle and memory statistics.")
@@ -97,8 +114,8 @@ let inject =
                  $(b,tagflip:N) flips a tag bit on every N-th tagged \
                  load.")
 
-let run_cmd (san : Sanitizer.Spec.t) src_file lines packets dump_ir stats
-    no_opt budget recover max_reports inject =
+let run_cmd (san : Sanitizer.Spec.t) src_file lines packets dump_ir dump_tir
+    verify stats no_opt budget recover max_reports inject =
   let src =
     let ic = open_in_bin src_file in
     let n = in_channel_length ic in
@@ -106,6 +123,68 @@ let run_cmd (san : Sanitizer.Spec.t) src_file lines packets dump_ir stats
     close_in ic;
     s
   in
+  (* Static modes: --dump-tir and --verify drive the phases by hand
+     (instrument, then optimize) instead of going through the one-shot
+     [Driver.build] gate, so they can observe the IR between the two. *)
+  if dump_tir <> None || verify then begin
+    match
+      let md = Sanitizer.Driver.compile_cached ~optimize:(not no_opt) src in
+      let spec = san.Sanitizer.Spec.verify in
+      san.Sanitizer.Spec.instrument md;
+      if dump_tir = Some `Preopt then begin
+        print_string (Tir.Pp.module_to_string md);
+        exit 0
+      end;
+      let pre = Tir.Verify.check ?spec md in
+      san.Sanitizer.Spec.optimize md;
+      if dump_tir = Some `Postopt then begin
+        print_string (Tir.Pp.module_to_string md);
+        exit 0
+      end;
+      let post = Tir.Verify.check ?spec md in
+      (pre, post)
+    with
+    | exception Minic.Sema.Error (m, l) ->
+      Fmt.epr "%s:%d: error: %s@." src_file l m;
+      exit 2
+    | exception Tir.Lower.Error m ->
+      Fmt.epr "%s: lowering error: %s@." src_file m;
+      exit 2
+    | exception Sanitizer.Spec.Unsupported m ->
+      Fmt.epr "%s: %s cannot compile this program: %s@." src_file
+        san.Sanitizer.Spec.name m;
+      exit 3
+    | pre, post ->
+      let report stage (r : Tir.Verify.report) =
+        Fmt.pr "[verify] %s/%s: %d function(s), %d/%d unsafe accesses \
+                covered@."
+          san.Sanitizer.Spec.name stage r.Tir.Verify.r_funcs
+          r.Tir.Verify.r_covered r.Tir.Verify.r_accesses;
+        List.iter
+          (fun e -> Fmt.pr "[verify] %s: %s@." stage
+              (Tir.Verify.error_to_string e))
+          r.Tir.Verify.r_errors
+      in
+      report "preopt" pre;
+      report "postopt" post;
+      let shrank =
+        post.Tir.Verify.r_covered < pre.Tir.Verify.r_covered
+      in
+      if shrank then
+        Fmt.pr "[verify] coverage shrank across optimization: %d covered \
+                before, %d after@."
+          pre.Tir.Verify.r_covered post.Tir.Verify.r_covered;
+      if pre.Tir.Verify.r_errors = [] && post.Tir.Verify.r_errors = []
+      && not shrank
+      then begin
+        Fmt.pr "[verify] %s: verified@." san.Sanitizer.Spec.name;
+        exit 0
+      end
+      else begin
+        Fmt.epr "==VERIFY== %s: rejected@." san.Sanitizer.Spec.name;
+        exit 4
+      end
+  end;
   let policy =
     if recover || max_reports <> None then
       Vm.Report.Recover
@@ -184,7 +263,7 @@ let cmd =
   Cmd.v
     (Cmd.info "cecsan_cli" ~version:"1.0" ~doc)
     Term.(const run_cmd $ sanitizer $ file $ stdin_lines $ packets
-          $ dump_ir $ stats $ no_opt $ budget $ recover $ max_reports
-          $ inject)
+          $ dump_ir $ dump_tir $ verify $ stats $ no_opt $ budget $ recover
+          $ max_reports $ inject)
 
 let () = exit (Cmd.eval cmd)

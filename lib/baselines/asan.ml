@@ -393,10 +393,24 @@ let fresh_runtime ?(quarantine_cap = default_quarantine_cap) () :
       0);
   vrt
 
+(* ASan performs no check optimization; the verifier spec still lets
+   Tir.Verify prove every unsafe access sits behind its shadow check. *)
+let verify_spec : Tir.Verify.spec = {
+  check_load = "__asan_check_load";
+  check_store = "__asan_check_store";
+  produces_addr = false;
+  strip_mask = -1;
+  may_hoist_stores = false;
+  hazard_intrinsics = [ "__asan_poison"; "__asan_unpoison" ];
+  extcall_strip = None;
+}
+
 let sanitizer ?quarantine_cap () : Sanitizer.Spec.t =
   {
     Sanitizer.Spec.name;
     instrument;
+    optimize = (fun _ -> ());
+    verify = Some verify_spec;
     fresh_runtime = (fun () -> fresh_runtime ?quarantine_cap ());
     default_policy = Vm.Report.Halt;
   }

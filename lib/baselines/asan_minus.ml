@@ -17,6 +17,7 @@ let spec : Sanitizer.Checkopt.spec = {
   strip_mask = -1;
   may_hoist_stores = false;
   hazard_intrinsics = [ "__asan_poison"; "__asan_unpoison" ];
+  extcall_strip = None;
 }
 
 (* Unlike plain ASan, skip instrumenting accesses proven in-bounds. *)
@@ -41,19 +42,26 @@ let instrument (md : Tir.Ir.modul) : unit =
   Tir.Ir.iter_funcs md (fun f ->
       if not f.Tir.Ir.f_external then begin
         Asan.protect_stack md f;
-        insert_checks_elided md f;
-        ignore (Sanitizer.Checkopt.redundant spec f);
-        ignore (Sanitizer.Checkopt.loops spec md f)
+        insert_checks_elided md f
       end);
   let init = Asan.protect_globals md in
   match Tir.Ir.find_func md "main" with
   | Some main -> Tir.Rewrite.insert_prologue main init
   | None -> ()
 
+let optimize (md : Tir.Ir.modul) : unit =
+  Tir.Ir.iter_funcs md (fun f ->
+      if not f.Tir.Ir.f_external then begin
+        ignore (Sanitizer.Checkopt.redundant spec f);
+        ignore (Sanitizer.Checkopt.loops spec md f)
+      end)
+
 let sanitizer () : Sanitizer.Spec.t =
   {
     Sanitizer.Spec.name;
     instrument;
+    optimize;
+    verify = Some spec;
     fresh_runtime = (fun () -> Asan.fresh_runtime ());
     default_policy = Vm.Report.Halt;
   }

@@ -390,6 +390,19 @@ let fresh_runtime () : Vm.Runtime.t =
       | None -> 0);
   vrt
 
+(* No check optimization; tag/untag operations are the metadata hazards. *)
+let verify_spec : Tir.Verify.spec = {
+  check_load = "__hwasan_check_load";
+  check_store = "__hwasan_check_store";
+  produces_addr = false;
+  strip_mask = -1;
+  may_hoist_stores = false;
+  hazard_intrinsics =
+    [ "__hwasan_tag_stack"; "__hwasan_untag_stack"; "__hwasan_tag_global" ];
+  extcall_strip = None;
+}
+
 let sanitizer () : Sanitizer.Spec.t =
-  { Sanitizer.Spec.name; instrument; fresh_runtime;
+  { Sanitizer.Spec.name; instrument; optimize = (fun _ -> ());
+    verify = Some verify_spec; fresh_runtime;
     default_policy = Vm.Report.Halt }

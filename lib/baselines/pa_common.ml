@@ -509,10 +509,29 @@ let fresh_runtime (pol : policy) () : Vm.Runtime.t =
       strip a.(0));
   vrt
 
+(* No check optimization; the auth intrinsics produce the stripped
+   address, and every pointer reaching uninstrumented code must route
+   through the strip intrinsic. *)
+let verify_spec (pol : policy) : Tir.Verify.spec =
+  let pre = pol.p_prefix in
+  {
+    check_load = pre ^ "_auth_load";
+    check_store = pre ^ "_auth_store";
+    produces_addr = true;
+    strip_mask = Vm.Layout46.addr_mask;
+    may_hoist_stores = true;
+    hazard_intrinsics =
+      [ pre ^ "_malloc"; pre ^ "_free"; pre ^ "_calloc"; pre ^ "_realloc";
+        pre ^ "_stack_seal"; pre ^ "_stack_retire"; pre ^ "_global_seal" ];
+    extcall_strip = Some (pre ^ "_strip");
+  }
+
 let sanitizer (pol : policy) : Sanitizer.Spec.t =
   {
     Sanitizer.Spec.name = pol.p_name;
     instrument = instrument pol;
+    optimize = (fun _ -> ());
+    verify = Some (verify_spec pol);
     fresh_runtime = fresh_runtime pol;
     default_policy = Vm.Report.Halt;
   }

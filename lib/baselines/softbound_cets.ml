@@ -406,6 +406,21 @@ let fresh_runtime () : Vm.Runtime.t =
       0);
   vrt
 
+(* No check optimization; allocation/lifetime intrinsics invalidate the
+   disjoint metadata a previous check relied on. *)
+let verify_spec : Tir.Verify.spec = {
+  check_load = "__sb_check_load";
+  check_store = "__sb_check_store";
+  produces_addr = false;
+  strip_mask = -1;
+  may_hoist_stores = false;
+  hazard_intrinsics =
+    [ "__sb_malloc"; "__sb_free"; "__sb_calloc"; "__sb_realloc";
+      "__sb_stack_create"; "__sb_stack_destroy"; "__sb_global_create" ];
+  extcall_strip = None;
+}
+
 let sanitizer () : Sanitizer.Spec.t =
-  { Sanitizer.Spec.name; instrument; fresh_runtime;
+  { Sanitizer.Spec.name; instrument; optimize = (fun _ -> ());
+    verify = Some verify_spec; fresh_runtime;
     default_policy = Vm.Report.Halt }

@@ -20,7 +20,9 @@ module Costs = Costs
 let sanitizer ?(config = Config.default) () : Sanitizer.Spec.t =
   {
     Sanitizer.Spec.name = "CECSan";
-    instrument = (fun md -> Instrument.run ~config md);
+    instrument = (fun md -> Instrument.instrument ~config md);
+    optimize = (fun md -> Instrument.optimize ~config md);
+    verify = Some Opt.spec;
     fresh_runtime =
       (fun () ->
          snd

@@ -237,7 +237,9 @@ let insert_checks (md : modul) (cfg : Config.t) (f : func) : unit =
 
 (* --- driver ----------------------------------------------------------------- *)
 
-let run ?(config = Config.default) (md : modul) : unit =
+(* Check/metadata insertion only; [optimize] is the separate section
+   II.F phase so the driver can verify coverage on both sides of it. *)
+let instrument ?(config = Config.default) (md : modul) : unit =
   (* LTO view: safety analyses over the final linked module *)
   Tir.Analysis.run md;
   let slots = if config.Config.protect_globals then gpt_slots md else [] in
@@ -251,9 +253,15 @@ let run ?(config = Config.default) (md : modul) : unit =
         strip_external_calls md f;
         insert_checks md config f
       end);
-  insert_gpt_init md slots;
+  insert_gpt_init md slots
+
+let optimize ?(config = Config.default) (md : modul) : unit =
   if config.Config.opt_redundant then
     iter_funcs md (fun f -> if not f.f_external then Opt.redundant md f);
   if config.Config.opt_loop then
     iter_funcs md (fun f ->
         if not f.f_external then Opt.loops md config f)
+
+let run ?(config = Config.default) (md : modul) : unit =
+  instrument ~config md;
+  optimize ~config md

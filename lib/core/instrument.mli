@@ -9,5 +9,12 @@
 
 val is_alloc_family : string -> bool
 
+val instrument : ?config:Config.t -> Tir.Ir.modul -> unit
+(** Check/metadata insertion phases only (no check optimization). *)
+
+val optimize : ?config:Config.t -> Tir.Ir.modul -> unit
+(** The section II.F check optimizations (redundant elimination, loop
+    hoisting/grouping), gated by the config's [opt_*] switches. *)
+
 val run : ?config:Config.t -> Tir.Ir.modul -> unit
-(** Instruments the module in place. *)
+(** [instrument] then [optimize]: the full pass in one step. *)

@@ -13,6 +13,7 @@ let spec : Sanitizer.Checkopt.spec = {
     [ "__cecsan_free"; "__cecsan_realloc"; "__cecsan_stack_release";
       "__cecsan_sub_release"; "__cecsan_sub_make"; "__cecsan_malloc";
       "__cecsan_calloc"; "__cecsan_stack_make"; "__cecsan_global_make" ];
+  extcall_strip = Some "__cecsan_extcall_strip";
 }
 
 let redundant (_md : Tir.Ir.modul) (f : Tir.Ir.func) : unit =

@@ -58,6 +58,8 @@ type failure =
                        got : string }
   | Divergence of { tool : string; detail : string }
   | Opt_unsound of { detail : string }
+  | Verifier_reject of { tool : string; detail : string }
+    (* Tir.Verify refused the tool's instrumented/optimized output *)
 
 (* Stable constructor+tool label: shrinking preserves the failure class,
    and campaign summaries histogram on it. *)
@@ -70,6 +72,7 @@ let failure_name = function
     sp "misclassified:%s:%s" tool (Gen.class_name expected)
   | Divergence { tool; _ } -> sp "divergence:%s" tool
   | Opt_unsound _ -> "opt-unsound"
+  | Verifier_reject { tool; _ } -> sp "verifier-reject:%s" tool
 
 let failure_detail = function
   | Gen_invalid d -> d
@@ -80,6 +83,7 @@ let failure_detail = function
     sp "planted %s reported as %s" (Gen.class_name expected) got
   | Divergence { detail; _ } -> detail
   | Opt_unsound { detail } -> detail
+  | Verifier_reject { detail; _ } -> detail
 
 (* --- the must-catch capability matrix (conservative cells only) ---------- *)
 
@@ -205,6 +209,14 @@ let evaluate ?(tools = []) (p : Gen.program) : failure list =
     (ref_run, cec_on, cec_off, cec_rec, extras)
   with
   | exception Compile_error m -> [ Gen_invalid (sp "does not compile: %s" m) ]
+  | exception Sanitizer.Driver.Verifier_reject { tool; stage; errors } ->
+    (* static certification failed: a first-class verdict on its own,
+       and the runs behind it never happened *)
+    [ Verifier_reject
+        { tool;
+          detail =
+            sp "%s: %s" stage
+              (match errors with e :: _ -> e | [] -> "rejected") } ]
   | ref_run, cec_on, cec_off, cec_rec, extras ->
     let failures = ref [] in
     let flag f = failures := f :: !failures in

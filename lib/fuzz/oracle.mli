@@ -25,6 +25,8 @@ type failure =
                        got : string }
   | Divergence of { tool : string; detail : string }
   | Opt_unsound of { detail : string }
+  | Verifier_reject of { tool : string; detail : string }
+      (** [Tir.Verify] refused the tool's instrumented/optimized output *)
 
 val failure_name : failure -> string
 (** Stable constructor+tool label; shrinking preserves it. *)

@@ -5,23 +5,29 @@
    - loop-invariant check hoisting (CECSan: loads AND stores; redzone
      tools: loads only, because a hoisted store check could be defeated
      by the store overwriting the redzone);
-   - monotonic check grouping driven by a small scalar-evolution
-     analysis: for affine accesses whose max access range is statically
-     determined (the applicability condition of II.F.1), the
-     per-iteration checks collapse to checks of the range's extremes.
-     With a dynamic bound the optimization does not apply and
-     per-iteration checks remain. *)
+   - monotonic check grouping driven by the small scalar-evolution
+     analysis in [Tir.Scev]: for affine accesses whose max access range
+     is statically determined (the applicability condition of II.F.1),
+     the per-iteration checks collapse to checks of the range's
+     extremes.  With a dynamic bound the optimization does not apply and
+     per-iteration checks remain.
+
+   The sanitizer description consumed here is [Tir.Verify.spec]: the
+   same record drives both the transformations and the static verifier
+   that re-derives their reasoning (translation validation). *)
 
 open Tir.Ir
 module Cfg = Tir.Cfg
+module Scev = Tir.Scev
 
-type spec = {
+type spec = Tir.Verify.spec = {
   check_load : string;
   check_store : string;
   produces_addr : bool;           (* check dst = stripped address *)
   strip_mask : int;               (* mask replacing an elided strip *)
   may_hoist_stores : bool;
   hazard_intrinsics : string list;(* runtime calls that change metadata *)
+  extcall_strip : string option;  (* tag strip required at external calls *)
 }
 
 let is_check spec name =
@@ -110,167 +116,7 @@ let redundant (spec : spec) (f : func) : int =
     f.f_blocks;
   !removed
 
-(* --- scalar evolution (lite) ----------------------------------------------- *)
-
-(* Map reg -> its single defining instruction across the function; regs
-   with several defs map to None. *)
-let single_defs (f : func) (_body : int list) :
-  (int, instr option) Hashtbl.t =
-  let defs_map : (int, instr option) Hashtbl.t = Hashtbl.create 32 in
-  Array.iter
-    (fun b ->
-       List.iter
-         (fun i ->
-            match defs i with
-            | Some d ->
-              if Hashtbl.mem defs_map d then Hashtbl.replace defs_map d None
-              else Hashtbl.replace defs_map d (Some i)
-            | None -> ())
-         b.b_instrs)
-    f.f_blocks;
-  defs_map
-
-(* Resolve a register through value-preserving moves/extensions. *)
-let rec canon (defs_map : (int, instr option) Hashtbl.t) r =
-  match Hashtbl.find_opt defs_map r with
-  | Some (Some (Imov { src = Reg s; _ })) -> canon defs_map s
-  | Some (Some (Isext { src = Reg s; bytes; _ })) when bytes >= 4 ->
-    canon defs_map s
-  | _ -> r
-
-(* A register whose (single) definition is a compile-time constant,
-   resolved through moves/extensions: the mini constant propagation that
-   lets loop bounds held in named variables count as "statically
-   determined". *)
-let const_of (defs_map : (int, instr option) Hashtbl.t) r : int option =
-  match Hashtbl.find_opt defs_map (canon defs_map r) with
-  | Some (Some (Imov { src = Imm v; _ }))
-  | Some (Some (Isext { src = Imm v; _ })) -> Some v
-  | _ -> None
-
-type induction = { iv : int; start : int option; step : int }
-
-(* Recognizes [iv = iv + step] (modulo moves/sexts) as the only real
-   definition of [iv] inside the loop, with the start value found from
-   the unique definition reaching the preheader. *)
-let induction_of (f : func) (l : Cfg.loop) (defs_map : _ Hashtbl.t) (r : int)
-  : induction option =
-  let iv = canon defs_map r in
-  (* collect real (non-move) defs of iv inside the loop *)
-  let in_loop_defs = ref [] in
-  List.iter
-    (fun bid ->
-       List.iter
-         (fun i ->
-            match defs i with
-            | Some d when d = iv ->
-              (match i with
-               | Imov { src = Reg s; _ } when canon defs_map s = iv -> ()
-               | Isext { src = Reg s; bytes; _ }
-                 when bytes >= 4 && canon defs_map s = iv -> ()
-               | _ -> in_loop_defs := i :: !in_loop_defs)
-            | _ -> ())
-         f.f_blocks.(bid).b_instrs)
-    l.Cfg.body;
-  match !in_loop_defs with
-  | [ Ibin { op = Add; a = Reg x; b = Imm step; _ } ]
-    when canon defs_map x = iv && step > 0 ->
-    (* find the start: definitions of iv outside the loop *)
-    let start = ref None in
-    let multiple = ref false in
-    Array.iter
-      (fun b ->
-         if not (List.mem b.b_id l.Cfg.body) then
-           List.iter
-             (fun i ->
-                match defs i with
-                | Some d when d = iv ->
-                  (match i with
-                   | Imov { src = Imm v; _ } | Isext { src = Imm v; _ } ->
-                     if !start = None then start := Some v else multiple := true
-                   | _ -> multiple := true)
-                | _ -> ())
-             b.b_instrs)
-      f.f_blocks;
-    if !multiple then Some { iv; start = None; step }
-    else Some { iv; start = !start; step }
-  | [ Isext { src = Reg x; _ } ] ->
-    (match Hashtbl.find_opt defs_map (canon defs_map x) with
-     | Some (Some (Ibin { op = Add; a = Reg y; b = Imm step; _ }))
-       when canon defs_map y = iv && step > 0 ->
-       let start = ref None in
-       let multiple = ref false in
-       Array.iter
-         (fun b ->
-            if not (List.mem b.b_id l.Cfg.body) then
-              List.iter
-                (fun i ->
-                   match defs i with
-                   | Some d when d = iv ->
-                     (match i with
-                      | Imov { src = Imm v; _ } | Isext { src = Imm v; _ } ->
-                        if !start = None then start := Some v
-                        else multiple := true
-                      | _ -> multiple := true)
-                   | _ -> ())
-                b.b_instrs)
-         f.f_blocks;
-       if !multiple then Some { iv; start = None; step }
-       else Some { iv; start = !start; step }
-  | _ -> None)
-  | _ -> None
-
-(* Static trip bound: header terminates on [iv < N] (or [iv <= N-1]). *)
-let static_bound (f : func) (l : Cfg.loop) (defs_map : _ Hashtbl.t) iv :
-  int option =
-  let bound_value = function
-    | Imm n -> Some n
-    | Reg rn -> const_of defs_map rn
-    | Glob _ -> None
-  in
-  match f.f_blocks.(l.Cfg.header).b_term with
-  | Tcbr (Reg c, _, _) ->
-    (match Hashtbl.find_opt defs_map c with
-     | Some (Some (Icmp { op = Lt; a = Reg x; b; _ }))
-       when canon defs_map x = iv -> bound_value b
-     | Some (Some (Icmp { op = Le; a = Reg x; b; _ }))
-       when canon defs_map x = iv ->
-       Option.map (fun n -> n + 1) (bound_value b)
-     | _ -> None)
-  | _ -> None
-
-(* Resolve the definition chain of a checked address to an affine form
-   [base + iv*elem_size + off]: either a direct indexed gep, or an
-   indexed gep wrapped by a constant field offset (struct-array
-   patterns like a[i].field). *)
-let affine_of (defs_map : (int, instr option) Hashtbl.t)
-    (invariant : opnd -> opnd option) (p : opnd) :
-  (opnd * int * int * int) option =
-  match p with
-  | Imm _ | Glob _ -> None
-  | Reg pr ->
-    let direct r =
-      match Hashtbl.find_opt defs_map r with
-      | Some (Some (Igep { base; idx = Some (Reg ir);
-                           info = Gindex { elem_size; _ }; _ })) ->
-        (match invariant base with
-         | Some base' -> Some (base', elem_size, ir, 0)
-         | None -> None)
-      | _ -> None
-    in
-    (match direct pr with
-     | Some a -> Some a
-     | None ->
-       (* field wrap: p = gep (gep base (iv x es)) +off *)
-       (match Hashtbl.find_opt defs_map pr with
-        | Some (Some (Igep { base = Reg rb; idx = None;
-                             info = Gfield { off; _ }; _ })) ->
-          (match direct (canon defs_map rb) with
-           | Some (base', es, ir, o) -> Some (base', es, ir, o + off)
-           | None -> None)
-        | _ -> None))
-
-(* --- loop optimization ------------------------------------------------------ *)
+(* --- loop optimization ---------------------------------------------------- *)
 
 type loop_stats = { hoisted : int; endpoints : int; grouped : int }
 
@@ -278,14 +124,18 @@ let loops (spec : spec) ?(check_step = 5) (md : modul) (f : func) :
   loop_stats =
   ignore check_step;
   let stats = ref { hoisted = 0; endpoints = 0; grouped = 0 } in
-  let cfg = Cfg.build f in
-  let idom = Cfg.dominators cfg in
-  let all_loops = Cfg.loops f cfg idom in
+  let cfg0 = Cfg.build f in
+  let idom = Cfg.dominators cfg0 in
+  let all_loops = Cfg.loops f cfg0 idom in
   (* inner loops first *)
   let all_loops =
     List.sort (fun a b -> compare (List.length a.Cfg.body)
                   (List.length b.Cfg.body)) all_loops
   in
+  (* [make_preheader] may append a block and returns a rebuilt Cfg.t;
+     thread it so the next loop's preheader query never reads stale
+     edge arrays *)
+  let cfg = ref cfg0 in
   List.iter
     (fun l ->
        let body_has_hazard =
@@ -301,14 +151,19 @@ let loops (spec : spec) ?(check_step = 5) (md : modul) (f : func) :
        in
        if not body_has_hazard then begin
          let defined = Cfg.regs_defined_in f l in
-         let preheader = lazy (Cfg.make_preheader f cfg l) in
-         let defs_map = single_defs f l.Cfg.body in
+         let preheader =
+           lazy
+             (let p, cfg' = Cfg.make_preheader f !cfg l in
+              cfg := cfg';
+              p)
+         in
+         let defs_map = Scev.single_defs f in
          (* invariant modulo copies: resolve through moves/extensions and
             return the canonical operand, usable in the preheader *)
          let invariant = function
            | (Imm _ | Glob _) as o -> Some o
            | Reg r ->
-             let cr = canon defs_map r in
+             let cr = Scev.canon defs_map r in
              if Hashtbl.mem defined cr then None else Some (Reg cr)
          in
          List.iter
@@ -342,12 +197,12 @@ let loops (spec : spec) ?(check_step = 5) (md : modul) (f : func) :
                            | None -> [])
                         | _ -> begin
                          (* monotonic? p resolves to base + iv*es + off *)
-                         match affine_of defs_map invariant p with
+                         match Scev.affine_of defs_map invariant p with
                          | Some (base, elem_size, ir, field_off) ->
-                              (match induction_of f l defs_map ir with
+                              (match Scev.induction_of f l defs_map ir with
                                | Some ind ->
                                  let bound =
-                                   static_bound f l defs_map ind.iv
+                                   Scev.static_bound f l defs_map ind.iv
                                  in
                                  (match ind.start, bound with
                                   | Some start, Some n when n > start ->

@@ -5,12 +5,17 @@
       canonicalization);
     - loop-invariant check hoisting -- stores too for table-based tools,
       loads only for redzone tools;
-    - monotonic check grouping: when a mini scalar evolution determines
-      the max access range statically (constant or constant-initialized
-      bounds; plain and struct-array affine accesses), the
-      per-iteration checks collapse to checks of the range's extremes. *)
+    - monotonic check grouping: when the [Tir.Scev] mini scalar
+      evolution determines the max access range statically (constant or
+      constant-initialized bounds; plain and struct-array affine
+      accesses), the per-iteration checks collapse to checks of the
+      range's extremes.
 
-type spec = {
+    The sanitizer description is [Tir.Verify.spec] -- the same record
+    also drives the static verifier that re-derives these
+    transformations' reasoning. *)
+
+type spec = Tir.Verify.spec = {
   check_load : string;
   check_store : string;
   produces_addr : bool;  (** the check's result is the stripped address *)
@@ -19,6 +24,9 @@ type spec = {
   hazard_intrinsics : string list;
       (** runtime calls that can invalidate metadata: barriers for both
           optimizations *)
+  extcall_strip : string option;
+      (** tag-strip intrinsic required on pointer args of external
+          calls; used by the verifier, ignored by the optimizer *)
 }
 
 val redundant : spec -> Tir.Ir.func -> int

@@ -72,10 +72,69 @@ let compile_cached ~optimize (src : string) : Tir.Ir.modul =
   in
   Tir.Ir.clone pristine
 
-(* Compiles under a sanitizer.  May raise [Spec.Unsupported]. *)
+(* --- the static verification gate ----------------------------------------- *)
+
+type verify_mode = Off | Warn | Strict
+
+(* Strict by default: every build in tests and the harness is certified.
+   The bench flips this to [Warn] (report, don't fail) so a verifier
+   regression cannot silently void a measurement run, and [Off] is an
+   escape hatch for debugging the verifier itself. *)
+let verify_mode : verify_mode ref = ref Strict
+
+exception
+  Verifier_reject of { tool : string; stage : string; errors : string list }
+
+let () =
+  Printexc.register_printer (function
+      | Verifier_reject { tool; stage; errors } ->
+        Some
+          (Printf.sprintf "Verifier_reject(%s, %s): %s" tool stage
+             (String.concat "; " errors))
+      | _ -> None)
+
+(* Instrument, then optimize, with [Tir.Verify] run on both sides and the
+   covered-obligation count required non-shrinking across the
+   optimization (translation validation of the section II.F passes). *)
+let instrument_verified (san : Spec.t) (md : Tir.Ir.modul) : unit =
+  match !verify_mode with
+  | Off ->
+    san.Spec.instrument md;
+    san.Spec.optimize md
+  | (Warn | Strict) as mode ->
+    let gate stage errors =
+      match errors with
+      | [] -> ()
+      | errs ->
+        (match mode with
+         | Strict ->
+           raise
+             (Verifier_reject { tool = san.Spec.name; stage; errors = errs })
+         | _ ->
+           List.iter
+             (fun m ->
+                Printf.eprintf "verify(%s/%s): %s\n%!" san.Spec.name stage m)
+             errs)
+    in
+    let spec = san.Spec.verify in
+    san.Spec.instrument md;
+    let pre = Tir.Verify.check ?spec md in
+    gate "preopt" (List.map Tir.Verify.error_to_string pre.Tir.Verify.r_errors);
+    san.Spec.optimize md;
+    let post = Tir.Verify.check ?spec md in
+    gate "postopt"
+      (List.map Tir.Verify.error_to_string post.Tir.Verify.r_errors);
+    if post.Tir.Verify.r_covered < pre.Tir.Verify.r_covered then
+      gate "postopt"
+        [ Printf.sprintf
+            "coverage shrank across optimization: %d covered before, %d after"
+            pre.Tir.Verify.r_covered post.Tir.Verify.r_covered ]
+
+(* Compiles under a sanitizer.  May raise [Spec.Unsupported] or, with
+   the gate on, [Verifier_reject]. *)
 let build (san : Spec.t) ?(optimize = true) (src : string) : Tir.Ir.modul =
   let md = compile_cached ~optimize src in
-  san.Spec.instrument md;
+  instrument_verified san md;
   md
 
 (* Multi-translation-unit build: compiles each unit, links them
@@ -102,7 +161,7 @@ let build_link (san : Spec.t) ?(optimize = true)
                | `Instrumented -> false)
            ~primary md)
       rest;
-    san.Spec.instrument primary;
+    instrument_verified san primary;
     primary
 
 (* Runs an instrumented module.  [lines]/[packets] feed the dummy input

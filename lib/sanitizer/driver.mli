@@ -32,8 +32,31 @@ val compile_cached : optimize:bool -> string -> Tir.Ir.modul
 val clear_compile_cache : unit -> unit
 (** Drops every cached module (tests, memory pressure). *)
 
+type verify_mode =
+  | Off     (** no static checks *)
+  | Warn    (** report rejections on stderr, keep going *)
+  | Strict  (** raise [Verifier_reject] *)
+
+val verify_mode : verify_mode ref
+(** The [Tir.Verify] gate run by [build]/[build_link] around the
+    sanitizer's instrument/optimize phases.  [Strict] by default; the
+    bench switches to [Warn] so a verifier regression cannot void a
+    measurement run. *)
+
+exception
+  Verifier_reject of { tool : string; stage : string; errors : string list }
+(** [stage] is ["preopt"] or ["postopt"]; [errors] are rendered
+    [Tir.Verify.error]s (plus the coverage-shrink violation, if any). *)
+
+val instrument_verified : Spec.t -> Tir.Ir.modul -> unit
+(** The gate itself: instrument, verify, optimize, verify again, and
+    require the covered-obligation count non-shrinking across the
+    optimization.  Exposed for tools (CLI [--verify], bench) that need
+    the phases on a module they built themselves. *)
+
 val build : Spec.t -> ?optimize:bool -> string -> Tir.Ir.modul
-(** [compile_cached] then instrument.  May raise [Spec.Unsupported]. *)
+(** [compile_cached], then instrument + optimize under the verification
+    gate.  May raise [Spec.Unsupported] or [Verifier_reject]. *)
 
 val build_link :
   Spec.t ->

@@ -12,8 +12,16 @@ exception Unsupported of string
 
 type t = {
   name : string;
-  (* rewrites the module in place; may raise [Unsupported] *)
+  (* inserts checks/metadata in place; may raise [Unsupported]; must
+     leave the module verifiable (no check-elimination here) *)
   instrument : Tir.Ir.modul -> unit;
+  (* the check-optimization phase (section II.F), run separately so the
+     driver can verify coverage both before and after it; identity for
+     tools without check optimizations *)
+  optimize : Tir.Ir.modul -> unit;
+  (* how Tir.Verify certifies this tool's output; None skips the
+     coverage half (well-formedness is always checked) *)
+  verify : Tir.Verify.spec option;
   (* fresh per-run runtime state *)
   fresh_runtime : unit -> Vm.Runtime.t;
   (* what the driver does with findings unless told otherwise *)
@@ -24,6 +32,8 @@ type t = {
 let none : t = {
   name = "none";
   instrument = (fun _ -> ());
+  optimize = (fun _ -> ());
+  verify = None;
   fresh_runtime = (fun () -> Vm.Runtime.none);
   default_policy = Vm.Report.Halt;
 }

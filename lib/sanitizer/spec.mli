@@ -9,7 +9,15 @@ exception Unsupported of string
 type t = {
   name : string;
   instrument : Tir.Ir.modul -> unit;
-      (** rewrites the linked module in place; may raise [Unsupported] *)
+      (** inserts checks/metadata in the linked module in place; may
+          raise [Unsupported]; must leave the module verifiable *)
+  optimize : Tir.Ir.modul -> unit;
+      (** the check-optimization phase (section II.F), separated so the
+          driver can run [Tir.Verify] both before and after it;
+          identity for tools without check optimizations *)
+  verify : Tir.Verify.spec option;
+      (** how [Tir.Verify] certifies this tool's output; [None] skips
+          the coverage half (well-formedness is always checked) *)
   fresh_runtime : unit -> Vm.Runtime.t;
   default_policy : Vm.Report.policy;
       (** what the driver does with findings unless its [?policy]

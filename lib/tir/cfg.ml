@@ -121,9 +121,13 @@ let loops (f : func) (cfg : t) (idom : int array) : loop list =
   |> List.sort (fun a b -> compare a.header b.header)
 
 (* Ensures the loop has a dedicated preheader: a block whose only
-   successor is the header, receiving every entry edge.  Returns its id.
-   Mutates the function (appends a block, redirects edges). *)
-let make_preheader (f : func) (cfg : t) (l : loop) : int =
+   successor is the header, receiving every entry edge.  Returns its id
+   together with a [t] that is valid for the (possibly mutated)
+   function.  When a block is appended and edges redirected, the
+   returned [t] is rebuilt from scratch; callers working over several
+   loops must thread it through (the previous [int]-returning version
+   silently left callers holding stale [preds]/[succs]/[rpo] arrays). *)
+let make_preheader (f : func) (cfg : t) (l : loop) : int * t =
   let outside_preds =
     List.filter (fun p -> not (List.mem p l.body)) cfg.preds.(l.header)
   in
@@ -131,7 +135,7 @@ let make_preheader (f : func) (cfg : t) (l : loop) : int =
   | [ p ] when (match f.f_blocks.(p).b_term with
       | Tbr h -> h = l.header
       | Tret _ | Tcbr _ -> false) ->
-    p  (* already a dedicated straight-line preheader *)
+    (p, cfg)  (* already a dedicated straight-line preheader *)
   | _ ->
     let ph = Rewrite.append_block f in
     ph.b_term <- Tbr l.header;
@@ -145,7 +149,7 @@ let make_preheader (f : func) (cfg : t) (l : loop) : int =
             | Tcbr (c, a, b) -> Tcbr (c, redirect a, redirect b)
             | Tret _ as t -> t))
       outside_preds;
-    ph.b_id
+    (ph.b_id, build f)
 
 (* Registers defined anywhere inside the loop body. *)
 let regs_defined_in (f : func) (l : loop) : (int, unit) Hashtbl.t =

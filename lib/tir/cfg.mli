@@ -29,9 +29,12 @@ val loops : Ir.func -> t -> int array -> loop list
 (** Natural loops from back edges, grouped by header, sorted by
     header id. *)
 
-val make_preheader : Ir.func -> t -> loop -> int
+val make_preheader : Ir.func -> t -> loop -> int * t
 (** Ensures a dedicated preheader (entry edges redirected into it);
-    returns its block id.  May append a block to the function. *)
+    returns its block id plus a [t] valid for the mutated function.
+    When a block is appended, the returned [t] is a fresh rebuild --
+    callers iterating over several loops must use it instead of the
+    [t] they passed in, which is stale at that point. *)
 
 val regs_defined_in : Ir.func -> loop -> (int, unit) Hashtbl.t
 (** Registers defined anywhere inside the loop body. *)

@@ -1,0 +1,38 @@
+(** Mini scalar evolution and constant propagation over single-definition
+    registers, shared by the section II.F check optimizer
+    (Sanitizer.Checkopt) and the static verifier (Tir.Verify), so the
+    verifier re-derives the optimizer's reasoning from the same
+    primitives without trusting its transformations. *)
+
+type defs = (int, Ir.instr option) Hashtbl.t
+(** reg -> its single defining instruction; multiply-defined regs map to
+    [None] (and absent regs are parameters / VM-zero-initialized). *)
+
+val single_defs : Ir.func -> defs
+
+val canon : ?strip_mask:int -> defs -> int -> int
+(** Resolve a register through value-preserving moves and >= 4-byte
+    sign extensions.  With [strip_mask], additionally resolve through
+    [r land mask] (tag stripping preserves the addressed object). *)
+
+val const_of : defs -> int -> int option
+(** Compile-time constant value of a register, through [canon]. *)
+
+type induction = { iv : int; start : int option; step : int }
+
+val induction_of : Ir.func -> Cfg.loop -> defs -> int -> induction option
+(** Recognizes [iv = iv + step] as the only real in-loop definition of
+    [iv]; [start] is the unique constant definition outside the loop. *)
+
+val static_bound : Ir.func -> Cfg.loop -> defs -> int -> int option
+(** Static trip bound from the header's [iv < N] / [iv <= N-1] exit. *)
+
+val affine_of :
+  ?strip_mask:int ->
+  defs ->
+  (Ir.opnd -> Ir.opnd option) ->
+  Ir.opnd ->
+  (Ir.opnd * int * int * int) option
+(** Resolve an address to [base + iv*elem_size + off]; [invariant]
+    filters/canonicalizes the base operand.  Returns
+    [(base, elem_size, iv_reg, off)]. *)

@@ -1,0 +1,45 @@
+(** Static certification of instrumented modules: an IR well-formedness
+    lint plus a check-coverage dataflow that proves every unsafe access
+    is covered by a sanitizer check whose statically-derived range
+    contains it (translation validation for the section II.F
+    optimizations).  See DESIGN.md section 11. *)
+
+type spec = {
+  check_load : string;            (** load-check intrinsic name *)
+  check_store : string;           (** store-check intrinsic name *)
+  produces_addr : bool;           (** check dst = stripped address *)
+  strip_mask : int;               (** mask replacing an elided strip *)
+  may_hoist_stores : bool;        (** store checks may leave their block *)
+  hazard_intrinsics : string list;
+  (** runtime calls that change metadata and kill coverage facts *)
+  extcall_strip : string option;
+  (** when set, pointer args of external calls must route through this
+      strip intrinsic *)
+}
+
+type error = {
+  e_func : string;
+  e_block : int;                  (** -1 for function-level errors *)
+  e_what : string;
+}
+
+type report = {
+  r_errors : error list;
+  r_accesses : int;               (** unsafe accesses under obligation *)
+  r_covered : int;                (** accesses proven covered *)
+  r_funcs : int;                  (** non-external functions examined *)
+}
+
+val pp_error : Format.formatter -> error -> unit
+val error_to_string : error -> string
+
+val well_formed : Ir.modul -> error list
+(** Lint only: structure, register/slot/global/callee resolution, size
+    sanity, return arity, definite assignment. *)
+
+val coverage : spec -> Ir.modul -> report
+(** Coverage dataflow only (no lint errors in the report). *)
+
+val check : ?spec:spec -> Ir.modul -> report
+(** [well_formed] plus, when [spec] is given, [coverage]; errors
+    concatenated, counters from the coverage half. *)

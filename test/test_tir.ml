@@ -86,7 +86,7 @@ let cfg_tests =
          match Tir.Cfg.loops f cfg idom with
          | [ l ] ->
            let n_before = Array.length f.Tir.Ir.f_blocks in
-           let ph = Tir.Cfg.make_preheader f cfg l in
+           let ph, _ = Tir.Cfg.make_preheader f cfg l in
            Alcotest.(check bool) "valid block id" true
              (ph >= 0 && ph < Array.length f.Tir.Ir.f_blocks);
            (* the loop already had a dedicated straight-line preheader
