@@ -22,6 +22,13 @@
      --seed S    run seed (default 0x5EED), echoed in every section
                  header so any report is reproducible from its log
      --timings   print wall-clock per experiment phase at the end
+     --profile   print each kernel's top-10 hottest check sites (CECSan,
+                 with IR origins) next to the overhead tables; on its
+                 own, runs the overhead tables with profiles
+     --telemetry-json FILE
+                 write the merged telemetry snapshot of every run in the
+                 session as deterministic JSON (byte-identical across
+                 reruns and across -j)
 *)
 
 let fmt = Format.std_formatter
@@ -55,6 +62,46 @@ let report_timings ~jobs =
     (List.rev !timings);
   Format.printf "%s@.  %-30s %9.2f s@." (String.make 44 '-') "total" !total
 
+(* --- telemetry aggregation (--profile / --telemetry-json) ------------------ *)
+
+let profile_on = ref false
+
+(* Snapshots merge in the order rows come back from the pool (submission
+   order) and measurements appear in a row (lineup order) -- so the
+   merged snapshot, and its JSON, are identical at any -j. *)
+let merged_telemetry = ref Telemetry.Snapshot.empty
+
+let absorb snap =
+  merged_telemetry := Telemetry.Snapshot.merge !merged_telemetry snap
+
+(* Folds every measurement's snapshot into the session aggregate and,
+   under --profile, prints each kernel's top-10 hottest CECSan check
+   sites with their IR origins. *)
+let profile_rows (rows : Harness.Overhead.row list) =
+  List.iter
+    (fun (r : Harness.Overhead.row) ->
+       List.iter
+         (fun (m : Harness.Overhead.measurement) ->
+            absorb m.Harness.Overhead.m_snapshot)
+         r.Harness.Overhead.r_measurements;
+       if !profile_on then
+         match
+           List.find_opt
+             (fun (m : Harness.Overhead.measurement) ->
+                String.equal m.Harness.Overhead.m_tool "CECSan")
+             r.Harness.Overhead.r_measurements
+         with
+         | None -> ()
+         | Some m ->
+           Format.printf "@.  %s: hottest check sites (CECSan)@."
+             r.Harness.Overhead.r_workload;
+           let label site =
+             List.assoc_opt site m.Harness.Overhead.m_labels
+           in
+           Telemetry.Snapshot.report ~top:10 ~label fmt
+             m.Harness.Overhead.m_snapshot)
+    rows
+
 (* --- experiments ----------------------------------------------------------- *)
 
 let run_table1 () =
@@ -76,7 +123,8 @@ let run_table4 ?pool () =
     timed "table4/run" (fun () ->
         Harness.Overhead.measure ?pool Workloads.Spec2006.all)
   in
-  Harness.Tables.table4 fmt rows
+  Harness.Tables.table4 fmt rows;
+  profile_rows rows
 
 let run_table5 ?pool () =
   section "Experiment: Table V (SPEC2017-like kernels)";
@@ -84,7 +132,8 @@ let run_table5 ?pool () =
     timed "table5/run" (fun () ->
         Harness.Overhead.measure ?pool Workloads.Spec2017.all)
   in
-  Harness.Tables.table5 fmt rows
+  Harness.Tables.table5 fmt rows;
+  profile_rows rows
 
 let run_fig3 () =
   section "Experiment: Figure 3";
@@ -109,6 +158,7 @@ let run_fuzz ?pool ~jobs n =
   let s =
     timed "fuzz" (fun () -> Fuzz.Campaign.run ?pool ~seed:!run_seed ~n ())
   in
+  absorb s.Fuzz.Campaign.snapshot;
   Fuzz.Campaign.render fmt ~jobs s;
   if not (Fuzz.Campaign.passed s) then exit 1
 
@@ -191,7 +241,8 @@ let run_smoke ?pool () =
     timed "smoke/table4" (fun () ->
         Harness.Overhead.measure ?pool [ Workloads.Spec2006.mcf ])
   in
-  Harness.Tables.table4 fmt rows
+  Harness.Tables.table4 fmt rows;
+  profile_rows rows
 
 (* --- bechamel microbenchmarks of the core data structures ----------------- *)
 
@@ -296,6 +347,7 @@ let () =
         Format.eprintf "--seed %s: expected a non-negative integer@." s;
         exit 2)
    | None -> ());
+  profile_on := has "--profile";
   Harness.Pool.with_pool ~jobs (fun p ->
       let pool = if jobs > 1 then Some p else None in
       (match (arg_after "--table", arg_after "--fig") with
@@ -319,6 +371,11 @@ let () =
          end
          else if has "--verify" then run_verify ()
          else if has "--smoke" then run_smoke ?pool ()
+         else if has "--profile" then begin
+           (* bare --profile: the overhead tables, with hot-site tables *)
+           run_table4 ?pool ();
+           run_table5 ?pool ()
+         end
          else begin
            run_table1 ();
            run_table2 ?pool ();
@@ -332,4 +389,12 @@ let () =
            microbenches ();
            Format.printf "@.All experiments completed.@."
          end);
+      (match arg_after "--telemetry-json" with
+       | Some file ->
+         let oc = open_out file in
+         output_string oc (Telemetry.Snapshot.to_json !merged_telemetry);
+         output_char oc '\n';
+         close_out oc;
+         Format.printf "@.Telemetry snapshot written to %s@." file
+       | None -> ());
       if has "--timings" then report_timings ~jobs)

@@ -83,6 +83,18 @@ let stats =
   Arg.(value & flag
        & info [ "stats" ] ~doc:"Print cycle and memory statistics.")
 
+let profile =
+  Arg.(value & flag
+       & info [ "profile" ]
+           ~doc:"After the run, print the top-10 hottest check sites \
+                 (executed / elided / grouped counts with IR origins).")
+
+let telemetry_json =
+  Arg.(value & opt (some string) None
+       & info [ "telemetry-json" ] ~docv:"FILE"
+           ~doc:"Write the run's telemetry snapshot to FILE as \
+                 deterministic JSON.")
+
 let no_opt =
   Arg.(value & flag
        & info [ "O0" ] ~doc:"Disable the -O2 model (slot promotion).")
@@ -115,7 +127,8 @@ let inject =
                  load.")
 
 let run_cmd (san : Sanitizer.Spec.t) src_file lines packets dump_ir dump_tir
-    verify stats no_opt budget recover max_reports inject =
+    verify stats profile telemetry_json no_opt budget recover max_reports
+    inject =
   let src =
     let ic = open_in_bin src_file in
     let n = in_channel_length ic in
@@ -229,6 +242,14 @@ let run_cmd (san : Sanitizer.Spec.t) src_file lines packets dump_ir dump_tir
     in
     print_string r.Sanitizer.Driver.output;
     if not (String.equal r.Sanitizer.Driver.output "") then print_newline ();
+    (match telemetry_json with
+     | Some f ->
+       let oc = open_out f in
+       output_string oc
+         (Telemetry.Snapshot.to_json r.Sanitizer.Driver.snapshot);
+       output_char oc '\n';
+       close_out oc
+     | None -> ());
     let print_stats c =
       if stats then begin
         Fmt.pr "[%s] exit %d, %d cycles, %d bytes resident@."
@@ -236,6 +257,14 @@ let run_cmd (san : Sanitizer.Spec.t) src_file lines packets dump_ir dump_tir
           r.Sanitizer.Driver.resident;
         List.iter (fun (k, v) -> Fmt.pr "[stat] %s = %d@." k v)
           r.Sanitizer.Driver.telemetry
+      end;
+      if profile then begin
+        Fmt.pr "[%s] hottest check sites@." san.Sanitizer.Spec.name;
+        let label site =
+          List.assoc_opt site r.Sanitizer.Driver.site_labels
+        in
+        Telemetry.Snapshot.report ~top:10 ~label Format.std_formatter
+          r.Sanitizer.Driver.snapshot
       end
     in
     (match r.Sanitizer.Driver.outcome with
@@ -263,7 +292,7 @@ let cmd =
   Cmd.v
     (Cmd.info "cecsan_cli" ~version:"1.0" ~doc)
     Term.(const run_cmd $ sanitizer $ file $ stdin_lines $ packets
-          $ dump_ir $ dump_tir $ verify $ stats $ no_opt $ budget $ recover
-          $ max_reports $ inject)
+          $ dump_ir $ dump_tir $ verify $ stats $ profile $ telemetry_json
+          $ no_opt $ budget $ recover $ max_reports $ inject)
 
 let () = exit (Cmd.eval cmd)

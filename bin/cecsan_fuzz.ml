@@ -80,8 +80,14 @@ let corpus_count =
        & info [ "corpus-count" ] ~docv:"N"
            ~doc:"Corpus entries to write under $(b,--write-corpus).")
 
+let telemetry_json =
+  Arg.(value & opt (some string) None
+       & info [ "telemetry-json" ] ~docv:"FILE"
+           ~doc:"Write the campaign's merged CECSan telemetry snapshot to \
+                 FILE as deterministic JSON (identical at any -j).")
+
 let run_cmd n seed jobs smoke tools max_shrink repro_dir write_corpus
-    corpus_dir corpus_count =
+    corpus_dir corpus_count telemetry_json =
   if write_corpus then begin
     let paths =
       Fuzz.Campaign.write_corpus ~dir:corpus_dir ~seed ~count:corpus_count ()
@@ -116,6 +122,15 @@ let run_cmd n seed jobs smoke tools max_shrink repro_dir write_corpus
         Fuzz.Campaign.run ?pool ~tool_names ~max_shrink ~seed ~n ())
   in
   Fuzz.Campaign.render Format.std_formatter ~jobs summary;
+  (match telemetry_json with
+   | Some f ->
+     let oc = open_out f in
+     output_string oc
+       (Telemetry.Snapshot.to_json summary.Fuzz.Campaign.snapshot);
+     output_char oc '\n';
+     close_out oc;
+     Fmt.pr "telemetry snapshot written: %s@." f
+   | None -> ());
   (match repro_dir with
    | Some dir when summary.Fuzz.Campaign.shrunk <> [] ->
      let paths = Fuzz.Campaign.write_repros ~dir summary in
@@ -130,6 +145,6 @@ let cmd =
     (Cmd.info "cecsan_fuzz" ~version:"1.0" ~doc)
     Term.(const run_cmd $ n_programs $ seed $ jobs $ smoke $ tools
           $ max_shrink $ repro_dir $ write_corpus $ corpus_dir
-          $ corpus_count)
+          $ corpus_count $ telemetry_json)
 
 let () = Cmd.eval cmd |> exit

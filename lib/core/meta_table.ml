@@ -34,6 +34,7 @@ type t = {
   mutable live : int;               (* currently live entries *)
   mutable peak_live : int;
   mutable total_allocated : int;
+  mutable recycled : int;            (* entries re-served off the free list *)
   mutable exhausted_fallbacks : int; (* allocations served untagged *)
   mutable chain_mode : bool;         (* section V.1 extension enabled *)
   chains : (int, chain_entry list ref) Hashtbl.t;
@@ -67,7 +68,7 @@ let set_next_id t i v =
    a metadata table through mmap before program starts"). *)
 let create ?(chain_mode = false) (st : Vm.State.t) : t =
   let t = { st; gmi = 1; live = 0; peak_live = 0; total_allocated = 0;
-            exhausted_fallbacks = 0; chain_mode;
+            recycled = 0; exhausted_fallbacks = 0; chain_mode;
             chains = Hashtbl.create 16; chained = 0; chain_total = 0;
             chain_cursor = 1;
             chain_lookups = 0; chain_links_walked = 0 } in
@@ -112,6 +113,10 @@ let alloc t ~base ~size : int =
   else begin
     let i = t.gmi in
     let off = next_id t i in
+    (* a released entry carries [invalid_low]; fresh table memory is 0 --
+       so this probe (on a page [next_id] just touched) detects free-list
+       recycling with no residency cost *)
+    if low t i = invalid_low then t.recycled <- t.recycled + 1;
     set_low t i base;
     set_high t i (base + size);
     set_next_id t i 0;

@@ -22,6 +22,8 @@ type t = {
   mutable live : int;
   mutable peak_live : int;
   mutable total_allocated : int;
+  mutable recycled : int;
+      (** entries re-served off the in-table free list *)
   mutable exhausted_fallbacks : int;
       (** allocations served untagged because the table was full
           (paper section V.1) *)

@@ -15,6 +15,9 @@ type t = {
   gpt : (int, int) Hashtbl.t;         (* global slot -> tagged pointer *)
   mutable reports_sub_object : int;
   chain_overflow : bool;              (* the section V.1 extension *)
+  (* telemetry, published as gauges by [at_exit] *)
+  mutable entry0_hits : int;          (* checks on untagged/foreign ptrs *)
+  mutable sub_temporaries : int;      (* narrowed entries materialized *)
 }
 
 let get_table rt (st : Vm.State.t) =
@@ -39,6 +42,7 @@ let check_deref rt st ~write ~size ?(site = -1) ptr =
   let tbl = get_table rt st in
   Vm.State.tick st Costs.check;
   let idx = L.tag_of ptr in
+  if idx = 0 then rt.entry0_hits <- rt.entry0_hits + 1;
   let raw = L.strip ptr in
   let lo = Meta_table.low tbl idx in
   let hi = Meta_table.high tbl idx in
@@ -235,6 +239,7 @@ let sub_make rt st ptr fsize =
         Vm.State.report st ~by:name ~addr:raw Vm.Report.Oob_read
           ~detail:"field address outside parent object"
   end;
+  rt.sub_temporaries <- rt.sub_temporaries + 1;
   Meta_table.alloc tbl ~base:raw ~size:fsize
 
 let sub_release rt st tagged =
@@ -253,6 +258,7 @@ let extcall_strip rt st ptr =
     if idx <> 0 && lo = Meta_table.invalid_low then
       Vm.State.report st ~by:name ~addr:raw Vm.Report.Use_after_free
         ~detail:"dangling pointer passed to external code";
+    Telemetry.record st.Vm.State.telem Telemetry.Strip raw idx;
     raw
   end
 
@@ -489,7 +495,7 @@ let stats rt =
 
 let create ?(chain_overflow = false) () : t * Vm.Runtime.t =
   let rt = { table = None; gpt = Hashtbl.create 17; reports_sub_object = 0;
-             chain_overflow } in
+             chain_overflow; entry0_hits = 0; sub_temporaries = 0 } in
   let vrt = {
     Vm.Runtime.rt_name = name;
     intrinsics = Hashtbl.create 32;
@@ -502,10 +508,15 @@ let create ?(chain_overflow = false) () : t * Vm.Runtime.t =
       (fun st ->
          (* publish the table's degradation telemetry so the driver and
             [--stats] can see coverage lost to exhaustion/chaining *)
+         if rt.entry0_hits > 0 then
+           Vm.State.set_stat st "entry0_hits" rt.entry0_hits;
+         if rt.sub_temporaries > 0 then
+           Vm.State.set_stat st "sub_temporaries" rt.sub_temporaries;
          match rt.table with
          | None -> ()
          | Some t ->
            Vm.State.set_stat st "meta_live" t.Meta_table.live;
+           Vm.State.set_stat st "meta_recycled" t.Meta_table.recycled;
            Vm.State.set_stat st "meta_peak_live" t.Meta_table.peak_live;
            Vm.State.set_stat st "meta_total_allocated"
              t.Meta_table.total_allocated;

@@ -17,6 +17,11 @@ type t = {
   mutable reports_sub_object : int;
   chain_overflow : bool;
       (** the section V.1 overflow-chain extension *)
+  mutable entry0_hits : int;
+      (** Algorithm-1 checks that resolved to the reserved entry 0
+          (untagged/foreign pointers); published as a gauge at exit *)
+  mutable sub_temporaries : int;
+      (** narrowed sub-object entries materialized (section II.D) *)
 }
 
 val get_table : t -> Vm.State.t -> Meta_table.t

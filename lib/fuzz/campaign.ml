@@ -29,6 +29,9 @@ type summary = {
   tool_names : string list;
   rows : row list;
   shrunk : shrunk list;
+  (* CECSan(-O2) telemetry over the whole grid, merged in submission
+     order: identical at any job count *)
+  snapshot : Telemetry.Snapshot.t;
   clean : int;
   buggy : int;
   false_positives : int;
@@ -48,9 +51,9 @@ let run_one ~tool_names ~campaign_seed i =
   let tools = tools_of_names tool_names in
   let seed = Tape.mix campaign_seed i in
   let p = Gen.generate ~inject:(inject_of_index i) (Tape.fresh ~seed) in
-  let fs = Oracle.evaluate ~tools p in
+  let fs, snap = Oracle.evaluate_full ~tools p in
   (p, { index = i; seed; plan = p.Gen.plan; failures = List.map Oracle.failure_name fs },
-   fs)
+   fs, snap)
 
 (* Shrinks a failing case: the minimized tape must regenerate a program
    that still exhibits every one of the original failure labels. *)
@@ -95,13 +98,16 @@ let run ?pool ?(tool_names = []) ?(max_shrink = 5) ~seed ~n () : summary =
       (run_one ~tool_names ~campaign_seed:seed)
       indices
   in
-  let rows = List.map (fun (_, r, _) -> r) results in
+  let rows = List.map (fun (_, r, _, _) -> r) results in
+  let snapshot =
+    Telemetry.Snapshot.merge_all (List.map (fun (_, _, _, s) -> s) results)
+  in
   let failing =
-    List.filter (fun (_, r, _) -> r.failures <> []) results
+    List.filter (fun (_, r, _, _) -> r.failures <> []) results
   in
   let shrunk =
     List.filteri (fun i _ -> i < max_shrink) failing
-    |> List.filter_map (fun (p, r, fs) ->
+    |> List.filter_map (fun (p, r, fs, _) ->
         match
           shrink_failure ~tool_names ~inject:(inject_of_index r.index) p fs
         with
@@ -119,6 +125,7 @@ let run ?pool ?(tool_names = []) ?(max_shrink = 5) ~seed ~n () : summary =
     tool_names;
     rows;
     shrunk;
+    snapshot;
     clean = List.length (List.filter (fun r -> r.plan = None) rows);
     buggy = List.length (List.filter (fun r -> r.plan <> None) rows);
     false_positives = count_kind rows (has_prefix ~prefix:"false-positive");

@@ -23,6 +23,9 @@ type summary = {
   tool_names : string list;
   rows : row list;
   shrunk : shrunk list;
+  snapshot : Telemetry.Snapshot.t;
+      (** CECSan(-O2) telemetry merged over the grid in submission
+          order: identical at any job count *)
   clean : int;
   buggy : int;
   false_positives : int;

@@ -341,6 +341,18 @@ let generate ?(inject = false) (t : Tape.t) : program =
            end;
            { p with far = false; write = false; granule16 = true })
   in
+  (* clean programs release every surviving heap object before exit:
+     leak-freedom is part of the oracle contract (the VM's live
+     allocation count must return to zero), and the frees exercise
+     Algorithm 2 on every run *)
+  if plan = None then
+    List.iter
+      (fun o ->
+         if o.region = Heap && not o.freed then begin
+           emit (sp "free(%s);" o.name);
+           o.freed <- true
+         end)
+      !objs;
   emit "printf(\"S:%d\\n\", sum & 65535);";
   emit "return sum & 63;";
   let header =

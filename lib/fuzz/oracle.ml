@@ -48,6 +48,7 @@ type tool_run = {
   exit_code : int option;
   excluded : bool;          (* Spec.Unsupported: outside the tool's set *)
   first_kind : Vm.Report.bug_kind option;
+  snapshot : Telemetry.Snapshot.t;  (* the run's telemetry, for deltas *)
 }
 
 type failure =
@@ -167,10 +168,12 @@ let run_tool (san : Sanitizer.Spec.t) ?policy ~optimize (src : string) :
          | [] -> None)
     in
     { tool; detected; outcome; out_text = r.Sanitizer.Driver.output;
-      exit_code; excluded = false; first_kind }
+      exit_code; excluded = false; first_kind;
+      snapshot = r.Sanitizer.Driver.snapshot }
   | exception Sanitizer.Spec.Unsupported _ ->
     { tool; detected = false; outcome = "excluded"; out_text = "";
-      exit_code = None; excluded = true; first_kind = None }
+      exit_code = None; excluded = true; first_kind = None;
+      snapshot = Telemetry.Snapshot.empty }
   | exception Minic.Sema.Error (m, l) ->
     raise (Compile_error (sp "line %d: %s" l m))
   | exception Tir.Lower.Error m -> raise (Compile_error m)
@@ -190,7 +193,11 @@ let baseline_of_name = function
   | "cryptsan" -> Some (Baselines.Cryptsan.sanitizer ())
   | _ -> None
 
-let evaluate ?(tools = []) (p : Gen.program) : failure list =
+(* Like [evaluate], but also returns the CECSan(-O2) run's telemetry
+   snapshot so campaigns can aggregate per-site profiles across the
+   whole grid (merged in submission order, deterministic at any -j). *)
+let evaluate_full ?(tools = []) (p : Gen.program) :
+  failure list * Telemetry.Snapshot.t =
   match
     let cec () = Cecsan.sanitizer () in
     let ref_run = run_tool Sanitizer.Spec.none ~optimize:true p.Gen.src in
@@ -208,15 +215,17 @@ let evaluate ?(tools = []) (p : Gen.program) : failure list =
     in
     (ref_run, cec_on, cec_off, cec_rec, extras)
   with
-  | exception Compile_error m -> [ Gen_invalid (sp "does not compile: %s" m) ]
+  | exception Compile_error m ->
+    ([ Gen_invalid (sp "does not compile: %s" m) ], Telemetry.Snapshot.empty)
   | exception Sanitizer.Driver.Verifier_reject { tool; stage; errors } ->
     (* static certification failed: a first-class verdict on its own,
        and the runs behind it never happened *)
-    [ Verifier_reject
-        { tool;
-          detail =
-            sp "%s: %s" stage
-              (match errors with e :: _ -> e | [] -> "rejected") } ]
+    ( [ Verifier_reject
+          { tool;
+            detail =
+              sp "%s: %s" stage
+                (match errors with e :: _ -> e | [] -> "rejected") } ],
+      Telemetry.Snapshot.empty )
   | ref_run, cec_on, cec_off, cec_rec, extras ->
     let failures = ref [] in
     let flag f = failures := f :: !failures in
@@ -240,11 +249,17 @@ let evaluate ?(tools = []) (p : Gen.program) : failure list =
                  tr.exit_code <> ref_run.exit_code
                  || not (String.equal tr.out_text ref_run.out_text)
                then
+                 (* the telemetry delta against the reference run says
+                    WHERE the instrumented run went off the rails (an
+                    extra check failure, table drift, lost allocations) *)
                  flag (Divergence
                          { tool = tr.tool;
                            detail =
-                             sp "expected %s %S, got %s %S" ref_run.outcome
-                               ref_run.out_text tr.outcome tr.out_text }))
+                             sp "expected %s %S, got %s %S; %s"
+                               ref_run.outcome ref_run.out_text tr.outcome
+                               tr.out_text
+                               (Telemetry.Snapshot.delta_summary
+                                  ref_run.snapshot tr.snapshot) }))
             (cec_on :: cec_off :: cec_rec :: extras))
      | Some plan ->
        let check_tool ~matrix_tool tr =
@@ -259,12 +274,17 @@ let evaluate ?(tools = []) (p : Gen.program) : failure list =
        if cec_on.detected <> cec_off.detected then
          flag (Opt_unsound
                  { detail =
-                     sp "opt-on %s vs opt-off %s" cec_on.outcome
-                       cec_off.outcome });
+                     sp "opt-on %s vs opt-off %s; %s" cec_on.outcome
+                       cec_off.outcome
+                       (Telemetry.Snapshot.delta_summary cec_off.snapshot
+                          cec_on.snapshot) });
        (match cec_on.first_kind with
         | Some k when not (kind_ok plan.Gen.cls k) ->
           flag (Misclassified
                   { tool = cec_on.tool; expected = plan.Gen.cls;
                     got = Vm.Report.kind_to_string k })
         | _ -> ()));
-    List.rev !failures
+    (List.rev !failures, cec_on.snapshot)
+
+let evaluate ?tools (p : Gen.program) : failure list =
+  fst (evaluate_full ?tools p)

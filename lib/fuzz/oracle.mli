@@ -15,6 +15,8 @@ type tool_run = {
   exit_code : int option;
   excluded : bool;
   first_kind : Vm.Report.bug_kind option;
+  snapshot : Telemetry.Snapshot.t;
+      (** the run's telemetry, used for mismatch deltas *)
 }
 
 type failure =
@@ -50,3 +52,9 @@ val baseline_of_name : string -> Sanitizer.Spec.t option
 
 val evaluate : ?tools:Sanitizer.Spec.t list -> Gen.program -> failure list
 (** Empty list = the program passes every oracle rule. *)
+
+val evaluate_full :
+  ?tools:Sanitizer.Spec.t list -> Gen.program ->
+  failure list * Telemetry.Snapshot.t
+(** [evaluate] plus the CECSan(-O2) run's telemetry snapshot, for
+    campaign-level aggregation (merged in submission order). *)

@@ -10,6 +10,8 @@ type measurement = {
   m_memory_pct : float;
   m_cycles : int;
   m_resident : int;
+  m_snapshot : Telemetry.Snapshot.t;      (* the run's telemetry *)
+  m_labels : (int * string) list;         (* site id -> IR origin *)
 }
 
 type row = {
@@ -51,6 +53,8 @@ let run_workload ?(budget = default_budget) (sans : Sanitizer.Spec.t list)
                ~measured:r.Sanitizer.Driver.resident;
            m_cycles = r.Sanitizer.Driver.cycles;
            m_resident = r.Sanitizer.Driver.resident;
+           m_snapshot = r.Sanitizer.Driver.snapshot;
+           m_labels = r.Sanitizer.Driver.site_labels;
          })
       sans
   in

@@ -8,6 +8,10 @@ type measurement = {
   m_memory_pct : float;
   m_cycles : int;
   m_resident : int;
+  m_snapshot : Telemetry.Snapshot.t;
+      (** the instrumented run's full telemetry *)
+  m_labels : (int * string) list;
+      (** site id -> IR origin, for the hot-site report *)
 }
 
 type row = {

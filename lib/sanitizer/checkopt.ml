@@ -80,38 +80,47 @@ let redundant (spec : spec) (f : func) : int =
          List.iter (Hashtbl.remove known) stale
        in
        b.b_instrs <-
-         List.filter_map
+         List.concat_map
            (fun i ->
               match i with
               | Imov { dst; src = Reg s } as i ->
                 kill_reg dst;
                 Hashtbl.replace copy_of dst (canon_reg s);
-                Some i
-              | Iintrin { dst; name; args = [ p; Imm size ]; _ }
+                [ i ]
+              | Iintrin { dst; name; args = [ p; Imm size ]; site }
                 when is_check spec name ->
                 let key = opnd_key (canon_opnd p) in
                 (match Hashtbl.find_opt known key with
                  | Some (size0, dst0) when size <= size0 ->
                    incr removed;
-                   (match dst, dst0 with
-                    | Some d, Some d0 when spec.produces_addr ->
-                      Some (Imov { dst = d; src = Reg d0 })
-                    | Some d, _ ->
-                      Some (Ibin { op = And; dst = d; a = p;
-                                   b = Imm spec.strip_mask })
-                    | None, _ -> None)
+                   (* a zero-cost marker keeps the site's count: every
+                      execution the eliminated check would have had is
+                      recorded as elided *)
+                   let marker =
+                     Iintrin
+                       { dst = None; name = telemetry_elided; args = [];
+                         site }
+                   in
+                   marker
+                   :: (match dst, dst0 with
+                       | Some d, Some d0 when spec.produces_addr ->
+                         [ Imov { dst = d; src = Reg d0 } ]
+                       | Some d, _ ->
+                         [ Ibin { op = And; dst = d; a = p;
+                                  b = Imm spec.strip_mask } ]
+                       | None, _ -> [])
                  | _ ->
                    Hashtbl.replace known key (size, dst);
-                   Some i)
+                   [ i ])
               | Icall _ ->
                 Hashtbl.reset known;
-                Some i
+                [ i ]
               | Iintrin { name; _ } when is_hazard spec name ->
                 Hashtbl.reset known;
-                Some i
+                [ i ]
               | i ->
                 (match defs i with Some d -> kill_reg d | None -> ());
-                Some i)
+                [ i ])
            b.b_instrs)
     f.f_blocks;
   !removed
@@ -184,17 +193,25 @@ let loops (spec : spec) ?(check_step = 5) (md : modul) (f : func) :
                              cheap mask of the invariant pointer *)
                           let ph = f.f_blocks.(Lazy.force preheader) in
                           let phr = fresh_reg f in
+                          (* the preheader check is NEW work at a fresh
+                             site; the original site's per-iteration
+                             executions are recorded by a zero-cost
+                             covered marker left in the loop body *)
                           ph.b_instrs <-
                             ph.b_instrs
                             @ [ Iintrin { dst = Some phr; name;
-                                          args = [ p'; Imm size ]; site } ];
+                                          args = [ p'; Imm size ];
+                                          site = fresh_site md } ];
                           stats :=
                             { !stats with hoisted = !stats.hoisted + 1 };
-                          (match dst with
-                           | Some d when spec.produces_addr ->
-                             [ Imov { dst = d; src = Reg phr } ]
-                           | Some d -> [ Imov { dst = d; src = p } ]
-                           | None -> [])
+                          Iintrin
+                            { dst = None; name = telemetry_covered;
+                              args = []; site }
+                          :: (match dst with
+                              | Some d when spec.produces_addr ->
+                                [ Imov { dst = d; src = Reg phr } ]
+                              | Some d -> [ Imov { dst = d; src = p } ]
+                              | None -> [])
                         | _ -> begin
                          (* monotonic? p resolves to base + iv*es + off *)
                          match Scev.affine_of defs_map invariant p with
@@ -240,13 +257,17 @@ let loops (spec : spec) ?(check_step = 5) (md : modul) (f : func) :
                                     stats :=
                                       { !stats with
                                         endpoints = !stats.endpoints + 1 };
-                                    (match dst with
-                                     | Some d when spec.produces_addr ->
-                                       [ Ibin { op = And; dst = d; a = p;
-                                                b = Imm spec.strip_mask } ]
-                                     | Some d ->
-                                       [ Imov { dst = d; src = p } ]
-                                     | None -> [])
+                                    Iintrin
+                                      { dst = None;
+                                        name = telemetry_covered;
+                                        args = []; site }
+                                    :: (match dst with
+                                        | Some d when spec.produces_addr ->
+                                          [ Ibin { op = And; dst = d; a = p;
+                                                   b = Imm spec.strip_mask } ]
+                                        | Some d ->
+                                          [ Imov { dst = d; src = p } ]
+                                        | None -> [])
                                   | _ ->
                                     (* the bound is not statically
                                        determined: section II.F.1 only

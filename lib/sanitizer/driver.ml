@@ -19,7 +19,10 @@ type run_result = {
   instrumented_size : int; (* static instruction count after the pass *)
   reports : Vm.Report.t list;  (* sink contents, submission order *)
   suppressed : int;            (* findings deduplicated or over the cap *)
-  telemetry : (string * int) list; (* runtime counters, sorted by key *)
+  telemetry : (string * int) list; (* runtime gauges, sorted by key *)
+  snapshot : Telemetry.Snapshot.t; (* full telemetry: sites, counters,
+                                      gauges, event ring *)
+  site_labels : (int * string) list; (* site id -> IR origin, sorted *)
 }
 
 (* Parse, check and lower a source file; [optimize] runs the -O2 model
@@ -186,11 +189,13 @@ let run_module (san : Spec.t) ?(lines = []) ?(packets = []) ?(externs = [])
     Vm.State.set_stat st "injected_oom" fl.Vm.Fault.oom_injected;
   if fl.Vm.Fault.tagflips_injected > 0 then
     Vm.State.set_stat st "injected_tagflips" fl.Vm.Fault.tagflips_injected;
-  let telemetry =
-    Hashtbl.fold (fun k v acc -> (k, v) :: acc)
-      st.Vm.State.telemetry []
-    |> List.sort compare
-  in
+  (* allocator gauges are plain fields (no hot-path telemetry calls);
+     publish them into the snapshot here, after the run *)
+  let al = st.Vm.State.alloc in
+  Vm.State.set_stat st "alloc_peak_live" al.Vm.Alloc.peak_live;
+  Vm.State.set_stat st "alloc_recycles" al.Vm.Alloc.recycles;
+  Vm.State.set_stat st "alloc_live_exit" al.Vm.Alloc.live;
+  let snapshot = Telemetry.Snapshot.capture st.Vm.State.telem in
   {
     outcome;
     cycles = st.Vm.State.cycles;
@@ -201,7 +206,9 @@ let run_module (san : Spec.t) ?(lines = []) ?(packets = []) ?(externs = [])
     instrumented_size = Tir.Ir.module_size md;
     reports = Vm.Report.sink_reports st.Vm.State.sink;
     suppressed = Vm.Report.sink_suppressed st.Vm.State.sink;
-    telemetry;
+    telemetry = snapshot.Telemetry.Snapshot.gauges;
+    snapshot;
+    site_labels = Tir.Ir.site_origins md;
   }
 
 let run (san : Spec.t) ?lines ?packets ?externs ?budget ?seed ?policy ?fault

@@ -14,8 +14,15 @@ type run_result = {
           empty under [Halt] (the finding is in [outcome]) *)
   suppressed : int;        (** findings deduplicated or over the cap *)
   telemetry : (string * int) list;
-      (** runtime counters (metadata-table degradation, injected
-          faults), sorted by key *)
+      (** runtime gauges (metadata-table degradation, injected faults),
+          sorted by key — [snapshot.gauges], kept for callers that only
+          want the counters *)
+  snapshot : Telemetry.Snapshot.t;
+      (** the run's full telemetry: per-check-site counters, named
+          counters/gauges, the bounded event ring *)
+  site_labels : (int * string) list;
+      (** site id -> IR origin ("func.bN\[i\] intrinsic"), sorted — the
+          labels behind the [--profile] hot-site report *)
 }
 
 val compile : ?optimize:bool -> string -> Tir.Ir.modul

@@ -199,15 +199,77 @@ let iter_funcs m f =
 let find_global m name =
   List.find_opt (fun g -> String.equal g.g_name name) m.m_globals
 
+(* --- telemetry markers --------------------------------------------------- *)
+
+(* Checkopt leaves a zero-operand marker intrinsic at every site whose
+   check it removed ([telemetry_elided]) or whose work a hoisted/grouped
+   check now performs ([telemetry_covered]).  The machine executes them
+   natively at zero cycle cost, bumping the per-site telemetry counters,
+   which is what makes the conservation law
+   executed(O0) = executed(O2) + elided(O2) + covered(O2) checkable. *)
+let telemetry_elided = "__telemetry_elided"
+let telemetry_covered = "__telemetry_covered"
+
+let telemetry_prefix = "__telemetry_"
+
+let is_telemetry_marker name =
+  String.length name >= String.length telemetry_prefix
+  && String.sub name 0 (String.length telemetry_prefix) = telemetry_prefix
+
 (* Total number of instructions in a function/module, used by tests and
-   the instrumentation statistics. *)
+   the instrumentation statistics.  Telemetry markers are bookkeeping,
+   not code: they are excluded so Checkopt's size effect stays visible. *)
 let func_size f =
-  Array.fold_left (fun acc b -> acc + List.length b.b_instrs + 1) 0 f.f_blocks
+  Array.fold_left
+    (fun acc b ->
+       List.fold_left
+         (fun acc i ->
+            match i with
+            | Iintrin { name; _ } when is_telemetry_marker name -> acc
+            | _ -> acc + 1)
+         (acc + 1) b.b_instrs)
+    0 f.f_blocks
 
 let module_size m =
   let n = ref 0 in
   iter_funcs m (fun f -> n := !n + func_size f);
   !n
+
+(* Maps every intrinsic site id present in the module to a stable origin
+   label "func.bN[i] name" (function, block, instruction index, intrinsic
+   name) for the --profile report.  Telemetry markers keep the ORIGINAL
+   site's id, so after Checkopt a site may resolve to its marker -- the
+   label still names the source position of the original check.  Sorted
+   by site id. *)
+let site_origins m : (int * string) list =
+  let acc = ref [] in
+  iter_funcs m (fun f ->
+      Array.iter
+        (fun b ->
+           List.iteri
+             (fun i instr ->
+                match instr with
+                | Iintrin { name; site; _ } when site >= 0 ->
+                  acc :=
+                    (site,
+                     Printf.sprintf "%s.b%d[%d] %s" f.f_name b.b_id i name)
+                    :: !acc
+                | _ -> ())
+             b.b_instrs)
+        f.f_blocks);
+  (* one label per site: prefer the first occurrence in program order
+     (real checks come before any later duplicate) *)
+  let seen = Hashtbl.create 64 in
+  List.fold_left
+    (fun kept (site, lbl) ->
+       if Hashtbl.mem seen site then kept
+       else begin
+         Hashtbl.replace seen site ();
+         (site, lbl) :: kept
+       end)
+    []
+    (List.rev !acc)
+  |> List.sort compare
 
 (* Counts intrinsic instructions whose name satisfies [p]: used to report
    static check counts before/after optimization. *)

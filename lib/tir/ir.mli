@@ -126,10 +126,27 @@ val iter_funcs : modul -> (func -> unit) -> unit
 
 val find_global : modul -> string -> global option
 
+val telemetry_elided : string
+(** Marker intrinsic name Checkopt leaves at a site whose check it
+    removed as redundant.  Executed natively by the machine at zero
+    cycle cost, bumping the site's elided counter. *)
+
+val telemetry_covered : string
+(** Marker intrinsic name Checkopt leaves at a site whose work a
+    hoisted or endpoint-grouped check now performs. *)
+
+val is_telemetry_marker : string -> bool
+
 val func_size : func -> int
-(** Instruction count (terminators included). *)
+(** Instruction count (terminators included); telemetry markers are
+    bookkeeping, not code, and are excluded. *)
 
 val module_size : modul -> int
+
+val site_origins : modul -> (int * string) list
+(** Maps every intrinsic site id in the module to an origin label
+    "func.bN[i] name", sorted by site id — the source positions behind
+    the [--profile] hot-site report. *)
 
 val count_intrins : modul -> (string -> bool) -> int
 (** Counts intrinsic call sites whose name satisfies the predicate:

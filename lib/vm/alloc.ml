@@ -17,6 +17,9 @@ type t = {
   free_lists : (int, int list ref) Hashtbl.t;  (* rounded size -> blocks *)
   mutable live : int;           (* live allocation count *)
   mutable total_allocated : int;
+  (* telemetry gauges, published post-run by the driver *)
+  mutable peak_live : int;      (* high-water mark of [live] *)
+  mutable recycles : int;       (* allocations served from a free list *)
 }
 
 let header_size = 16
@@ -29,6 +32,8 @@ let create mem = {
   free_lists = Hashtbl.create 64;
   live = 0;
   total_allocated = 0;
+  peak_live = 0;
+  recycles = 0;
 }
 
 let round_size n =
@@ -45,6 +50,7 @@ let malloc t size =
     match Hashtbl.find_opt t.free_lists rsize with
     | Some ({ contents = p :: rest } as l) ->
       l := rest;
+      t.recycles <- t.recycles + 1;
       p
     | Some { contents = [] } | None ->
       let p = t.brk + header_size in
@@ -56,6 +62,7 @@ let malloc t size =
   Memory.store t.mem (payload - 16) 8 rsize;
   Memory.store t.mem (payload - 8) 8 magic_alloc;
   t.live <- t.live + 1;
+  if t.live > t.peak_live then t.peak_live <- t.live;
   t.total_allocated <- t.total_allocated + rsize;
   payload
 

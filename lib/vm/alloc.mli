@@ -12,6 +12,8 @@ type t = {
   free_lists : (int, int list ref) Hashtbl.t; (** rounded size -> blocks *)
   mutable live : int;
   mutable total_allocated : int;
+  mutable peak_live : int;  (** high-water mark of [live] *)
+  mutable recycles : int;   (** allocations served from a free list *)
 }
 
 val header_size : int

@@ -59,6 +59,21 @@ let of_specs ?(seed = 0x5EED) specs =
   List.iter (apply t) specs;
   t
 
+(* A fresh injector with the same configuration and seed but zeroed
+   budget/telemetry counters.  [State.create] clones the injector it is
+   handed so that runs sharing one [Fault.t] value (repeated runs, pool
+   workers) never race on or accumulate each other's counters. *)
+let clone t = {
+  oom_after = t.oom_after;
+  table_limit = t.table_limit;
+  tagflip_every = t.tagflip_every;
+  mallocs_seen = 0;
+  tagged_loads_seen = 0;
+  oom_injected = 0;
+  tagflips_injected = 0;
+  rng = t.rng;
+}
+
 let active t =
   t.oom_after <> None || t.table_limit <> None || t.tagflip_every <> None
 

@@ -26,6 +26,11 @@ val of_specs : ?seed:int -> spec list -> t
 
 val apply : t -> spec -> unit
 
+val clone : t -> t
+(** Same configuration and seed, zeroed budget/telemetry counters.
+    [State.create] clones its injector so runs sharing one [t] never
+    race on or accumulate each other's counters. *)
+
 val active : t -> bool
 
 val parse : string -> (spec, string) result

@@ -8,12 +8,15 @@ let malloc (st : State.t) size =
   else begin
     State.tick st (Cost.malloc size);
     st.heap_allocs <- st.heap_allocs + 1;
-    Alloc.malloc st.alloc size
+    let p = Alloc.malloc st.alloc size in
+    Telemetry.record st.telem Telemetry.Alloc p size;
+    p
   end
 
 let free (st : State.t) p =
   State.tick st Cost.free_base;
   st.heap_frees <- st.heap_frees + 1;
+  Telemetry.record st.telem Telemetry.Free p 0;
   Alloc.free st.alloc p
 
 let usable_size (st : State.t) p = Alloc.block_size st.alloc p

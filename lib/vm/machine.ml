@@ -34,6 +34,9 @@ type loaded_func = {
   lf : func;
   mutable code : vinstr array array;   (* per block; filled by [resolve] *)
   mutable terms : term array;
+  (* per-block cycle cost: instruction count EXCLUDING telemetry markers,
+     precomputed so markers are free in the deterministic cost model *)
+  mutable costs : int array;
   frame_size : int;
   slot_off : int array;
 }
@@ -47,6 +50,9 @@ and vinstr =
       name : string;
       args : opnd array;               (* site id appended as [Imm] *)
     }
+  (* a Checkopt telemetry marker: executed natively (no runtime dispatch,
+     zero cycles), bumps the per-site elided/covered counter *)
+  | Vtelem of { kind : int; site : int }  (* 0 = elided, 1 = covered *)
 
 and vtarget = Vdirect of loaded_func | Vnamed of string
 
@@ -77,6 +83,7 @@ let load_func (f : func) : loaded_func =
   {
     lf = f;
     code = [||];
+    costs = [||];
     terms = Array.map (fun b -> b.b_term) f.f_blocks;
     (* a minimum frame models the saved ra/fp pair *)
     frame_size = align_up (max !off 32) 16;
@@ -102,6 +109,10 @@ let resolve_instr funcs globals rt (i : instr) : vinstr =
       | None -> Vnamed callee
     in
     Vcall { dst; target; args }
+  | Iintrin { name; site; _ } when Tir.Ir.is_telemetry_marker name ->
+    Vtelem
+      { kind = (if String.equal name Tir.Ir.telemetry_elided then 0 else 1);
+        site }
   | Iintrin { dst; name; args; site } ->
     let args = Array.of_list (List.map r args @ [ Imm site ]) in
     Vintrin { dst; fn = Runtime.find_intrinsic rt name; name; args }
@@ -150,6 +161,13 @@ let create ?(st = State.create ()) ?(rt = Runtime.none) (md : modul) : t =
               Array.of_list
                 (List.map (resolve_instr funcs globals rt) b.b_instrs))
            lf.lf.f_blocks;
+       lf.costs <-
+         Array.map
+           (fun code ->
+              Array.fold_left
+                (fun n i -> match i with Vtelem _ -> n | _ -> n + 1)
+                0 code)
+           lf.code;
        lf.terms <- Array.map (resolve_term globals) lf.terms)
     funcs;
   let m =
@@ -312,9 +330,14 @@ and exec_func m (lf : loaded_func) (args : int array) : int =
      while not !finished do
        let code = lf.code.(!block) in
        let n = Array.length code in
-       State.tick st n;  (* baseline: one cycle per instruction *)
+       (* baseline: one cycle per instruction; telemetry markers are
+          excluded from the precomputed per-block cost *)
+       State.tick st lf.costs.(!block);
        for pc = 0 to n - 1 do
          match Array.unsafe_get code pc with
+         | Vtelem { kind; site } ->
+           if kind = 0 then Telemetry.bump_elided st.State.telem site
+           else Telemetry.bump_covered st.State.telem site
          | Vcall { dst; target; args } ->
            State.tick st (Cost.call - 1);
            let argv = Array.map ev args in
@@ -326,6 +349,9 @@ and exec_func m (lf : loaded_func) (args : int array) : int =
            (match dst with Some d -> regs.(d) <- v | None -> ())
          | Vintrin ({ dst; fn; name; args } as vi) ->
            let argv = Array.map ev args in  (* site id is the last arg *)
+           (* executed bump BEFORE dispatch, so failing checks count *)
+           Telemetry.bump_executed st.State.telem
+             argv.(Array.length argv - 1);
            (match fn with
             | Some fn ->
               let v = fn st argv in
@@ -406,6 +432,7 @@ and exec_func m (lf : loaded_func) (args : int array) : int =
            (match dst with Some d -> regs.(d) <- v | None -> ())
          | Iintrin { dst; name; args; site } ->
            let argv = Array.of_list (List.map ev args) in
+           Telemetry.bump_executed st.State.telem site;
            (match Runtime.find_intrinsic m.rt name with
             | Some fn ->
               (* intrinsics receive the site id as a trailing argument *)

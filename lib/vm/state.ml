@@ -21,10 +21,13 @@ type t = {
   (* the per-run diagnostic sink: Halt (raise, historical) or Recover *)
   sink : Report.sink;
   (* deterministic fault injector consulted by allocators and the
-     metadata table; inert unless faults were requested *)
+     metadata table; inert unless faults were requested.  Always a
+     private clone of the injector passed to [create], so shared
+     injector values never race or accumulate across runs *)
   fault : Fault.t;
-  (* runtime-published counters surfaced by the driver and --stats *)
-  telemetry : (string, int) Hashtbl.t;
+  (* always-on runtime telemetry: per-check-site counters, named
+     counters/gauges (surfaced by the driver and --stats), event ring *)
+  telem : Telemetry.t;
 }
 
 exception Exited of int
@@ -51,22 +54,24 @@ let create ?(cycle_budget = default_budget) ?(seed = 0x5EED)
     addr_mask = -1;
     site_state = Hashtbl.create 64;
     sink = Report.make_sink ~policy ();
-    fault = (match fault with Some f -> f | None -> Fault.none ());
-    telemetry = Hashtbl.create 16;
+    fault = (match fault with Some f -> Fault.clone f | None -> Fault.none ());
+    telem = Telemetry.create ();
   }
 
 (* Submits a sanitizer finding through the run's sink.  Under [Halt]
    this raises like [Report.bug] always did; under [Recover] it records
    and returns, and the caller must repair the operation and continue. *)
 let report st ?addr ?site ?detail ~by kind =
+  Telemetry.record st.telem Telemetry.Check_fail
+    (match site with Some s -> s | None -> -1)
+    (match addr with Some a -> a | None -> 0);
   Report.submit st.sink ?addr ?site ?detail ~by kind
 
 let recovering st = Report.recovering st.sink
 
-let set_stat st key v = Hashtbl.replace st.telemetry key v
+let set_stat st key v = Telemetry.set_gauge st.telem key v
 
-let stat st key =
-  match Hashtbl.find_opt st.telemetry key with Some v -> v | None -> 0
+let stat st key = Telemetry.gauge st.telem key
 
 let tick st c =
   st.cycles <- st.cycles + c;

@@ -21,9 +21,11 @@ type t = {
   sink : Report.sink;
       (** the per-run diagnostic sink (Halt by default) *)
   fault : Fault.t;
-      (** the run's fault injector; inert unless faults were requested *)
-  telemetry : (string, int) Hashtbl.t;
-      (** counters runtimes publish for the driver and [--stats] *)
+      (** the run's fault injector — a private clone of the one passed
+          to [create]; inert unless faults were requested *)
+  telem : Telemetry.t;
+      (** always-on runtime telemetry: per-check-site counters, named
+          counters/gauges ([--stats]), bounded event ring *)
 }
 
 exception Exited of int
