@@ -8,6 +8,9 @@
      dune exec bench/main.exe -- --fig N      -- figure 3 or 4
      dune exec bench/main.exe -- --ablation   -- optimization ablation
      dune exec bench/main.exe -- --faults     -- fault-injection table
+     dune exec bench/main.exe -- --resilience -- supervised-campaign
+                                                degradation table (writes
+                                                BENCH_resilience.json)
      dune exec bench/main.exe -- --micro      -- bechamel microbenches
      dune exec bench/main.exe -- --fuzz N     -- N-program differential
                                                 fuzz campaign
@@ -152,6 +155,24 @@ let run_faults ?pool () =
   section "Experiment: graceful degradation under injected faults";
   let d = timed "faults/run" (fun () -> Harness.Faults.run ?pool ()) in
   Harness.Faults.render fmt d
+
+(* --resilience: the supervised-execution degradation table -- the same
+   seeded campaign under none / crash / fuel injection scenarios, with
+   the ledger written as a machine-readable artifact for CI. *)
+let run_resilience ?pool () =
+  section "Experiment: resilience under injected harness faults";
+  let rows =
+    timed "resilience" (fun () ->
+        Fuzz.Campaign.resilience ?pool ~seed:!run_seed ())
+  in
+  Fuzz.Campaign.render_resilience fmt rows;
+  let file = "BENCH_resilience.json" in
+  let oc = open_out file in
+  output_string oc (Fuzz.Campaign.resilience_json rows);
+  output_char oc '\n';
+  close_out oc;
+  Format.printf "@.Resilience table written to %s@." file;
+  if not (List.for_all (fun r -> r.Fuzz.Campaign.rs_pass) rows) then exit 1
 
 let run_fuzz ?pool ~jobs n =
   section "Experiment: differential fuzz campaign";
@@ -361,6 +382,7 @@ let () =
        | _ ->
          if has "--ablation" then run_ablation ?pool ()
          else if has "--faults" then run_faults ?pool ()
+         else if has "--resilience" then run_resilience ?pool ()
          else if has "--micro" then microbenches ()
          else if has "--fuzz" then begin
            match Option.bind (arg_after "--fuzz") int_of_string_opt with

@@ -124,11 +124,20 @@ let inject =
                  makes malloc return NULL after N allocations, \
                  $(b,table:N) shrinks the metadata table to N entries, \
                  $(b,tagflip:N) flips a tag bit on every N-th tagged \
-                 load.")
+                 load, $(b,crash:N) kills the task after N allocations \
+                 (exit 97), $(b,fuel:N) gives the compile/verify \
+                 pipeline an N-step budget (exit 5).")
+
+let fuel_budget =
+  Arg.(value & opt (some int) None
+       & info [ "fuel" ] ~docv:"STEPS"
+           ~doc:"Deterministic step budget for the compile/verify \
+                 pipeline (a seeded stand-in for a wall-clock timeout); \
+                 exhausting it prints ==FUEL== and exits 5.")
 
 let run_cmd (san : Sanitizer.Spec.t) src_file lines packets dump_ir dump_tir
     verify stats profile telemetry_json no_opt budget recover max_reports
-    inject =
+    inject fuel_budget =
   let src =
     let ic = open_in_bin src_file in
     let n = in_channel_length ic in
@@ -136,25 +145,33 @@ let run_cmd (san : Sanitizer.Spec.t) src_file lines packets dump_ir dump_tir
     close_in ic;
     s
   in
+  let fuel =
+    match fuel_budget with
+    | Some b when b < 0 -> Fmt.epr "--fuel: expected >= 0@."; exit 2
+    | Some b -> Some (Tir.Fuel.make ~phase:"compile" ~budget:b)
+    | None -> None
+  in
   (* Static modes: --dump-tir and --verify drive the phases by hand
      (instrument, then optimize) instead of going through the one-shot
      [Driver.build] gate, so they can observe the IR between the two. *)
   if dump_tir <> None || verify then begin
     match
-      let md = Sanitizer.Driver.compile_cached ~optimize:(not no_opt) src in
+      let md =
+        Sanitizer.Driver.compile_cached ~optimize:(not no_opt) ?fuel src
+      in
       let spec = san.Sanitizer.Spec.verify in
       san.Sanitizer.Spec.instrument md;
       if dump_tir = Some `Preopt then begin
         print_string (Tir.Pp.module_to_string md);
         exit 0
       end;
-      let pre = Tir.Verify.check ?spec md in
+      let pre = Tir.Verify.check ?spec ?fuel md in
       san.Sanitizer.Spec.optimize md;
       if dump_tir = Some `Postopt then begin
         print_string (Tir.Pp.module_to_string md);
         exit 0
       end;
-      let post = Tir.Verify.check ?spec md in
+      let post = Tir.Verify.check ?spec ?fuel md in
       (pre, post)
     with
     | exception Minic.Sema.Error (m, l) ->
@@ -167,6 +184,9 @@ let run_cmd (san : Sanitizer.Spec.t) src_file lines packets dump_ir dump_tir
       Fmt.epr "%s: %s cannot compile this program: %s@." src_file
         san.Sanitizer.Spec.name m;
       exit 3
+    | exception Tir.Fuel.Exhausted { phase; budget } ->
+      Fmt.epr "==FUEL== exhausted in %s (budget %d steps)@." phase budget;
+      exit 5
     | pre, post ->
       let report stage (r : Tir.Verify.report) =
         Fmt.pr "[verify] %s/%s: %d function(s), %d/%d unsafe accesses \
@@ -220,7 +240,14 @@ let run_cmd (san : Sanitizer.Spec.t) src_file lines packets dump_ir dump_tir
     in
     Vm.Fault.of_specs specs
   in
-  match Sanitizer.Driver.build san ~optimize:(not no_opt) src with
+  (* --inject fuel:N without --fuel still reaches the pipeline, the
+     same bridging Driver.run performs. *)
+  let fuel =
+    match fuel, fault.Vm.Fault.fuel_budget with
+    | (Some _ as f), _ | f, None -> f
+    | None, Some b -> Some (Tir.Fuel.make ~phase:"compile" ~budget:b)
+  in
+  match Sanitizer.Driver.build san ~optimize:(not no_opt) ?fuel src with
   | exception Minic.Sema.Error (m, l) ->
     Fmt.epr "%s:%d: error: %s@." src_file l m;
     exit 2
@@ -231,14 +258,24 @@ let run_cmd (san : Sanitizer.Spec.t) src_file lines packets dump_ir dump_tir
     Fmt.epr "%s: %s cannot compile this program: %s@." src_file
       san.Sanitizer.Spec.name m;
     exit 3
+  | exception Tir.Fuel.Exhausted { phase; budget } ->
+    Fmt.epr "==FUEL== exhausted in %s (budget %d steps)@." phase budget;
+    exit 5
   | md ->
     if dump_ir then begin
       print_string (Tir.Pp.module_to_string md);
       exit 0
     end;
     let r =
-      Sanitizer.Driver.run_module san ~lines ~packets ~budget ~policy ~fault
-        md
+      match
+        Sanitizer.Driver.run_module san ~lines ~packets ~budget ~policy
+          ~fault md
+      with
+      | r -> r
+      | exception Vm.Fault.Injected_crash { after } ->
+        Fmt.epr "==INJECTED-CRASH== task killed after %d allocations@."
+          after;
+        exit 97
     in
     print_string r.Sanitizer.Driver.output;
     if not (String.equal r.Sanitizer.Driver.output "") then print_newline ();
@@ -293,6 +330,7 @@ let cmd =
     (Cmd.info "cecsan_cli" ~version:"1.0" ~doc)
     Term.(const run_cmd $ sanitizer $ file $ stdin_lines $ packets
           $ dump_ir $ dump_tir $ verify $ stats $ profile $ telemetry_json
-          $ no_opt $ budget $ recover $ max_reports $ inject)
+          $ no_opt $ budget $ recover $ max_reports $ inject
+          $ fuel_budget)
 
 let () = exit (Cmd.eval cmd)

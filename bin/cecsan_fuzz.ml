@@ -86,8 +86,43 @@ let telemetry_json =
            ~doc:"Write the campaign's merged CECSan telemetry snapshot to \
                  FILE as deterministic JSON (identical at any -j).")
 
+let faults =
+  Arg.(value & opt string ""
+       & info [ "faults" ] ~docv:"SPECS"
+           ~doc:"Comma-separated fault specs injected into every \
+                 program's runs: oom:N, table:N, tagflip:N, crash:N \
+                 (task dies after N allocations), fuel:N (N-step \
+                 pipeline budget).  Dead tasks are retried, then \
+                 quarantined.")
+
+let checkpoint =
+  Arg.(value & opt (some string) None
+       & info [ "checkpoint" ] ~docv:"DIR"
+           ~doc:"Keep an atomic campaign checkpoint in DIR (rewritten \
+                 after every shard) and write the final \
+                 mismatch/quarantine ledgers there.")
+
+let resume =
+  Arg.(value & flag
+       & info [ "resume" ]
+           ~doc:"Restore the $(b,--checkpoint) DIR state and continue \
+                 from the first unfinished shard.  The final ledgers \
+                 are byte-identical to an uninterrupted run.")
+
+let shard_size =
+  Arg.(value & opt int 256
+       & info [ "shard-size" ] ~docv:"N"
+           ~doc:"Programs per checkpointed shard.")
+
+let max_retries =
+  Arg.(value & opt int 1
+       & info [ "max-retries" ] ~docv:"K"
+           ~doc:"Deterministic retry budget before a dead task is \
+                 quarantined.")
+
 let run_cmd n seed jobs smoke tools max_shrink repro_dir write_corpus
-    corpus_dir corpus_count telemetry_json =
+    corpus_dir corpus_count telemetry_json faults checkpoint resume
+    shard_size max_retries =
   if write_corpus then begin
     let paths =
       Fuzz.Campaign.write_corpus ~dir:corpus_dir ~seed ~count:corpus_count ()
@@ -110,6 +145,27 @@ let run_cmd n seed jobs smoke tools max_shrink repro_dir write_corpus
          exit 2
        end)
     tool_names;
+  let fault_specs =
+    if String.trim faults = "" then []
+    else
+      List.map String.trim (String.split_on_char ',' faults)
+      |> List.filter (fun s -> s <> "")
+      |> List.map (fun s ->
+          match Vm.Fault.parse s with
+          | Ok spec -> spec
+          | Error m -> Fmt.epr "--faults: %s@." m; exit 2)
+  in
+  if resume && checkpoint = None then begin
+    Fmt.epr "--resume requires --checkpoint DIR@.";
+    exit 2
+  end;
+  if max_retries < 0 then begin
+    Fmt.epr "--max-retries: expected >= 0@.";
+    exit 2
+  end;
+  let policy =
+    { Harness.Supervise.default_policy with max_retries }
+  in
   let n = if smoke then 120 else n in
   let jobs =
     if jobs = 0 then Domain.recommended_domain_count ()
@@ -119,9 +175,16 @@ let run_cmd n seed jobs smoke tools max_shrink repro_dir write_corpus
   let summary =
     Harness.Pool.with_pool ~jobs (fun p ->
         let pool = if jobs > 1 then Some p else None in
-        Fuzz.Campaign.run ?pool ~tool_names ~max_shrink ~seed ~n ())
+        Fuzz.Campaign.run ?pool ~tool_names ~max_shrink
+          ~faults:fault_specs ~policy ?checkpoint ~resume ~shard_size
+          ~seed ~n ())
   in
   Fuzz.Campaign.render Format.std_formatter ~jobs summary;
+  (match checkpoint with
+   | Some dir ->
+     let mismatch, quarantine = Fuzz.Campaign.write_ledgers ~dir summary in
+     Fmt.pr "ledgers written: %s %s@." mismatch quarantine
+   | None -> ());
   (match telemetry_json with
    | Some f ->
      let oc = open_out f in
@@ -145,6 +208,7 @@ let cmd =
     (Cmd.info "cecsan_fuzz" ~version:"1.0" ~doc)
     Term.(const run_cmd $ n_programs $ seed $ jobs $ smoke $ tools
           $ max_shrink $ repro_dir $ write_corpus $ corpus_dir
-          $ corpus_count $ telemetry_json)
+          $ corpus_count $ telemetry_json $ faults $ checkpoint $ resume
+          $ shard_size $ max_retries)
 
 let () = Cmd.eval cmd |> exit

@@ -1,10 +1,45 @@
-(* Fuzz.Campaign: seeded differential campaigns over Harness.Pool.
+(* Fuzz.Campaign: seeded differential campaigns over Harness.Pool,
+   supervised and resumable.
 
    Program i of a campaign gets the independent seed
    [Tape.mix campaign_seed i] (odd indices carry a planted bug), so the
    grid is embarrassingly parallel and the verdict stream is identical
-   at any job count: Pool.map keeps submission order, and shrinking of
-   the (rare) failures happens sequentially afterwards. *)
+   at any job count: Pool.map_results keeps submission order, and
+   shrinking of the (rare) failures happens sequentially afterwards.
+
+   Supervision (this file's robustness layer):
+
+   - every per-program task runs under [Harness.Supervise.run]: a task
+     that dies -- injected crash, fuel exhaustion, stack overflow --
+     is retried under the deterministic count-based policy and then
+     QUARANTINED (one ledger entry) instead of aborting the campaign;
+   - the campaign proceeds in shards of [shard_size] programs; after
+     each shard the full campaign state (rows, quarantine, counters,
+     merged telemetry) is written to an atomic checkpoint
+     (temp-file + rename), so a SIGKILL costs at most one shard;
+   - [resume:true] restores the checkpoint and continues from the
+     first unfinished shard.  Everything the final ledgers derive from
+     is persisted in the checkpoint, so a killed-and-resumed campaign
+     produces byte-identical mismatch/quarantine ledgers to an
+     uninterrupted one, at any -j.
+
+   Checkpoint schema v1 (line-based, documented in DESIGN.md s.13):
+
+     cecsan-campaign-checkpoint v1
+     seed <hex>
+     n <int>
+     shard_size <int>
+     tools <csv|->
+     faults <csv|->
+     shards_done <int>
+     resumed_shards <int>
+     retries <int>
+     row index=<int> seed=<hex> plan=<cls:far:write:g16|-> failures=<csv|->
+     ...
+     quarantine task=<int> seed=<hex> attempts=<int> class=<s> phase=<s> detail=<%S>
+     ...
+     snapshot <Telemetry.Snapshot.to_json line>
+     end *)
 
 let sp = Printf.sprintf
 
@@ -27,8 +62,13 @@ type summary = {
   campaign_seed : int;
   n : int;
   tool_names : string list;
+  fault_specs : Vm.Fault.spec list;
   rows : row list;
   shrunk : shrunk list;
+  quarantine : Harness.Supervise.entry list;  (* submission order *)
+  retries : int;          (* re-attempts made across all tasks *)
+  fuel_exhausted : int;   (* quarantined with class "fuel" *)
+  resumed_shards : int;   (* shards restored from a checkpoint *)
   (* CECSan(-O2) telemetry over the whole grid, merged in submission
      order: identical at any job count *)
   snapshot : Telemetry.Snapshot.t;
@@ -46,24 +86,52 @@ let inject_of_index i = i land 1 = 1
 
 let tools_of_names names = List.filter_map Oracle.baseline_of_name names
 
-(* One self-contained job: everything derived from (campaign_seed, i). *)
-let run_one ~tool_names ~campaign_seed i =
+(* The pipeline-fuel budget carried by a [Fuel n] fault spec, if any. *)
+let fuel_budget_of_specs specs =
+  List.fold_left
+    (fun acc s -> match s with Vm.Fault.Fuel b -> Some b | _ -> acc)
+    None specs
+
+(* One self-contained job: everything derived from (campaign_seed, i).
+   With fault specs given, program i gets its own injector seeded from
+   its derived seed, threaded into every oracle run; a [Fuel b] spec
+   additionally puts the generator under a fresh [b]-step budget (the
+   compile/verify phases get theirs inside Driver.run, bridged from the
+   injector). *)
+let run_one ~tool_names ~fault_specs ~campaign_seed i
+  : row * Telemetry.Snapshot.t =
   let tools = tools_of_names tool_names in
   let seed = Tape.mix campaign_seed i in
-  let p = Gen.generate ~inject:(inject_of_index i) (Tape.fresh ~seed) in
-  let fs, snap = Oracle.evaluate_full ~tools p in
-  (p, { index = i; seed; plan = p.Gen.plan; failures = List.map Oracle.failure_name fs },
-   fs, snap)
+  let fault =
+    match fault_specs with
+    | [] -> None
+    | specs -> Some (Vm.Fault.of_specs ~seed specs)
+  in
+  let gen_fuel =
+    Option.map
+      (fun b -> Tir.Fuel.make ~phase:"gen" ~budget:b)
+      (fuel_budget_of_specs fault_specs)
+  in
+  let p =
+    Gen.generate ~inject:(inject_of_index i) ?fuel:gen_fuel
+      (Tape.fresh ~seed)
+  in
+  let fs, snap = Oracle.evaluate_full ~tools ?fault p in
+  ( { index = i; seed; plan = p.Gen.plan;
+      failures = List.map Oracle.failure_name fs },
+    snap )
 
 (* Shrinks a failing case: the minimized tape must regenerate a program
-   that still exhibits every one of the original failure labels. *)
-let shrink_failure ~tool_names ~inject (p : Gen.program)
+   that still exhibits every one of the original failure labels.  The
+   row's fault injector (if any) threads into every candidate
+   evaluation, and [fuel] bounds the whole minimization. *)
+let shrink_failure ~tool_names ?fault ?fuel ~inject (p : Gen.program)
     (failures : Oracle.failure list) : shrunk option =
   let tools = tools_of_names tool_names in
   let wanted = List.map Oracle.failure_name failures in
   let evaluate_tape tape =
     let p' = Gen.generate ~inject (Tape.replay tape) in
-    (p', Oracle.evaluate ~tools p')
+    (p', Oracle.evaluate ~tools ?fault p')
   in
   let still_fails tape =
     let _, fs = evaluate_tape tape in
@@ -72,7 +140,7 @@ let shrink_failure ~tool_names ~inject (p : Gen.program)
   in
   if not (still_fails p.Gen.tape) then None
   else
-    let best = Shrink.minimize ~still_fails p.Gen.tape in
+    let best = Shrink.minimize ?fuel ~still_fails p.Gen.tape in
     let p_min, fs_min = evaluate_tape best in
     Some
       { s_row = { index = -1; seed = 0; plan = p_min.Gen.plan;
@@ -91,40 +159,363 @@ let has_prefix ~prefix s =
   String.length s >= String.length prefix
   && String.equal (String.sub s 0 (String.length prefix)) prefix
 
-let run ?pool ?(tool_names = []) ?(max_shrink = 5) ~seed ~n () : summary =
-  let indices = List.init n (fun i -> i) in
-  let results =
-    Harness.Pool.maybe_map pool
-      (run_one ~tool_names ~campaign_seed:seed)
-      indices
+(* --- checkpoint serialization (schema v1) -------------------------------- *)
+
+let checkpoint_file = "campaign.v1.ckpt"
+let checkpoint_magic = "cecsan-campaign-checkpoint v1"
+
+(* Mid-campaign state: everything the final summary and ledgers derive
+   from.  Rows and quarantine entries are kept in submission order. *)
+type ckpt = {
+  ck_seed : int;
+  ck_n : int;
+  ck_shard_size : int;
+  ck_tools : string list;
+  ck_faults : string list;           (* Fault.spec_to_string forms *)
+  ck_shards_done : int;
+  ck_resumed_shards : int;
+  ck_retries : int;
+  ck_rows : row list;
+  ck_quarantine : Harness.Supervise.entry list;
+  ck_snapshot : Telemetry.Snapshot.t;
+}
+
+let csv_or_dash = function [] -> "-" | xs -> String.concat "," xs
+let csv_of_dash = function "-" -> [] | s -> String.split_on_char ',' s
+
+let plan_to_field = function
+  | None -> "-"
+  | Some (p : Gen.plan) ->
+    sp "%s:%d:%d:%d" (Gen.class_name p.Gen.cls)
+      (Bool.to_int p.Gen.far) (Bool.to_int p.Gen.write)
+      (Bool.to_int p.Gen.granule16)
+
+let plan_of_field = function
+  | "-" -> Ok None
+  | s ->
+    (match String.split_on_char ':' s with
+     | [ cls; far; write; g16 ] ->
+       (match Gen.class_of_name cls, far, write, g16 with
+        | Some cls, ("0" | "1"), ("0" | "1"), ("0" | "1") ->
+          Ok (Some { Gen.cls; far = String.equal far "1";
+                     write = String.equal write "1";
+                     granule16 = String.equal g16 "1" })
+        | _ -> Error (sp "bad plan field %S" s))
+     | _ -> Error (sp "bad plan field %S" s))
+
+let row_to_line r =
+  sp "row index=%d seed=%x plan=%s failures=%s" r.index r.seed
+    (plan_to_field r.plan) (csv_or_dash r.failures)
+
+let row_of_line line : row option =
+  match
+    Scanf.sscanf line "row index=%d seed=%x plan=%s failures=%s"
+      (fun index seed plan failures -> (index, seed, plan, failures))
+  with
+  | index, seed, plan, failures ->
+    (match plan_of_field plan with
+     | Ok plan -> Some { index; seed; plan; failures = csv_of_dash failures }
+     | Error _ -> None)
+  | exception _ -> None
+
+let write_checkpoint ~dir (ck : ckpt) =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let path = Filename.concat dir checkpoint_file in
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  let line fmt = Printf.ksprintf (fun s -> output_string oc (s ^ "\n")) fmt in
+  line "%s" checkpoint_magic;
+  line "seed %x" ck.ck_seed;
+  line "n %d" ck.ck_n;
+  line "shard_size %d" ck.ck_shard_size;
+  line "tools %s" (csv_or_dash ck.ck_tools);
+  line "faults %s" (csv_or_dash ck.ck_faults);
+  line "shards_done %d" ck.ck_shards_done;
+  line "resumed_shards %d" ck.ck_resumed_shards;
+  line "retries %d" ck.ck_retries;
+  List.iter (fun r -> line "%s" (row_to_line r)) ck.ck_rows;
+  List.iter
+    (fun e -> line "quarantine %s" (Harness.Supervise.entry_to_line e))
+    ck.ck_quarantine;
+  line "snapshot %s" (Telemetry.Snapshot.to_json ck.ck_snapshot);
+  line "end";
+  close_out oc;
+  (* same-directory rename: atomic on POSIX, so a reader never observes
+     a torn checkpoint *)
+  Sys.rename tmp path
+
+(* [None] on a missing or unparseable file (a fresh start is always a
+   correct recovery); the caller validates configuration agreement. *)
+let read_checkpoint ~dir : ckpt option =
+  let path = Filename.concat dir checkpoint_file in
+  if not (Sys.file_exists path) then None
+  else begin
+    let ic = open_in path in
+    let lines = ref [] in
+    (try
+       while true do lines := input_line ic :: !lines done
+     with End_of_file -> ());
+    close_in ic;
+    let lines = List.rev !lines in
+    let exception Bad in
+    let scan1 line fmt =
+      match Scanf.sscanf line fmt (fun v -> v) with
+      | v -> v
+      | exception _ -> raise Bad
+    in
+    match lines with
+    | magic :: seed_l :: n_l :: ss_l :: tools_l :: faults_l :: sd_l
+      :: rs_l :: rt_l :: rest ->
+      (try
+         if not (String.equal magic checkpoint_magic) then raise Bad;
+         let ck_seed = scan1 seed_l "seed %x" in
+         let ck_n = scan1 n_l "n %d" in
+         let ck_shard_size = scan1 ss_l "shard_size %d" in
+         let ck_tools = csv_of_dash (scan1 tools_l "tools %s") in
+         let ck_faults = csv_of_dash (scan1 faults_l "faults %s") in
+         let ck_shards_done = scan1 sd_l "shards_done %d" in
+         let ck_resumed_shards = scan1 rs_l "resumed_shards %d" in
+         let ck_retries = scan1 rt_l "retries %d" in
+         let rows = ref [] and quarantine = ref [] in
+         let snapshot = ref None in
+         let finished = ref false in
+         List.iter
+           (fun line ->
+              if !finished then ()
+              else if String.equal line "end" then finished := true
+              else if has_prefix ~prefix:"row " line then
+                match row_of_line line with
+                | Some r -> rows := r :: !rows
+                | None -> raise Bad
+              else if has_prefix ~prefix:"quarantine " line then
+                match
+                  Harness.Supervise.entry_of_line
+                    (String.sub line 11 (String.length line - 11))
+                with
+                | Some e -> quarantine := e :: !quarantine
+                | None -> raise Bad
+              else if has_prefix ~prefix:"snapshot " line then
+                match
+                  Telemetry.Snapshot.of_json
+                    (String.sub line 9 (String.length line - 9))
+                with
+                | Some s -> snapshot := Some s
+                | None -> raise Bad
+              else raise Bad)
+           rest;
+         if not !finished then raise Bad;
+         match !snapshot with
+         | None -> None
+         | Some ck_snapshot ->
+           Some
+             { ck_seed; ck_n; ck_shard_size; ck_tools; ck_faults;
+               ck_shards_done; ck_resumed_shards; ck_retries;
+               ck_rows = List.rev !rows;
+               ck_quarantine = List.rev !quarantine; ck_snapshot }
+       with Bad -> None)
+    | _ -> None
+  end
+
+(* --- the campaign driver -------------------------------------------------- *)
+
+let fuel_exhausted_count quarantine =
+  List.length
+    (List.filter
+       (fun e -> String.equal e.Harness.Supervise.q_class "fuel")
+       quarantine)
+
+let run ?pool ?(tool_names = []) ?(max_shrink = 5) ?(faults = [])
+    ?(policy = Harness.Supervise.default_policy) ?checkpoint
+    ?(resume = false) ?(shard_size = 256) ?stop_after_shards ~seed ~n ()
+  : summary =
+  let shard_size = max 1 shard_size in
+  let fault_strings = List.map Vm.Fault.spec_to_string faults in
+  (* restore: a missing/corrupt checkpoint is a fresh start; a
+     checkpoint for a DIFFERENT campaign is a caller error *)
+  let restored =
+    if not resume then None
+    else
+      match checkpoint with
+      | None -> invalid_arg "Campaign.run: resume requires a checkpoint dir"
+      | Some dir ->
+        (match read_checkpoint ~dir with
+         | None -> None
+         | Some ck ->
+           if
+             ck.ck_seed <> seed || ck.ck_n <> n
+             || ck.ck_shard_size <> shard_size
+             || ck.ck_tools <> tool_names
+             || ck.ck_faults <> fault_strings
+           then
+             invalid_arg
+               (sp
+                  "Campaign.run: checkpoint in %s is for a different \
+                   campaign (seed/n/shard_size/tools/faults mismatch)"
+                  dir)
+           else Some ck)
   in
-  let rows = List.map (fun (_, r, _, _) -> r) results in
-  let snapshot =
-    Telemetry.Snapshot.merge_all (List.map (fun (_, _, _, s) -> s) results)
+  let rows_rev = ref [] in
+  let quarantine_rev = ref [] in
+  let snapshot = ref Telemetry.Snapshot.empty in
+  let retries = ref 0 in
+  let shards_done = ref 0 in
+  let resumed_shards = ref 0 in
+  (match restored with
+   | None -> ()
+   | Some ck ->
+     rows_rev := List.rev ck.ck_rows;
+     quarantine_rev := List.rev ck.ck_quarantine;
+     snapshot := ck.ck_snapshot;
+     retries := ck.ck_retries;
+     shards_done := ck.ck_shards_done;
+     (* every shard we did NOT recompute this process counts as resumed *)
+     resumed_shards := ck.ck_resumed_shards + ck.ck_shards_done);
+  let total_shards = (n + shard_size - 1) / shard_size in
+  let save () =
+    match checkpoint with
+    | None -> ()
+    | Some dir ->
+      write_checkpoint ~dir
+        { ck_seed = seed; ck_n = n; ck_shard_size = shard_size;
+          ck_tools = tool_names; ck_faults = fault_strings;
+          ck_shards_done = !shards_done;
+          ck_resumed_shards = !resumed_shards; ck_retries = !retries;
+          ck_rows = List.rev !rows_rev;
+          ck_quarantine = List.rev !quarantine_rev;
+          ck_snapshot = !snapshot }
   in
-  let failing =
-    List.filter (fun (_, r, _, _) -> r.failures <> []) results
+  let process_shard sidx =
+    let lo = sidx * shard_size in
+    let hi = min n (lo + shard_size) in
+    let indices = List.init (hi - lo) (fun k -> lo + k) in
+    let outcomes =
+      Harness.Pool.maybe_map_results pool
+        (fun i ->
+           Harness.Supervise.run ~policy ~task:i ~seed:(Tape.mix seed i)
+             (fun ~attempt:_ ->
+                run_one ~tool_names ~fault_specs:faults ~campaign_seed:seed
+                  i))
+        indices
+    in
+    List.iter2
+      (fun i outcome ->
+         match outcome with
+         | Ok { Harness.Supervise.result = Ok (row, snap); retries = r } ->
+           rows_rev := row :: !rows_rev;
+           snapshot := Telemetry.Snapshot.merge !snapshot snap;
+           retries := !retries + r
+         | Ok { result = Error entry; retries = r } ->
+           quarantine_rev := entry :: !quarantine_rev;
+           retries := !retries + r
+         | Error e ->
+           (* escaped the supervisor itself (should not happen); treat
+              it as a zero-retry quarantine rather than dying *)
+           let cls, phase = Harness.Supervise.classify e in
+           quarantine_rev :=
+             { Harness.Supervise.q_task = i; q_seed = Tape.mix seed i;
+               q_class = cls; q_phase = phase; q_attempts = 1;
+               q_detail = Printexc.to_string e }
+             :: !quarantine_rev)
+      indices outcomes;
+    incr shards_done;
+    save ()
   in
+  let last_shard =
+    match stop_after_shards with
+    | None -> total_shards
+    | Some k -> min total_shards (!shards_done + max 0 k)
+  in
+  while !shards_done < last_shard do
+    process_shard !shards_done
+  done;
+  let rows = List.rev !rows_rev in
+  (* shrink only once every shard is in (a partial [stop_after_shards]
+     run is checkpoint fodder, not a report); failing rows are
+     regenerated from their seeds, so a resumed campaign shrinks
+     exactly what an uninterrupted one would *)
   let shrunk =
-    List.filteri (fun i _ -> i < max_shrink) failing
-    |> List.filter_map (fun (p, r, fs, _) ->
-        match
-          shrink_failure ~tool_names ~inject:(inject_of_index r.index) p fs
-        with
-        | Some s -> Some { s with s_row = { s.s_row with index = r.index;
-                                            seed = r.seed } }
-        | None ->
-          (* non-reproducible from its own tape: report unshrunk *)
-          Some { s_row = r; s_failures = fs; s_src = p.Gen.src;
-                 s_tape = p.Gen.tape;
-                 s_lines = Gen.line_count p.Gen.src })
+    if !shards_done < total_shards then []
+    else begin
+      let failing = List.filter (fun r -> r.failures <> []) rows in
+      let failing =
+        List.filteri (fun i _ -> i < max_shrink) failing
+      in
+      List.filter_map
+        (fun r ->
+           let inject = inject_of_index r.index in
+           let task () =
+             let fault =
+               match faults with
+               | [] -> None
+               | specs -> Some (Vm.Fault.of_specs ~seed:r.seed specs)
+             in
+             let fuel =
+               Option.map
+                 (fun b -> Tir.Fuel.make ~phase:"shrink" ~budget:b)
+                 (fuel_budget_of_specs faults)
+             in
+             let p =
+               Gen.generate ~inject (Tape.fresh ~seed:r.seed)
+             in
+             let fs = Oracle.evaluate ~tools:(tools_of_names tool_names)
+                 ?fault p in
+             match
+               shrink_failure ~tool_names ?fault ?fuel ~inject p fs
+             with
+             | Some s ->
+               Some { s with s_row = { s.s_row with index = r.index;
+                                       seed = r.seed } }
+             | None ->
+               (* non-reproducible from its own tape: report unshrunk *)
+               Some { s_row = r; s_failures = fs; s_src = p.Gen.src;
+                      s_tape = p.Gen.tape;
+                      s_lines = Gen.line_count p.Gen.src }
+           in
+           match
+             Harness.Supervise.run ~policy ~task:r.index ~seed:r.seed
+               (fun ~attempt:_ -> task ())
+           with
+           | { Harness.Supervise.result = Ok sh; retries = r' } ->
+             retries := !retries + r';
+             sh
+           | { result = Error entry; retries = r' } ->
+             retries := !retries + r';
+             quarantine_rev := entry :: !quarantine_rev;
+             None)
+        failing
+    end
+  in
+  (* shrink-phase quarantines were pushed onto the same ledger, after
+     the campaign's own entries *)
+  let quarantine = List.rev !quarantine_rev in
+  let fuel_exhausted = fuel_exhausted_count quarantine in
+  let snapshot =
+    (* supervise counters ride the snapshot only when nonzero, so a
+       fault-free campaign's telemetry is unchanged *)
+    let extra =
+      List.filter
+        (fun (_, v) -> v > 0)
+        [ "supervise_fuel_exhausted", fuel_exhausted;
+          "supervise_quarantined", List.length quarantine;
+          "supervise_resumed_shards", !resumed_shards;
+          "supervise_retries", !retries ]
+    in
+    if extra = [] then !snapshot
+    else
+      Telemetry.Snapshot.merge !snapshot
+        { Telemetry.Snapshot.empty with counters = extra }
   in
   {
     campaign_seed = seed;
     n;
     tool_names;
+    fault_specs = faults;
     rows;
     shrunk;
+    quarantine;
+    retries = !retries;
+    fuel_exhausted;
+    resumed_shards = !resumed_shards;
     snapshot;
     clean = List.length (List.filter (fun r -> r.plan = None) rows);
     buggy = List.length (List.filter (fun r -> r.plan <> None) rows);
@@ -139,6 +530,39 @@ let run ?pool ?(tool_names = []) ?(max_shrink = 5) ~seed ~n () : summary =
 let passed s =
   s.false_positives = 0 && s.false_negatives = 0 && s.divergences = 0
   && s.opt_unsound = 0 && s.misclassified = 0 && s.gen_invalid = 0
+
+(* --- final ledgers -------------------------------------------------------- *)
+
+(* The two files the durability contract is judged on: every line
+   derives only from fields the checkpoint persists (index, seed, plan,
+   failure labels, quarantine entries), so an interrupted-and-resumed
+   campaign reproduces them byte for byte. *)
+let mismatch_ledger_lines (s : summary) =
+  List.filter_map
+    (fun r ->
+       if r.failures = [] then None
+       else
+         Some
+           (sp "index=%d seed=%x plan=%s failures=%s" r.index r.seed
+              (plan_to_field r.plan) (csv_or_dash r.failures)))
+    s.rows
+
+let quarantine_ledger_lines (s : summary) =
+  List.map Harness.Supervise.entry_to_line s.quarantine
+
+let write_ledgers ~dir (s : summary) : string * string =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let write name lines =
+    let path = Filename.concat dir name in
+    let tmp = path ^ ".tmp" in
+    let oc = open_out tmp in
+    List.iter (fun l -> output_string oc (l ^ "\n")) lines;
+    close_out oc;
+    Sys.rename tmp path;
+    path
+  in
+  ( write "mismatch.ledger" (mismatch_ledger_lines s),
+    write "quarantine.ledger" (quarantine_ledger_lines s) )
 
 (* --- rendering ----------------------------------------------------------- *)
 
@@ -155,14 +579,18 @@ let class_histogram rows =
   |> List.sort compare
 
 (* The header carries everything needed to replay the campaign from the
-   log alone: seed, size, job count, tool lineup. *)
+   log alone: seed, size, job count, tool lineup, fault specs. *)
 let render fmt ~jobs (s : summary) =
   Format.fprintf fmt
-    "Fuzz campaign: seed=0x%x n=%d jobs=%d tools=cecsan%s@."
+    "Fuzz campaign: seed=0x%x n=%d jobs=%d tools=cecsan%s%s@."
     s.campaign_seed s.n jobs
     (match s.tool_names with
      | [] -> ""
-     | ts -> "," ^ String.concat "," ts);
+     | ts -> "," ^ String.concat "," ts)
+    (match s.fault_specs with
+     | [] -> ""
+     | fs ->
+       " faults=" ^ String.concat "," (List.map Vm.Fault.spec_to_string fs));
   Format.fprintf fmt "  programs: %d clean + %d bug-injected@." s.clean
     s.buggy;
   List.iter
@@ -174,6 +602,17 @@ let render fmt ~jobs (s : summary) =
   Format.fprintf fmt "  optimizer-unsound : %d@." s.opt_unsound;
   Format.fprintf fmt "  misclassified     : %d@." s.misclassified;
   Format.fprintf fmt "  generator-invalid : %d@." s.gen_invalid;
+  Format.fprintf fmt "  quarantined       : %d@."
+    (List.length s.quarantine);
+  Format.fprintf fmt "  retries           : %d@." s.retries;
+  if s.fuel_exhausted > 0 then
+    Format.fprintf fmt "  fuel-exhausted    : %d@." s.fuel_exhausted;
+  if s.resumed_shards > 0 then
+    Format.fprintf fmt "  resumed shards    : %d@." s.resumed_shards;
+  if s.quarantine <> [] then begin
+    Format.fprintf fmt "@.  QUARANTINE:@.";
+    Harness.Supervise.render fmt s.quarantine
+  end;
   List.iter
     (fun sh ->
        Format.fprintf fmt
@@ -191,6 +630,74 @@ let render fmt ~jobs (s : summary) =
     s.shrunk;
   Format.fprintf fmt "@.  RESULT: %s@."
     (if passed s then "PASS" else "FAIL")
+
+(* --- resilience degradation table ----------------------------------------- *)
+
+type resilience_row = {
+  rs_scenario : string;
+  rs_n : int;
+  rs_completed : int;      (* programs that produced a verdict *)
+  rs_quarantined : int;
+  rs_retries : int;
+  rs_fuel : int;
+  rs_pass : bool;          (* oracle verdicts clean on the survivors *)
+}
+
+(* The supervised counterpart of the Harness.Faults grid: each scenario
+   runs the same seeded campaign under one injected harness-fault
+   class, and the table shows how much of the grid survives. *)
+let resilience ?pool ?(n = 240) ~seed () : resilience_row list =
+  (* Calibrated against the generator: most programs allocate only a
+     handful of times and compile in well under 2000 fuel steps, so
+     crash:3 / fuel:600 kill a slice of the grid, crash:1 / fuel:400
+     kill most of it, and fuel:2000 is a watchdog that never fires. *)
+  let scenarios =
+    [ "none", [];
+      "crash:3", [ Vm.Fault.Crash 3 ];
+      "crash:1", [ Vm.Fault.Crash 1 ];
+      "fuel:2000", [ Vm.Fault.Fuel 2_000 ];
+      "fuel:400", [ Vm.Fault.Fuel 400 ] ]
+  in
+  List.map
+    (fun (name, faults) ->
+       let s = run ?pool ~faults ~max_shrink:0 ~seed ~n () in
+       { rs_scenario = name;
+         rs_n = n;
+         rs_completed = List.length s.rows;
+         rs_quarantined = List.length s.quarantine;
+         rs_retries = s.retries;
+         rs_fuel = s.fuel_exhausted;
+         rs_pass = passed s })
+    scenarios
+
+let render_resilience fmt (rows : resilience_row list) =
+  Format.fprintf fmt "Resilience: supervised campaign under injected harness faults@.";
+  Format.fprintf fmt "  %-14s %9s %10s %12s %8s %6s %s@." "scenario"
+    "programs" "completed" "quarantined" "retries" "fuel" "verdict";
+  List.iter
+    (fun r ->
+       Format.fprintf fmt "  %-14s %9d %10d %12d %8d %6d %s@."
+         r.rs_scenario r.rs_n r.rs_completed r.rs_quarantined r.rs_retries
+         r.rs_fuel
+         (if r.rs_pass then "PASS" else "FAIL"))
+    rows
+
+let resilience_json (rows : resilience_row list) : string =
+  let b = Buffer.create 512 in
+  Buffer.add_string b "{\"rows\":[";
+  List.iteri
+    (fun i r ->
+       if i > 0 then Buffer.add_char b ',';
+       Buffer.add_string b
+         (sp
+            "{\"scenario\":\"%s\",\"n\":%d,\"completed\":%d,\
+             \"quarantined\":%d,\"retries\":%d,\"fuel_exhausted\":%d,\
+             \"pass\":%b}"
+            r.rs_scenario r.rs_n r.rs_completed r.rs_quarantined
+            r.rs_retries r.rs_fuel r.rs_pass))
+    rows;
+  Buffer.add_string b "]}";
+  Buffer.contents b
 
 (* --- repro / corpus files ------------------------------------------------ *)
 

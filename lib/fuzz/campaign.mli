@@ -1,6 +1,14 @@
 (** Seeded differential campaigns over [Harness.Pool]: per-program
     derived seeds, submission-order deterministic verdicts (identical at
-    any job count), shrunk failure repros, and corpus seeding. *)
+    any job count), shrunk failure repros, and corpus seeding.
+
+    Supervised execution (DESIGN.md section 13): every per-program task
+    runs under [Harness.Supervise]; tasks that die (injected crash,
+    fuel exhaustion, stack overflow) are retried deterministically and
+    then quarantined instead of aborting.  The campaign proceeds in
+    shards with an atomic checkpoint after each, and [resume] restores
+    mid-campaign state so a killed-and-resumed run produces
+    byte-identical final ledgers to an uninterrupted one. *)
 
 type row = {
   index : int;
@@ -21,11 +29,21 @@ type summary = {
   campaign_seed : int;
   n : int;
   tool_names : string list;
-  rows : row list;
+  fault_specs : Vm.Fault.spec list;
+  rows : row list;            (** programs that produced a verdict *)
   shrunk : shrunk list;
+  quarantine : Harness.Supervise.entry list;
+      (** tasks that kept dying, in submission order (shrink-phase
+          entries last) *)
+  retries : int;              (** re-attempts made across all tasks *)
+  fuel_exhausted : int;       (** quarantined with class ["fuel"] *)
+  resumed_shards : int;       (** shards restored from a checkpoint *)
   snapshot : Telemetry.Snapshot.t;
       (** CECSan(-O2) telemetry merged over the grid in submission
-          order: identical at any job count *)
+          order: identical at any job count.  Supervise counters
+          ([supervise_retries], [supervise_quarantined],
+          [supervise_fuel_exhausted], [supervise_resumed_shards]) are
+          merged in only when nonzero. *)
   clean : int;
   buggy : int;
   false_positives : int;
@@ -39,23 +57,78 @@ type summary = {
 val inject_of_index : int -> bool
 (** Odd program indices carry a planted bug. *)
 
+val checkpoint_file : string
+(** ["campaign.v1.ckpt"], the file [run ~checkpoint:dir] maintains. *)
+
 val run :
   ?pool:Harness.Pool.t -> ?tool_names:string list -> ?max_shrink:int ->
-  seed:int -> n:int -> unit -> summary
-(** Runs the campaign; shrinks up to [max_shrink] failures (default 5)
-    sequentially after the parallel phase. *)
+  ?faults:Vm.Fault.spec list -> ?policy:Harness.Supervise.policy ->
+  ?checkpoint:string -> ?resume:bool -> ?shard_size:int ->
+  ?stop_after_shards:int -> seed:int -> n:int -> unit -> summary
+(** Runs the campaign in shards of [shard_size] (default 256) programs;
+    shrinks up to [max_shrink] failures (default 5) sequentially after
+    the last shard.
+
+    [faults] injects one [Vm.Fault] spec set into every program's runs
+    (each derives its own seeded injector); [Crash]/[Fuel] specs kill
+    tasks, which the [policy] (default [Supervise.default_policy])
+    retries and then quarantines.
+
+    [checkpoint] names a directory to keep an atomic
+    {!checkpoint_file} in, rewritten after every shard; [resume]
+    (requires [checkpoint]) restores it and continues from the first
+    unfinished shard.  A missing or unreadable checkpoint is a fresh
+    start; a checkpoint whose seed/n/shard_size/tools/faults disagree
+    with the arguments raises [Invalid_argument].
+
+    [stop_after_shards] processes at most that many further shards and
+    returns (shrink skipped) -- the deterministic stand-in for getting
+    killed mid-campaign in tests. *)
 
 val passed : summary -> bool
+(** Oracle verdicts only; quarantined tasks are reported, not failed. *)
 
 val render : Format.formatter -> jobs:int -> summary -> unit
-(** The header line carries seed, n, jobs and tools, so any campaign is
-    reproducible from the log alone. *)
+(** The header line carries seed, n, jobs, tools and fault specs, so
+    any campaign is reproducible from the log alone. *)
+
+val mismatch_ledger_lines : summary -> string list
+val quarantine_ledger_lines : summary -> string list
+
+val write_ledgers : dir:string -> summary -> string * string
+(** Writes [mismatch.ledger] and [quarantine.ledger] (atomically) into
+    [dir] and returns their paths.  Every line derives only from
+    checkpoint-persisted fields, so interrupted-and-resumed campaigns
+    reproduce both files byte for byte at any job count. *)
+
+type resilience_row = {
+  rs_scenario : string;
+  rs_n : int;
+  rs_completed : int;
+  rs_quarantined : int;
+  rs_retries : int;
+  rs_fuel : int;
+  rs_pass : bool;
+}
+
+val resilience : ?pool:Harness.Pool.t -> ?n:int -> seed:int -> unit ->
+  resilience_row list
+(** The degradation table behind [bench --resilience]: the same seeded
+    campaign (default 240 programs) under none / crash / fuel injection
+    scenarios, showing how much of the grid survives supervision. *)
+
+val render_resilience : Format.formatter -> resilience_row list -> unit
+
+val resilience_json : resilience_row list -> string
+(** Deterministic single-line JSON for the BENCH_resilience.json
+    artifact. *)
 
 val shrink_failure :
-  tool_names:string list -> inject:bool -> Gen.program ->
-  Oracle.failure list -> shrunk option
+  tool_names:string list -> ?fault:Vm.Fault.t -> ?fuel:Tir.Fuel.t ->
+  inject:bool -> Gen.program -> Oracle.failure list -> shrunk option
 (** Minimizes one failing case; [None] if its own tape does not
-    reproduce the failure. *)
+    reproduce the failure.  [fault] threads into every candidate
+    evaluation; [fuel] bounds the whole minimization. *)
 
 val repro_contents :
   seed:int -> inject:bool -> failures:Oracle.failure list ->

@@ -72,7 +72,7 @@ type obj = {
   mutable freed : bool;
 }
 
-let generate ?(inject = false) (t : Tape.t) : program =
+let generate ?(inject = false) ?fuel (t : Tape.t) : program =
   (* The plan is drawn FIRST so a shrunk tape prefix keeps the class
      stable for as long as possible. *)
   let plan =
@@ -88,7 +88,12 @@ let generate ?(inject = false) (t : Tape.t) : program =
   in
   let globals = ref [] in
   let body = ref [] in
-  let emit s = body := s :: !body in
+  (* one fuel step per emitted statement: generation cost is a property
+     of the program being built, not of the machine building it *)
+  let emit s =
+    Tir.Fuel.burn fuel 1;
+    body := s :: !body
+  in
   let objs : obj list ref = ref [] in
   let next_id = ref 0 in
   let fresh p =

@@ -30,10 +30,12 @@ type program = {
   tape : int array;        (** full decision tape; replaying regenerates *)
 }
 
-val generate : ?inject:bool -> Tape.t -> program
+val generate : ?inject:bool -> ?fuel:Tir.Fuel.t -> Tape.t -> program
 (** Clean programs are deterministic, fully initialized and
     allocator-layout independent: every sanitizer must reproduce the
     uninstrumented stdout and exit code.  With [inject:true], exactly
-    one defect from [plan] is planted as the program's last action. *)
+    one defect from [plan] is planted as the program's last action.
+    [fuel] burns one step per emitted statement (may raise
+    [Tir.Fuel.Exhausted]). *)
 
 val line_count : string -> int

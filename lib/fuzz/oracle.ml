@@ -139,10 +139,10 @@ let kind_ok (cls : Gen.bug_class) (k : Vm.Report.bug_kind) =
 
 exception Compile_error of string
 
-let run_tool (san : Sanitizer.Spec.t) ?policy ~optimize (src : string) :
+let run_tool (san : Sanitizer.Spec.t) ?policy ?fault ~optimize (src : string) :
   tool_run =
   let tool = san.Sanitizer.Spec.name in
-  match Sanitizer.Driver.run san ~externs ?policy ~optimize src with
+  match Sanitizer.Driver.run san ~externs ?policy ?fault ~optimize src with
   | r ->
     let detected =
       Vm.Machine.outcome_is_bug r.Sanitizer.Driver.outcome
@@ -196,22 +196,28 @@ let baseline_of_name = function
 (* Like [evaluate], but also returns the CECSan(-O2) run's telemetry
    snapshot so campaigns can aggregate per-site profiles across the
    whole grid (merged in submission order, deterministic at any -j). *)
-let evaluate_full ?(tools = []) (p : Gen.program) :
+let evaluate_full ?(tools = []) ?fault (p : Gen.program) :
   failure list * Telemetry.Snapshot.t =
   match
     let cec () = Cecsan.sanitizer () in
-    let ref_run = run_tool Sanitizer.Spec.none ~optimize:true p.Gen.src in
-    let cec_on = run_tool (cec ()) ~optimize:true p.Gen.src in
+    (* the injector, when given, threads into every run uniformly --
+       including the uninstrumented reference -- so a crash/fuel fault
+       kills the whole task rather than biasing one tool's verdict *)
+    let ref_run =
+      run_tool Sanitizer.Spec.none ?fault ~optimize:true p.Gen.src
+    in
+    let cec_on = run_tool (cec ()) ?fault ~optimize:true p.Gen.src in
     let cec_off =
-      { (run_tool (cec ()) ~optimize:false p.Gen.src) with
+      { (run_tool (cec ()) ?fault ~optimize:false p.Gen.src) with
         tool = "CECSan-O0" }
     in
     let cec_rec =
-      { (run_tool (cec ()) ~policy:recover_policy ~optimize:true p.Gen.src)
+      { (run_tool (cec ()) ?fault ~policy:recover_policy ~optimize:true
+           p.Gen.src)
         with tool = "CECSan-recover" }
     in
     let extras =
-      List.map (fun san -> run_tool san ~optimize:true p.Gen.src) tools
+      List.map (fun san -> run_tool san ?fault ~optimize:true p.Gen.src) tools
     in
     (ref_run, cec_on, cec_off, cec_rec, extras)
   with
@@ -286,5 +292,5 @@ let evaluate_full ?(tools = []) (p : Gen.program) :
         | _ -> ()));
     (List.rev !failures, cec_on.snapshot)
 
-let evaluate ?tools (p : Gen.program) : failure list =
-  fst (evaluate_full ?tools p)
+let evaluate ?tools ?fault (p : Gen.program) : failure list =
+  fst (evaluate_full ?tools ?fault p)

@@ -44,17 +44,22 @@ val kind_ok : Gen.bug_class -> Vm.Report.bug_kind -> bool
 exception Compile_error of string
 
 val run_tool :
-  Sanitizer.Spec.t -> ?policy:Vm.Report.policy -> optimize:bool ->
-  string -> tool_run
+  Sanitizer.Spec.t -> ?policy:Vm.Report.policy -> ?fault:Vm.Fault.t ->
+  optimize:bool -> string -> tool_run
 
 val baseline_of_name : string -> Sanitizer.Spec.t option
 (** CLI names: asan, asan--, hwasan, softbound, pacmem, cryptsan. *)
 
-val evaluate : ?tools:Sanitizer.Spec.t list -> Gen.program -> failure list
+val evaluate :
+  ?tools:Sanitizer.Spec.t list -> ?fault:Vm.Fault.t -> Gen.program ->
+  failure list
 (** Empty list = the program passes every oracle rule. *)
 
 val evaluate_full :
-  ?tools:Sanitizer.Spec.t list -> Gen.program ->
+  ?tools:Sanitizer.Spec.t list -> ?fault:Vm.Fault.t -> Gen.program ->
   failure list * Telemetry.Snapshot.t
 (** [evaluate] plus the CECSan(-O2) run's telemetry snapshot, for
-    campaign-level aggregation (merged in submission order). *)
+    campaign-level aggregation (merged in submission order).  [fault]
+    threads one injector spec into every run uniformly (each run clones
+    it), including the uninstrumented reference; injected
+    crash/fuel-exhaustion exceptions escape to the supervision layer. *)

@@ -7,13 +7,14 @@
    pass order is fixed and there is no randomness, so a given
    (tape, predicate) pair always shrinks to the same minimum. *)
 
-let minimize ?(budget = 2000) ~(still_fails : int array -> bool)
+let minimize ?(budget = 2000) ?fuel ~(still_fails : int array -> bool)
     (tape : int array) : int array =
   let evals = ref 0 in
   let try_ best cand =
     if !evals >= budget || Array.length cand >= Array.length best then None
     else begin
       incr evals;
+      Tir.Fuel.burn fuel 1;
       if still_fails cand then Some cand else None
     end
   in
@@ -22,6 +23,7 @@ let minimize ?(budget = 2000) ~(still_fails : int array -> bool)
     if !evals >= budget then None
     else begin
       incr evals;
+      Tir.Fuel.burn fuel 1;
       if still_fails cand then Some cand else None
     end
   in

@@ -1,9 +1,12 @@
 (** Deterministic delta debugging over a generator decision tape. *)
 
 val minimize :
-  ?budget:int -> still_fails:(int array -> bool) -> int array -> int array
+  ?budget:int -> ?fuel:Tir.Fuel.t -> still_fails:(int array -> bool) ->
+  int array -> int array
 (** [minimize ~still_fails tape] returns a tape no longer than [tape]
     on which [still_fails] still holds (or [tape] itself if the
     predicate does not hold on it).  Deterministic: fixed pass order
     (chunk deletion by halving sizes, then zero/halve/decrement each
-    value), bounded by [budget] predicate evaluations (default 2000). *)
+    value), bounded by [budget] predicate evaluations (default 2000).
+    [fuel] burns one step per evaluation and raises
+    [Tir.Fuel.Exhausted] when a campaign-level watchdog trips. *)

@@ -7,7 +7,8 @@ type cell = {
       (** ["ok"] expected exit; ["ok*"] expected exit with findings
           recorded; ["exit:N"]/["exit*:N"] wrong exit code;
           ["crash:..."] machine trap; ["excluded"] the sanitizer cannot
-          compile the workload *)
+          compile the workload; ["quarantined:CLASS"] the task itself
+          died (injected crash, fuel exhaustion) and was quarantined *)
   c_reports : int;
   c_suppressed : int;
   c_fallbacks : int;  (** allocations served unprotected via entry 0 *)
@@ -21,7 +22,8 @@ type data = {
 }
 
 val scenarios : string list
-(** The default scenario set: none, oom:40, table:8, tagflip:97. *)
+(** The default scenario set: none, oom:40, table:8, tagflip:97, plus
+    the harness-fault columns crash:25 and fuel:1000. *)
 
 val lineup : unit -> (string * Sanitizer.Spec.t) list
 

@@ -28,11 +28,17 @@ type run_result = {
 (* Parse, check and lower a source file; [optimize] runs the -O2 model
    (slot promotion).  Raises [Minic.Sema.Error] or [Tir.Lower.Error].
    Always runs the front end; callers that can tolerate a shared
-   pristine module go through [compile_cached] instead. *)
-let compile ?(optimize = true) (src : string) : Tir.Ir.modul =
+   pristine module go through [compile_cached] instead.
+
+   Fuel accounting burns the produced module's size *after* the front
+   end ran, which keeps the burn a pure function of the source: a cache
+   hit in [compile_cached] burns exactly the same amount, so fuel
+   "timeouts" cannot depend on which worker warmed the cache first. *)
+let compile ?(optimize = true) ?fuel (src : string) : Tir.Ir.modul =
   let checked = Minic.Sema.parse_and_check src in
   let md = Tir.Lower.lower checked in
   if optimize then ignore (Tir.Promote.run md) else Tir.Analysis.run md;
+  Tir.Fuel.burn fuel (Tir.Ir.module_size md);
   md
 
 (* The compile cache.  Pristine modules are inserted once and never
@@ -51,7 +57,7 @@ let clear_compile_cache () =
   Hashtbl.reset cache;
   Mutex.unlock cache_lock
 
-let compile_cached ~optimize (src : string) : Tir.Ir.modul =
+let compile_cached ~optimize ?fuel (src : string) : Tir.Ir.modul =
   let key = (optimize, src) in
   let cached =
     Mutex.lock cache_lock;
@@ -61,12 +67,17 @@ let compile_cached ~optimize (src : string) : Tir.Ir.modul =
   in
   let pristine =
     match cached with
-    | Some md -> md
+    | Some md ->
+      (* burn what [compile] would have burned: fuel exhaustion must be
+         cache-state independent or "timeouts" would differ across -j
+         and across resume boundaries *)
+      Tir.Fuel.burn fuel (Tir.Ir.module_size md);
+      md
     | None ->
       (* compiled outside the lock: front-end errors must propagate to
          this caller, and compilation is deterministic so a racing
          duplicate insert is harmless (last write wins, same value) *)
-      let md = compile ~optimize src in
+      let md = compile ~optimize ?fuel src in
       Mutex.lock cache_lock;
       if Hashtbl.length cache >= cache_capacity then Hashtbl.reset cache;
       Hashtbl.replace cache key md;
@@ -99,10 +110,11 @@ let () =
 (* Instrument, then optimize, with [Tir.Verify] run on both sides and the
    covered-obligation count required non-shrinking across the
    optimization (translation validation of the section II.F passes). *)
-let instrument_verified (san : Spec.t) (md : Tir.Ir.modul) : unit =
+let instrument_verified ?fuel (san : Spec.t) (md : Tir.Ir.modul) : unit =
   match !verify_mode with
   | Off ->
     san.Spec.instrument md;
+    Tir.Fuel.burn fuel (Tir.Ir.module_size md);
     san.Spec.optimize md
   | (Warn | Strict) as mode ->
     let gate stage errors =
@@ -121,10 +133,11 @@ let instrument_verified (san : Spec.t) (md : Tir.Ir.modul) : unit =
     in
     let spec = san.Spec.verify in
     san.Spec.instrument md;
-    let pre = Tir.Verify.check ?spec md in
+    Tir.Fuel.burn fuel (Tir.Ir.module_size md);
+    let pre = Tir.Verify.check ?spec ?fuel md in
     gate "preopt" (List.map Tir.Verify.error_to_string pre.Tir.Verify.r_errors);
     san.Spec.optimize md;
-    let post = Tir.Verify.check ?spec md in
+    let post = Tir.Verify.check ?spec ?fuel md in
     gate "postopt"
       (List.map Tir.Verify.error_to_string post.Tir.Verify.r_errors);
     if post.Tir.Verify.r_covered < pre.Tir.Verify.r_covered then
@@ -134,10 +147,11 @@ let instrument_verified (san : Spec.t) (md : Tir.Ir.modul) : unit =
             pre.Tir.Verify.r_covered post.Tir.Verify.r_covered ]
 
 (* Compiles under a sanitizer.  May raise [Spec.Unsupported] or, with
-   the gate on, [Verifier_reject]. *)
-let build (san : Spec.t) ?(optimize = true) (src : string) : Tir.Ir.modul =
-  let md = compile_cached ~optimize src in
-  instrument_verified san md;
+   the gate on, [Verifier_reject]; with [fuel] given, [Tir.Fuel.Exhausted]. *)
+let build (san : Spec.t) ?(optimize = true) ?fuel (src : string)
+  : Tir.Ir.modul =
+  let md = compile_cached ~optimize ?fuel src in
+  instrument_verified ?fuel san md;
   md
 
 (* Multi-translation-unit build: compiles each unit, links them
@@ -212,6 +226,17 @@ let run_module (san : Spec.t) ?(lines = []) ?(packets = []) ?(externs = [])
   }
 
 let run (san : Spec.t) ?lines ?packets ?externs ?budget ?seed ?policy ?fault
-    ?(optimize = true) (src : string) : run_result =
+    ?fuel ?(optimize = true) (src : string) : run_result =
+  (* bridge a [Fault.Fuel n] injection into pipeline fuel: the injector
+     carries the budget so the CLI/campaign fault surface ("fuel:N")
+     reaches compile and verify without a second plumbing path *)
+  let fuel =
+    match fuel, fault with
+    | (Some _ as f), _ | f, None -> f
+    | None, Some fl ->
+      (match fl.Vm.Fault.fuel_budget with
+       | Some b -> Some (Tir.Fuel.make ~phase:"compile" ~budget:b)
+       | None -> None)
+  in
   run_module san ?lines ?packets ?externs ?budget ?seed ?policy ?fault
-    (build san ~optimize src)
+    (build san ~optimize ?fuel src)

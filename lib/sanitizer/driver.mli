@@ -25,16 +25,19 @@ type run_result = {
           labels behind the [--profile] hot-site report *)
 }
 
-val compile : ?optimize:bool -> string -> Tir.Ir.modul
+val compile : ?optimize:bool -> ?fuel:Tir.Fuel.t -> string -> Tir.Ir.modul
 (** Parse, check, lower; [optimize] (default true) runs the -O2 model
     (slot promotion).  Raises [Minic.Sema.Error] or [Tir.Lower.Error].
-    Always runs the front end (no caching). *)
+    Always runs the front end (no caching).  [fuel] burns the produced
+    module's size (may raise [Tir.Fuel.Exhausted]). *)
 
-val compile_cached : optimize:bool -> string -> Tir.Ir.modul
+val compile_cached : optimize:bool -> ?fuel:Tir.Fuel.t -> string -> Tir.Ir.modul
 (** Like [compile], but parse/check/lower/promote run once per
     (source, optimize) pair; the result is a deep clone ([Tir.Ir.clone])
     of the cached pristine module, safe to mutate.  Thread-safe: the
-    cache is shared across Harness.Pool workers. *)
+    cache is shared across Harness.Pool workers.  Fuel burn is
+    cache-state independent: a hit burns exactly what the miss would
+    have. *)
 
 val clear_compile_cache : unit -> unit
 (** Drops every cached module (tests, memory pressure). *)
@@ -55,15 +58,17 @@ exception
 (** [stage] is ["preopt"] or ["postopt"]; [errors] are rendered
     [Tir.Verify.error]s (plus the coverage-shrink violation, if any). *)
 
-val instrument_verified : Spec.t -> Tir.Ir.modul -> unit
+val instrument_verified : ?fuel:Tir.Fuel.t -> Spec.t -> Tir.Ir.modul -> unit
 (** The gate itself: instrument, verify, optimize, verify again, and
     require the covered-obligation count non-shrinking across the
     optimization.  Exposed for tools (CLI [--verify], bench) that need
-    the phases on a module they built themselves. *)
+    the phases on a module they built themselves.  [fuel] bounds the
+    verifier dataflow fixpoints. *)
 
-val build : Spec.t -> ?optimize:bool -> string -> Tir.Ir.modul
+val build : Spec.t -> ?optimize:bool -> ?fuel:Tir.Fuel.t -> string -> Tir.Ir.modul
 (** [compile_cached], then instrument + optimize under the verification
-    gate.  May raise [Spec.Unsupported] or [Verifier_reject]. *)
+    gate.  May raise [Spec.Unsupported], [Verifier_reject] or
+    [Tir.Fuel.Exhausted]. *)
 
 val build_link :
   Spec.t ->
@@ -99,7 +104,11 @@ val run :
   ?seed:int ->
   ?policy:Vm.Report.policy ->
   ?fault:Vm.Fault.t ->
+  ?fuel:Tir.Fuel.t ->
   ?optimize:bool ->
   string ->
   run_result
-(** [build] + [run_module] in one step. *)
+(** [build] + [run_module] in one step.  When no [fuel] is given but
+    [fault] carries a [Fuel n] injection, a compile-phase fuel of [n]
+    steps is created from it, so the ["fuel:N"] fault surface reaches
+    the pipeline. *)

@@ -309,6 +309,123 @@ module Snapshot = struct
     Buffer.add_string b "]}";
     Buffer.contents b
 
+  (* Strict parser for [to_json]'s own output -- used by the campaign
+     checkpoint to restore a snapshot across a process restart.  It
+     accepts exactly the fixed key order the writer emits (which is the
+     only producer), so [of_json (to_json s) = Some s] and anything else
+     is [None] rather than a guess. *)
+  let of_json (src : string) : t option =
+    let pos = ref 0 in
+    let len = String.length src in
+    let exception Bad in
+    let peek () = if !pos < len then src.[!pos] else raise Bad in
+    let advance () = incr pos in
+    let expect c = if peek () <> c then raise Bad else advance () in
+    let lit s = String.iter expect s in
+    let int () =
+      let start = !pos in
+      if peek () = '-' then advance ();
+      while !pos < len && (match src.[!pos] with '0' .. '9' -> true | _ -> false)
+      do advance () done;
+      if !pos = start then raise Bad;
+      match int_of_string_opt (String.sub src start (!pos - start)) with
+      | Some n -> n
+      | None -> raise Bad
+    in
+    let str () =
+      expect '"';
+      let b = Buffer.create 16 in
+      let rec go () =
+        match peek () with
+        | '"' -> advance ()
+        | '\\' ->
+          advance ();
+          (match peek () with
+           | '"' -> Buffer.add_char b '"'; advance ()
+           | '\\' -> Buffer.add_char b '\\'; advance ()
+           | 'n' -> Buffer.add_char b '\n'; advance ()
+           | 'u' ->
+             advance ();
+             if !pos + 4 > len then raise Bad;
+             let hex = String.sub src !pos 4 in
+             pos := !pos + 4;
+             (match int_of_string_opt ("0x" ^ hex) with
+              | Some code when code < 0x100 -> Buffer.add_char b (Char.chr code)
+              | _ -> raise Bad)
+           | _ -> raise Bad);
+          go ()
+        | c -> Buffer.add_char b c; advance (); go ()
+      in
+      go ();
+      Buffer.contents b
+    in
+    (* comma-separated sequence ending at [stop] *)
+    let seq stop item =
+      let acc = ref [] in
+      if peek () = stop then advance ()
+      else begin
+        let rec go () =
+          acc := item () :: !acc;
+          match peek () with
+          | ',' -> advance (); go ()
+          | c when c = stop -> advance ()
+          | _ -> raise Bad
+        in
+        go ()
+      end;
+      List.rev !acc
+    in
+    let kv () =
+      let k = str () in
+      expect ':';
+      let v = int () in
+      (k, v)
+    in
+    try
+      lit "{\"sites\":[";
+      let sites =
+        seq ']' (fun () ->
+            lit "{\"site\":";
+            let s_site = int () in
+            lit ",\"executed\":";
+            let s_executed = int () in
+            lit ",\"elided\":";
+            let s_elided = int () in
+            lit ",\"covered\":";
+            let s_covered = int () in
+            expect '}';
+            { s_site; s_executed; s_elided; s_covered })
+      in
+      lit ",\"counters\":{";
+      let counters = seq '}' kv in
+      lit ",\"gauges\":{";
+      let gauges = seq '}' kv in
+      lit ",\"dropped\":";
+      let dropped = int () in
+      lit ",\"events\":[";
+      let events =
+        seq ']' (fun () ->
+            lit "{\"kind\":";
+            let kind =
+              match str () with
+              | "alloc" -> Alloc
+              | "free" -> Free
+              | "check-fail" -> Check_fail
+              | "strip" -> Strip
+              | _ -> raise Bad
+            in
+            lit ",\"a\":";
+            let a = int () in
+            lit ",\"b\":";
+            let b = int () in
+            expect '}';
+            { ev_kind = kind; ev_a = a; ev_b = b })
+      in
+      lit "}";
+      if !pos <> len then raise Bad;
+      Some { sites; counters; gauges; events; dropped }
+    with Bad -> None
+
   (* --- the human --profile report ----------------------------------------- *)
 
   (* Top-N hottest check sites.  [label] maps a site id to its origin

@@ -87,6 +87,11 @@ module Snapshot : sig
   (** Deterministic single-line JSON: equal snapshots produce
       byte-identical strings. *)
 
+  val of_json : string -> t option
+  (** Strict inverse of {!to_json} (accepts exactly the writer's fixed
+      key order): [of_json (to_json s) = Some s].  Used by campaign
+      checkpoints to restore a snapshot across a restart. *)
+
   val report :
     ?top:int -> label:(int -> string option) -> Format.formatter -> t -> unit
   (** Human report of the [top] (default 10) hottest check sites;

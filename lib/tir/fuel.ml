@@ -1,0 +1,43 @@
+(* Tir.Fuel: deterministic step budgets for pipeline phases.
+
+   The VM already bounds *execution* with [Vm.State.cycle_budget]; every
+   other pipeline stage (compile, static verification, program
+   generation, tape shrinking) burns fuel instead.  Fuel is a plain
+   countdown -- no wall clock anywhere -- so a "timeout" is a property
+   of the work itself: a phase that exhausts its budget does so after
+   exactly the same step on every run, on every machine, at any job
+   count.  That is what lets the supervision layer quarantine
+   fuel-exhausted tasks with byte-identical ledgers.
+
+   Phases thread a [t option]; [None] (the default everywhere) burns
+   nothing and never trips. *)
+
+type t = {
+  phase : string;
+  budget : int;
+  mutable remaining : int;
+}
+
+exception Exhausted of { phase : string; budget : int }
+
+let () =
+  Printexc.register_printer (function
+      | Exhausted { phase; budget } ->
+        Some (Printf.sprintf "Fuel.Exhausted(%s, budget %d)" phase budget)
+      | _ -> None)
+
+let make ~phase ~budget =
+  let budget = max budget 0 in
+  { phase; budget; remaining = budget }
+
+let remaining t = t.remaining
+
+(* Burns [cost] steps; raises once the budget is gone.  The check runs
+   after the subtraction so a single oversized burn still trips. *)
+let burn (fuel : t option) cost =
+  match fuel with
+  | None -> ()
+  | Some t ->
+    t.remaining <- t.remaining - cost;
+    if t.remaining < 0 then
+      raise (Exhausted { phase = t.phase; budget = t.budget })

@@ -1,0 +1,21 @@
+(** Deterministic step budgets for pipeline phases (compile, verify,
+    generate, shrink).  A fuel value is a plain countdown with no wall
+    clock behind it, so exhaustion is byte-identical across machines and
+    job counts; [None] (the default everywhere a phase takes
+    [?fuel]) burns nothing and never trips. *)
+
+type t = {
+  phase : string;          (** label carried into {!Exhausted} *)
+  budget : int;
+  mutable remaining : int;
+}
+
+exception Exhausted of { phase : string; budget : int }
+
+val make : phase:string -> budget:int -> t
+
+val remaining : t -> int
+
+val burn : t option -> int -> unit
+(** [burn (Some t) cost] subtracts [cost]; raises {!Exhausted} once the
+    budget is gone.  [burn None _] is a no-op. *)

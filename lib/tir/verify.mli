@@ -33,13 +33,15 @@ type report = {
 val pp_error : Format.formatter -> error -> unit
 val error_to_string : error -> string
 
-val well_formed : Ir.modul -> error list
+val well_formed : ?fuel:Fuel.t -> Ir.modul -> error list
 (** Lint only: structure, register/slot/global/callee resolution, size
-    sanity, return arity, definite assignment. *)
+    sanity, return arity, definite assignment.  [fuel] bounds the
+    dataflow fixpoints; exhaustion raises {!Fuel.Exhausted}. *)
 
-val coverage : spec -> Ir.modul -> report
+val coverage : ?fuel:Fuel.t -> spec -> Ir.modul -> report
 (** Coverage dataflow only (no lint errors in the report). *)
 
-val check : ?spec:spec -> Ir.modul -> report
+val check : ?spec:spec -> ?fuel:Fuel.t -> Ir.modul -> report
 (** [well_formed] plus, when [spec] is given, [coverage]; errors
-    concatenated, counters from the coverage half. *)
+    concatenated, counters from the coverage half.  [fuel] bounds both
+    dataflow fixpoints deterministically. *)

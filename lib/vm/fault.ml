@@ -16,6 +16,17 @@
                   the next check through it fails, which exercises the
                   recoverable-reporting path.
 
+   Two further classes target the *harness* rather than the guest
+   program -- they model a pipeline task dying mid-flight, which is
+   what the supervision layer (Harness.Supervise) must quarantine:
+
+   - [Crash n]: raise [Injected_crash] out of the VM after the first
+                [n] allocations (a hard task death the pool must
+                survive);
+   - [Fuel n]:  hand the pipeline a step budget of [n]; phases burn
+                Tir.Fuel and raise [Tir.Fuel.Exhausted] when it runs
+                out (a deterministic "timeout").
+
    All draws come from a private splitmix PRNG seeded at construction,
    so a given (seed, program) pair replays bit-for-bit. *)
 
@@ -23,11 +34,23 @@ type spec =
   | Oom of int
   | Table of int
   | Tagflip of int
+  | Crash of int
+  | Fuel of int
+
+exception Injected_crash of { after : int }
+
+let () =
+  Printexc.register_printer (function
+      | Injected_crash { after } ->
+        Some (Printf.sprintf "Fault.Injected_crash(after %d allocations)" after)
+      | _ -> None)
 
 type t = {
   mutable oom_after : int option;       (* allocations before NULL *)
   mutable table_limit : int option;     (* effective metadata entries *)
   mutable tagflip_every : int option;   (* period of corrupted loads *)
+  mutable crash_after : int option;     (* allocations before task death *)
+  mutable fuel_budget : int option;     (* pipeline step budget *)
   (* deterministic budget counters *)
   mutable mallocs_seen : int;
   mutable tagged_loads_seen : int;
@@ -41,6 +64,8 @@ let none () = {
   oom_after = None;
   table_limit = None;
   tagflip_every = None;
+  crash_after = None;
+  fuel_budget = None;
   mallocs_seen = 0;
   tagged_loads_seen = 0;
   oom_injected = 0;
@@ -52,6 +77,8 @@ let apply t = function
   | Oom n -> t.oom_after <- Some (max n 0)
   | Table n -> t.table_limit <- Some (max n 2)  (* entry 0 + one slot *)
   | Tagflip n -> t.tagflip_every <- Some (max n 1)
+  | Crash n -> t.crash_after <- Some (max n 0)
+  | Fuel n -> t.fuel_budget <- Some (max n 0)
 
 let of_specs ?(seed = 0x5EED) specs =
   let t = none () in
@@ -67,6 +94,8 @@ let clone t = {
   oom_after = t.oom_after;
   table_limit = t.table_limit;
   tagflip_every = t.tagflip_every;
+  crash_after = t.crash_after;
+  fuel_budget = t.fuel_budget;
   mallocs_seen = 0;
   tagged_loads_seen = 0;
   oom_injected = 0;
@@ -76,8 +105,10 @@ let clone t = {
 
 let active t =
   t.oom_after <> None || t.table_limit <> None || t.tagflip_every <> None
+  || t.crash_after <> None || t.fuel_budget <> None
 
-(* "oom:N" | "table:N" | "tagflip:N" — the CLI surface. *)
+(* "oom:N" | "table:N" | "tagflip:N" | "crash:N" | "fuel:N" — the CLI
+   surface. *)
 let parse s : (spec, string) result =
   match String.index_opt s ':' with
   | None -> Error (Printf.sprintf "bad fault spec %S (want kind:N)" s)
@@ -91,12 +122,16 @@ let parse s : (spec, string) result =
         | "oom" -> Ok (Oom n)
         | "table" -> Ok (Table n)
         | "tagflip" -> Ok (Tagflip n)
+        | "crash" -> Ok (Crash n)
+        | "fuel" -> Ok (Fuel n)
         | _ -> Error (Printf.sprintf "unknown fault kind %S" kind)))
 
 let spec_to_string = function
   | Oom n -> Printf.sprintf "oom:%d" n
   | Table n -> Printf.sprintf "table:%d" n
   | Tagflip n -> Printf.sprintf "tagflip:%d" n
+  | Crash n -> Printf.sprintf "crash:%d" n
+  | Fuel n -> Printf.sprintf "fuel:%d" n
 
 (* same splitmix constants as [State.next_rand], private stream *)
 let next_rand t =
@@ -107,12 +142,20 @@ let next_rand t =
   (z lxor (z lsr 31)) land max_int
 
 (* Should this allocation fail?  Counts every call so the budget is a
-   property of the run, not of the allocator that happens to serve it. *)
+   property of the run, not of the allocator that happens to serve it.
+   The crash probe lives here too: every allocator already consults
+   [should_oom], so [Crash n] kills the task at exactly the (n+1)-th
+   allocation regardless of which allocator serves it. *)
 let should_oom t =
+  (match t.crash_after, t.oom_after with
+   | None, None -> ()
+   | _ -> t.mallocs_seen <- t.mallocs_seen + 1);
+  (match t.crash_after with
+   | Some n when t.mallocs_seen > n -> raise (Injected_crash { after = n })
+   | _ -> ());
   match t.oom_after with
   | None -> false
   | Some n ->
-    t.mallocs_seen <- t.mallocs_seen + 1;
     if t.mallocs_seen > n then begin
       t.oom_injected <- t.oom_injected + 1;
       true

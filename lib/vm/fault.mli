@@ -7,11 +7,19 @@ type spec =
   | Oom of int      (** malloc returns NULL after N allocations *)
   | Table of int    (** shrink the effective metadata table to N entries *)
   | Tagflip of int  (** flip a tag bit on every N-th tagged load *)
+  | Crash of int    (** raise {!Injected_crash} after N allocations *)
+  | Fuel of int     (** give the pipeline a step budget of N *)
+
+exception Injected_crash of { after : int }
+(** A hard task death injected by [Crash n]; escapes [Machine.run] so
+    the supervision layer (not the VM) has to deal with it. *)
 
 type t = {
   mutable oom_after : int option;
   mutable table_limit : int option;
   mutable tagflip_every : int option;
+  mutable crash_after : int option;
+  mutable fuel_budget : int option;
   mutable mallocs_seen : int;
   mutable tagged_loads_seen : int;
   mutable oom_injected : int;       (** telemetry: NULLs actually served *)
@@ -34,12 +42,15 @@ val clone : t -> t
 val active : t -> bool
 
 val parse : string -> (spec, string) result
-(** Parses the CLI surface: ["oom:N"], ["table:N"], ["tagflip:N"]. *)
+(** Parses the CLI surface: ["oom:N"], ["table:N"], ["tagflip:N"],
+    ["crash:N"], ["fuel:N"]. *)
 
 val spec_to_string : spec -> string
 
 val should_oom : t -> bool
-(** Consulted once per allocation; true means serve NULL. *)
+(** Consulted once per allocation; true means serve NULL.  Also hosts
+    the [Crash n] probe: raises {!Injected_crash} once [n] allocations
+    have been seen. *)
 
 val effective_table_limit : t -> default:int -> int
 (** The metadata-table size this run should honor. *)

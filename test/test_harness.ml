@@ -129,6 +129,70 @@ let parallel_tests =
              | (_ : int list) -> Alcotest.fail "expected an exception"
              | exception Failure m ->
                Alcotest.(check string) "first failing index" "3" m));
+    Alcotest.test_case "pool map_results keeps errors positional" `Quick
+      (fun () ->
+         let f x = if x mod 3 = 1 then failwith (string_of_int x) else x * 2 in
+         let xs = List.init 20 Fun.id in
+         let norm rs =
+           List.map
+             (function
+               | Ok v -> Printf.sprintf "ok:%d" v
+               | Error (Failure m) -> "err:" ^ m
+               | Error e -> "err:" ^ Printexc.to_string e)
+             rs
+         in
+         let seq =
+           Harness.Pool.with_pool ~jobs:1 (fun p ->
+               norm (Harness.Pool.map_results p f xs))
+         in
+         let par =
+           Harness.Pool.with_pool ~jobs:4 (fun p ->
+               norm (Harness.Pool.map_results p f xs))
+         in
+         Alcotest.(check (list string)) "j1 = j4" seq par;
+         Alcotest.(check string) "index 1 failed" "err:1" (List.nth seq 1);
+         Alcotest.(check string) "index 2 ok" "ok:4" (List.nth seq 2));
+    Alcotest.test_case "pool map_results survives every task raising"
+      `Quick
+      (fun () ->
+         Harness.Pool.with_pool ~jobs:4 (fun p ->
+             let rs =
+               Harness.Pool.map_results p
+                 (fun x -> failwith (string_of_int x))
+                 (List.init 64 Fun.id)
+             in
+             Alcotest.(check int) "all errors" 64
+               (List.length
+                  (List.filter (function Error _ -> true | _ -> false) rs))));
+    Alcotest.test_case "nested pool map raises instead of deadlocking"
+      `Quick
+      (fun () ->
+         Harness.Pool.with_pool ~jobs:2 (fun p ->
+             match
+               Harness.Pool.map p
+                 (fun _ -> Harness.Pool.map p (fun y -> y) [ 1; 2 ])
+                 [ 0; 1 ]
+             with
+             | _ -> Alcotest.fail "expected Invalid_argument"
+             | exception Invalid_argument _ -> ()));
+    Alcotest.test_case "pool shutdown is idempotent" `Quick (fun () ->
+        let p = Harness.Pool.create ~jobs:3 in
+        Alcotest.(check (list int)) "works" [ 2; 4 ]
+          (Harness.Pool.map p (fun x -> x * 2) [ 1; 2 ]);
+        Harness.Pool.shutdown p;
+        Harness.Pool.shutdown p);
+    Alcotest.test_case "pool create rejects negative job counts" `Quick
+      (fun () ->
+         match Harness.Pool.create ~jobs:(-1) with
+         | _ -> Alcotest.fail "expected Invalid_argument"
+         | exception Invalid_argument _ -> ());
+    Alcotest.test_case "default_jobs warns and falls back on bad env"
+      `Quick
+      (fun () ->
+         Unix.putenv "CECSAN_JOBS" "not-a-number";
+         let j = Harness.Pool.default_jobs () in
+         Unix.putenv "CECSAN_JOBS" "";
+         Alcotest.(check int) "falls back to 1" 1 j);
     Alcotest.test_case "-j 4 Table II subset equals sequential" `Quick
       (fun () ->
          let cases = Juliet.Suite.cases_for Juliet.Case.C415 in
