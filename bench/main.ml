@@ -16,6 +16,8 @@
                                                 fuzz campaign
      dune exec bench/main.exe -- --verify     -- Tir.Verify wall time and
                                                 coverage per SPEC kernel
+     dune exec bench/main.exe -- --perf       -- interp-vs-jit wall-clock
+                                                grid (writes BENCH_perf.json)
      dune exec bench/main.exe -- --smoke      -- <30 s validation subset
 
    Modifiers:
@@ -24,7 +26,11 @@
                  Results are bit-for-bit identical at any -j.
      --seed S    run seed (default 0x5EED), echoed in every section
                  header so any report is reproducible from its log
-     --timings   print wall-clock per experiment phase at the end
+     --backend B execute every run on backend B (interp | jit); results
+                 are bit-for-bit identical on either, only wall clock
+                 moves
+     --timings   print wall-clock per experiment phase at the end, and
+                 emit the BENCH_perf.json perf-trajectory artifact
      --profile   print each kernel's top-10 hottest check sites (CECSan,
                  with IR origins) next to the overhead tables; on its
                  own, runs the overhead tables with profiles
@@ -167,10 +173,7 @@ let run_resilience ?pool () =
   in
   Fuzz.Campaign.render_resilience fmt rows;
   let file = "BENCH_resilience.json" in
-  let oc = open_out file in
-  output_string oc (Fuzz.Campaign.resilience_json rows);
-  output_char oc '\n';
-  close_out oc;
+  Harness.Jsonio.write ~path:file (Fuzz.Campaign.resilience_json rows ^ "\n");
   Format.printf "@.Resilience table written to %s@." file;
   if not (List.for_all (fun r -> r.Fuzz.Campaign.rs_pass) rows) then exit 1
 
@@ -242,6 +245,91 @@ let run_verify () =
                      else Printf.sprintf "  (%d issue(s))" issues))
              tools)
         (Workloads.Spec2006.all @ Workloads.Spec2017.all))
+
+(* --perf: the backend perf trajectory.  Each SPEC2006 kernel runs on
+   both backends (uninstrumented and under CECSan), best-of-N after a
+   warmup run per backend so resolution and jit-compile caches are
+   steady-state, and the grid is written to BENCH_perf.json (schema in
+   EXPERIMENTS.md).  The headline geomean is the uninstrumented grid:
+   that is the dispatch-bound configuration the jit targets, while
+   sanitizer intrinsic work is backend-invariant and dilutes the
+   ratio identically on both backends. *)
+let perf_done = ref false
+
+let run_perf () =
+  perf_done := true;
+  section "Experiment: backend perf trajectory (interp vs jit)";
+  let reps = 5 in
+  let configs =
+    [ ("none", Sanitizer.Spec.none); ("cecsan", Cecsan.sanitizer ()) ]
+  in
+  let rows =
+    timed "perf-grid" (fun () ->
+        List.concat_map
+          (fun (sname, san) ->
+             List.map
+               (fun (w : Workloads.Spec2006.t) ->
+                  let md =
+                    Sanitizer.Driver.build san w.Workloads.Spec2006.w_source
+                  in
+                  let bench backend =
+                    ignore (Sanitizer.Driver.run_module san ~backend md);
+                    let best = ref infinity in
+                    for _ = 1 to reps do
+                      let t0 = Unix.gettimeofday () in
+                      ignore (Sanitizer.Driver.run_module san ~backend md);
+                      let dt = Unix.gettimeofday () -. t0 in
+                      if dt < !best then best := dt
+                    done;
+                    !best
+                  in
+                  let ti = bench Vm.Machine.Interp in
+                  let tj = bench Vm.Machine.Jit in
+                  (sname, w.Workloads.Spec2006.w_name, ti, tj, ti /. tj))
+               Workloads.Spec2006.all)
+          configs)
+  in
+  Format.printf "  %-8s %-14s %12s %12s %9s@." "config" "kernel" "interp"
+    "jit" "speedup";
+  List.iter
+    (fun (s, k, ti, tj, r) ->
+       Format.printf "  %-8s %-14s %9.1f ms %9.1f ms %8.2fx@." s k
+         (ti *. 1000.) (tj *. 1000.) r)
+    rows;
+  let geo sname =
+    let rs =
+      List.filter_map
+        (fun (s, _, _, _, r) -> if String.equal s sname then Some r else None)
+        rows
+    in
+    exp (List.fold_left (fun a r -> a +. log r) 0. rs /. float (List.length rs))
+  in
+  let g_none = geo "none" and g_cecsan = geo "cecsan" in
+  Format.printf "@.  geomean speedup: %.2fx uninstrumented, %.2fx under \
+                 CECSan@."
+    g_none g_cecsan;
+  let file = "BENCH_perf.json" in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n  \"schema\": \"cecsan-bench-perf/1\",\n";
+  Buffer.add_string buf (Printf.sprintf "  \"reps\": %d,\n" reps);
+  Buffer.add_string buf "  \"kernels\": [\n";
+  List.iteri
+    (fun i (s, k, ti, tj, r) ->
+       Buffer.add_string buf
+         (Printf.sprintf
+            "    {\"kernel\": %S, \"sanitizer\": %S, \"interp_ms\": %.3f, \
+             \"jit_ms\": %.3f, \"speedup\": %.3f}%s\n"
+            k s (ti *. 1000.) (tj *. 1000.) r
+            (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"geomean_speedup\": %.3f,\n  \"geomean_speedup_by_sanitizer\": \
+        {\"none\": %.3f, \"cecsan\": %.3f}\n}\n"
+       g_none g_none g_cecsan);
+  Harness.Jsonio.write ~path:file (Buffer.contents buf);
+  Format.printf "  Perf grid written to %s@." file
 
 (* --smoke: a quick validation subset -- one overhead-table row, a few
    Juliet families -- for local sanity checks and CI. *)
@@ -368,6 +456,13 @@ let () =
         Format.eprintf "--seed %s: expected a non-negative integer@." s;
         exit 2)
    | None -> ());
+  (match arg_after "--backend" with
+   | Some "interp" -> Sanitizer.Driver.default_backend := Vm.Machine.Interp
+   | Some "jit" -> Sanitizer.Driver.default_backend := Vm.Machine.Jit
+   | Some s ->
+     Format.eprintf "--backend %s: expected interp or jit@." s;
+     exit 2
+   | None -> ());
   profile_on := has "--profile";
   Harness.Pool.with_pool ~jobs (fun p ->
       let pool = if jobs > 1 then Some p else None in
@@ -392,6 +487,7 @@ let () =
              exit 2
          end
          else if has "--verify" then run_verify ()
+         else if has "--perf" then run_perf ()
          else if has "--smoke" then run_smoke ?pool ()
          else if has "--profile" then begin
            (* bare --profile: the overhead tables, with hot-site tables *)
@@ -413,10 +509,14 @@ let () =
          end);
       (match arg_after "--telemetry-json" with
        | Some file ->
-         let oc = open_out file in
-         output_string oc (Telemetry.Snapshot.to_json !merged_telemetry);
-         output_char oc '\n';
-         close_out oc;
+         Harness.Jsonio.write ~path:file
+           (Telemetry.Snapshot.to_json !merged_telemetry ^ "\n");
          Format.printf "@.Telemetry snapshot written to %s@." file
        | None -> ());
-      if has "--timings" then report_timings ~jobs)
+      if has "--timings" then begin
+        (* --timings owns the perf-trajectory artifact: every timed
+           bench run also re-measures the interp-vs-jit grid so the
+           speedup is tracked PR-over-PR. *)
+        if not !perf_done then run_perf ();
+        report_timings ~jobs
+      end)

@@ -135,9 +135,20 @@ let fuel_budget =
                  pipeline (a seeded stand-in for a wall-clock timeout); \
                  exhausting it prints ==FUEL== and exits 5.")
 
+let backend =
+  Arg.(value
+       & opt (enum [ ("interp", Vm.Machine.Interp); ("jit", Vm.Machine.Jit) ])
+           Vm.Machine.Interp
+       & info [ "backend" ] ~docv:"BACKEND"
+           ~doc:"Execution backend: $(b,interp) (the reference \
+                 interpreter, default) or $(b,jit) (the threaded-code \
+                 compiler).  Outcomes, diagnostics, cycle counts and \
+                 telemetry are identical on both; only wall clock \
+                 differs.")
+
 let run_cmd (san : Sanitizer.Spec.t) src_file lines packets dump_ir dump_tir
     verify stats profile telemetry_json no_opt budget recover max_reports
-    inject fuel_budget =
+    inject fuel_budget backend =
   let src =
     let ic = open_in_bin src_file in
     let n = in_channel_length ic in
@@ -269,7 +280,7 @@ let run_cmd (san : Sanitizer.Spec.t) src_file lines packets dump_ir dump_tir
     let r =
       match
         Sanitizer.Driver.run_module san ~lines ~packets ~budget ~policy
-          ~fault md
+          ~fault ~backend md
       with
       | r -> r
       | exception Vm.Fault.Injected_crash { after } ->
@@ -281,11 +292,8 @@ let run_cmd (san : Sanitizer.Spec.t) src_file lines packets dump_ir dump_tir
     if not (String.equal r.Sanitizer.Driver.output "") then print_newline ();
     (match telemetry_json with
      | Some f ->
-       let oc = open_out f in
-       output_string oc
-         (Telemetry.Snapshot.to_json r.Sanitizer.Driver.snapshot);
-       output_char oc '\n';
-       close_out oc
+       Harness.Jsonio.write ~path:f
+         (Telemetry.Snapshot.to_json r.Sanitizer.Driver.snapshot ^ "\n")
      | None -> ());
     let print_stats c =
       if stats then begin
@@ -331,6 +339,6 @@ let cmd =
     Term.(const run_cmd $ sanitizer $ file $ stdin_lines $ packets
           $ dump_ir $ dump_tir $ verify $ stats $ profile $ telemetry_json
           $ no_opt $ budget $ recover $ max_reports $ inject
-          $ fuel_budget)
+          $ fuel_budget $ backend)
 
 let () = exit (Cmd.eval cmd)

@@ -120,9 +120,19 @@ let max_retries =
            ~doc:"Deterministic retry budget before a dead task is \
                  quarantined.")
 
+let backend =
+  Arg.(value
+       & opt (enum [ ("interp", Vm.Machine.Interp); ("jit", Vm.Machine.Jit) ])
+           Vm.Machine.Interp
+       & info [ "backend" ] ~docv:"BACKEND"
+           ~doc:"Execution backend for every run in the campaign: \
+                 $(b,interp) (default) or $(b,jit).  Verdicts and \
+                 ledgers are bit-for-bit identical on both.")
+
 let run_cmd n seed jobs smoke tools max_shrink repro_dir write_corpus
     corpus_dir corpus_count telemetry_json faults checkpoint resume
-    shard_size max_retries =
+    shard_size max_retries backend =
+  Sanitizer.Driver.default_backend := backend;
   if write_corpus then begin
     let paths =
       Fuzz.Campaign.write_corpus ~dir:corpus_dir ~seed ~count:corpus_count ()
@@ -187,11 +197,8 @@ let run_cmd n seed jobs smoke tools max_shrink repro_dir write_corpus
    | None -> ());
   (match telemetry_json with
    | Some f ->
-     let oc = open_out f in
-     output_string oc
-       (Telemetry.Snapshot.to_json summary.Fuzz.Campaign.snapshot);
-     output_char oc '\n';
-     close_out oc;
+     Harness.Jsonio.write ~path:f
+       (Telemetry.Snapshot.to_json summary.Fuzz.Campaign.snapshot ^ "\n");
      Fmt.pr "telemetry snapshot written: %s@." f
    | None -> ());
   (match repro_dir with
@@ -209,6 +216,6 @@ let cmd =
     Term.(const run_cmd $ n_programs $ seed $ jobs $ smoke $ tools
           $ max_shrink $ repro_dir $ write_corpus $ corpus_dir
           $ corpus_count $ telemetry_json $ faults $ checkpoint $ resume
-          $ shard_size $ max_retries)
+          $ shard_size $ max_retries $ backend)
 
 let () = Cmd.eval cmd |> exit

@@ -221,28 +221,27 @@ let row_of_line line : row option =
 let write_checkpoint ~dir (ck : ckpt) =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
   let path = Filename.concat dir checkpoint_file in
-  let tmp = path ^ ".tmp" in
-  let oc = open_out tmp in
-  let line fmt = Printf.ksprintf (fun s -> output_string oc (s ^ "\n")) fmt in
-  line "%s" checkpoint_magic;
-  line "seed %x" ck.ck_seed;
-  line "n %d" ck.ck_n;
-  line "shard_size %d" ck.ck_shard_size;
-  line "tools %s" (csv_or_dash ck.ck_tools);
-  line "faults %s" (csv_or_dash ck.ck_faults);
-  line "shards_done %d" ck.ck_shards_done;
-  line "resumed_shards %d" ck.ck_resumed_shards;
-  line "retries %d" ck.ck_retries;
-  List.iter (fun r -> line "%s" (row_to_line r)) ck.ck_rows;
-  List.iter
-    (fun e -> line "quarantine %s" (Harness.Supervise.entry_to_line e))
-    ck.ck_quarantine;
-  line "snapshot %s" (Telemetry.Snapshot.to_json ck.ck_snapshot);
-  line "end";
-  close_out oc;
-  (* same-directory rename: atomic on POSIX, so a reader never observes
-     a torn checkpoint *)
-  Sys.rename tmp path
+  (* Jsonio's tmp+rename guarantees a reader never observes a torn
+     checkpoint *)
+  Harness.Jsonio.with_file ~path (fun oc ->
+      let line fmt =
+        Printf.ksprintf (fun s -> output_string oc (s ^ "\n")) fmt
+      in
+      line "%s" checkpoint_magic;
+      line "seed %x" ck.ck_seed;
+      line "n %d" ck.ck_n;
+      line "shard_size %d" ck.ck_shard_size;
+      line "tools %s" (csv_or_dash ck.ck_tools);
+      line "faults %s" (csv_or_dash ck.ck_faults);
+      line "shards_done %d" ck.ck_shards_done;
+      line "resumed_shards %d" ck.ck_resumed_shards;
+      line "retries %d" ck.ck_retries;
+      List.iter (fun r -> line "%s" (row_to_line r)) ck.ck_rows;
+      List.iter
+        (fun e -> line "quarantine %s" (Harness.Supervise.entry_to_line e))
+        ck.ck_quarantine;
+      line "snapshot %s" (Telemetry.Snapshot.to_json ck.ck_snapshot);
+      line "end")
 
 (* [None] on a missing or unparseable file (a fresh start is always a
    correct recovery); the caller validates configuration agreement. *)
@@ -554,11 +553,7 @@ let write_ledgers ~dir (s : summary) : string * string =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
   let write name lines =
     let path = Filename.concat dir name in
-    let tmp = path ^ ".tmp" in
-    let oc = open_out tmp in
-    List.iter (fun l -> output_string oc (l ^ "\n")) lines;
-    close_out oc;
-    Sys.rename tmp path;
+    Harness.Jsonio.write_lines ~path lines;
     path
   in
   ( write "mismatch.ledger" (mismatch_ledger_lines s),

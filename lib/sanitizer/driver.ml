@@ -181,13 +181,20 @@ let build_link (san : Spec.t) ?(optimize = true)
     instrument_verified san primary;
     primary
 
+(* The session-wide backend default, consulted whenever a caller does
+   not pick one explicitly.  This is what lets `bench --backend jit` (or
+   the fuzzer) flip every run it drives -- harness, oracle and workload
+   code paths included -- without threading a parameter through each. *)
+let default_backend : Vm.Machine.backend ref = ref Vm.Machine.Interp
+
 (* Runs an instrumented module.  [lines]/[packets] feed the dummy input
    server; [budget] bounds the run in cycles.  [policy] overrides the
    sanitizer's default finding policy; [fault] threads a fault injector
-   into the run. *)
+   into the run.  [backend] (default [!default_backend]) selects the
+   interpreter or the threaded-code jit; [fuel] meters jit compilation. *)
 let run_module (san : Spec.t) ?(lines = []) ?(packets = []) ?(externs = [])
     ?(budget = Vm.State.default_budget) ?(seed = 0x5EED) ?policy ?fault
-    (md : Tir.Ir.modul) : run_result =
+    ?backend ?fuel (md : Tir.Ir.modul) : run_result =
   let policy =
     match policy with Some p -> p | None -> san.Spec.default_policy
   in
@@ -197,7 +204,10 @@ let run_module (san : Spec.t) ?(lines = []) ?(packets = []) ?(externs = [])
   let rt = san.Spec.fresh_runtime () in
   let m = Vm.Machine.create ~st ~rt md in
   List.iter (fun (name, fn) -> Vm.Machine.register_extern m name fn) externs;
-  let outcome = Vm.Machine.run m in
+  let backend =
+    match backend with Some b -> b | None -> !default_backend
+  in
+  let outcome = Vm.Machine.run ~backend ?fuel m in
   let fl = st.Vm.State.fault in
   if fl.Vm.Fault.oom_injected > 0 then
     Vm.State.set_stat st "injected_oom" fl.Vm.Fault.oom_injected;
@@ -226,7 +236,7 @@ let run_module (san : Spec.t) ?(lines = []) ?(packets = []) ?(externs = [])
   }
 
 let run (san : Spec.t) ?lines ?packets ?externs ?budget ?seed ?policy ?fault
-    ?fuel ?(optimize = true) (src : string) : run_result =
+    ?fuel ?backend ?(optimize = true) (src : string) : run_result =
   (* bridge a [Fault.Fuel n] injection into pipeline fuel: the injector
      carries the budget so the CLI/campaign fault surface ("fuel:N")
      reaches compile and verify without a second plumbing path *)
@@ -239,4 +249,5 @@ let run (san : Spec.t) ?lines ?packets ?externs ?budget ?seed ?policy ?fault
        | None -> None)
   in
   run_module san ?lines ?packets ?externs ?budget ?seed ?policy ?fault
+    ?backend ?fuel
     (build san ~optimize ?fuel src)

@@ -79,6 +79,12 @@ val build_link :
     then instrument the whole program.  [`Uninstrumented] units model
     precompiled legacy libraries (paper section II.E). *)
 
+val default_backend : Vm.Machine.backend ref
+(** The backend used when a caller passes no [?backend] (initially
+    [Interp]).  Tools with a [--backend] flag (bench, the fuzzer) set it
+    once so every run they drive -- harness, oracle and workload paths
+    included -- switches with them. *)
+
 val run_module :
   Spec.t ->
   ?lines:string list ->
@@ -88,12 +94,17 @@ val run_module :
   ?seed:int ->
   ?policy:Vm.Report.policy ->
   ?fault:Vm.Fault.t ->
+  ?backend:Vm.Machine.backend ->
+  ?fuel:Tir.Fuel.t ->
   Tir.Ir.modul ->
   run_result
 (** Runs an instrumented module.  [lines]/[packets] feed the dummy input
     server; [externs] resolve body-less external functions.  [policy]
     overrides the sanitizer's [default_policy]; [fault] threads a fault
-    injector into the run (see {!Vm.Fault}). *)
+    injector into the run (see {!Vm.Fault}).  [backend] (default
+    [!default_backend]) selects the interpreter or the threaded-code
+    jit; [fuel] meters jit compilation (burned identically whether the
+    jit's compile cache hits or misses). *)
 
 val run :
   Spec.t ->
@@ -105,10 +116,11 @@ val run :
   ?policy:Vm.Report.policy ->
   ?fault:Vm.Fault.t ->
   ?fuel:Tir.Fuel.t ->
+  ?backend:Vm.Machine.backend ->
   ?optimize:bool ->
   string ->
   run_result
 (** [build] + [run_module] in one step.  When no [fuel] is given but
     [fault] carries a [Fuel n] injection, a compile-phase fuel of [n]
     steps is created from it, so the ["fuel:N"] fault surface reaches
-    the pipeline. *)
+    the pipeline (jit compilation included). *)

@@ -96,12 +96,25 @@ type global = {
   mutable g_unsafe : bool;
 }
 
+(* Downstream consumers (the VM) memoize derived forms of a module --
+   resolved code, jit-compiled closures -- directly on the module so
+   repeated runs of the same Ir value never re-pay the derivation.  The
+   slot is an extensible variant so Tir stays ignorant of what lives in
+   it; each consumer adds its own constructor and scans the (tiny) list.
+   Any pass that mutates a module after it has been executed must call
+   [clear_vcache] (the driver's instrument/optimize gate and the linker
+   do). *)
+type vm_cache = ..
+
 type modul = {
   mutable m_globals : global list;
   m_funcs : (string, func) Hashtbl.t;
   m_layouts : Minic.Layout.env;
   mutable m_next_site : int;     (* generator for Iintrin site ids *)
+  mutable m_vcache : vm_cache list;
 }
+
+let clear_vcache m = m.m_vcache <- []
 
 let fresh_site m =
   let s = m.m_next_site in
@@ -156,6 +169,9 @@ let clone m =
     m_funcs = funcs;
     m_layouts = Hashtbl.copy m.m_layouts;
     m_next_site = m.m_next_site;
+    (* a clone is made to be mutated: cached derived code of the
+       original must never leak into it *)
+    m_vcache = [];
   }
 
 (* --- operand / instruction utilities ----------------------------------- *)

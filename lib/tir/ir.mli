@@ -94,12 +94,24 @@ type global = {
   mutable g_unsafe : bool;
 }
 
+type vm_cache = ..
+(** Extensible memo slot for derived forms of a module (the VM caches
+    its resolved code and jit-compiled closures here, keyed by its own
+    constructors).  Tir itself never reads it; {!clone} resets it. *)
+
 type modul = {
   mutable m_globals : global list;
   m_funcs : (string, func) Hashtbl.t;
   m_layouts : Minic.Layout.env;
   mutable m_next_site : int;
+  mutable m_vcache : vm_cache list;
+      (** derived-code memos; see {!vm_cache} and {!clear_vcache} *)
 }
+
+val clear_vcache : modul -> unit
+(** Drops every cached derived form.  Must be called by any pass that
+    mutates a module which may already have been executed (the
+    sanitizer gate and the linker do). *)
 
 val fresh_site : modul -> int
 (** A unique id for a new instrumentation site. *)

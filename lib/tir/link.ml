@@ -79,6 +79,7 @@ let check_struct_compat (a : Minic.Layout.env) (b : Minic.Layout.env) : unit =
    uninstrumented legacy code. *)
 let merge ?(mark_external = false) ~(primary : modul) (secondary : modul) :
   unit =
+  clear_vcache primary;
   check_struct_compat primary.m_layouts secondary.m_layouts;
   Hashtbl.iter
     (fun name l ->

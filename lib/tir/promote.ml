@@ -81,6 +81,7 @@ let promote_func (f : func) : int =
 (* Runs safety analysis then promotion on every defined function.
    Returns the number of slots promoted (for tests/statistics). *)
 let run (m : modul) : int =
+  clear_vcache m;  (* promotion rewrites code the VM may have cached *)
   Analysis.run m;
   let n = ref 0 in
   iter_funcs m (fun f -> if not f.f_external then n := !n + promote_func f);

@@ -29,14 +29,43 @@ let check ctx a len =
 
 let mem ctx = ctx.st.State.mem
 
-(* scans a C string, validating pages as it goes *)
+(* Scans a C string, validating as it goes.  Page-chunked: when a whole
+   chunk provably sits inside one mapped region, no byte of it can
+   fault and the NUL scan runs directly over the page; otherwise the
+   original byte-at-a-time loop runs for that chunk, preserving the
+   exact per-byte trap (address included).  The length cap is
+   byte-loop-equivalent: the length is returned iff the first NUL sits
+   at an index the byte loop would still have loaded. *)
 let checked_strlen ctx a =
+  let st = ctx.st in
+  let cap = (1 lsl 24) + 1 in
+  let unterminated () =
+    Report.trap ~addr:a Report.Segfault ~detail:"unterminated string"
+  in
   let rec go k =
-    State.check_mapped ctx.st (a + k) 1;
-    if Memory.load_byte (mem ctx) (a + k) = 0 then k
-    else if k > 1 lsl 24 then
-      Report.trap ~addr:a Report.Segfault ~detail:"unterminated string"
-    else go (k + 1)
+    let addr = a + k in
+    let m = addr land st.State.addr_mask in
+    let off = addr land (Layout46.page_size - 1) in
+    let avail = Layout46.page_size - off in
+    let last = m + avail - 1 in
+    if
+      (m >= Layout46.heap_base && last < st.State.alloc.Alloc.brk)
+      || (m >= Layout46.stack_limit && last < Layout46.stack_top)
+      || (m >= Layout46.globals_base && last < st.State.globals_end)
+    then
+      match
+        Bytes.index_from_opt (Memory.page st.State.mem addr) off '\000'
+      with
+      | Some i ->
+        let n = k + (i - off) in
+        if n > cap then unterminated () else n
+      | None -> if k + avail > cap then unterminated () else go (k + avail)
+    else begin
+      State.check_mapped st addr 1;
+      if Memory.load_byte st.State.mem addr = 0 then k
+      else if k > 1 lsl 24 then unterminated ()
+      else go (k + 1)
+    end
   in
   go 0
 
@@ -52,7 +81,7 @@ let checked_wcslen ctx a =
 
 let read_cstring ctx a =
   let n = checked_strlen ctx a in
-  String.init n (fun k -> Char.chr (Memory.load_byte (mem ctx) (a + k)))
+  Memory.read_len (mem ctx) a n
 
 (* --- the builtin table --------------------------------------------------- *)
 
@@ -80,12 +109,30 @@ let fn_memcmp ctx args =
   check ctx a len;
   check ctx b len;
   State.tick ctx.st (Cost.mem_op len);
+  (* page-chunked compare: each chunk touches exactly the two pages the
+     byte loop's next load_byte pair would have materialized *)
+  let m = mem ctx in
   let rec go k =
     if k >= len then 0
-    else
-      let x = Memory.load_byte (mem ctx) (a + k) in
-      let y = Memory.load_byte (mem ctx) (b + k) in
-      if x <> y then compare x y else go (k + 1)
+    else begin
+      let pa = a + k and pb = b + k in
+      let oa = pa land (Layout46.page_size - 1) in
+      let ob = pb land (Layout46.page_size - 1) in
+      let chunk =
+        min (len - k)
+          (min (Layout46.page_size - oa) (Layout46.page_size - ob))
+      in
+      let ba = Memory.page m pa in
+      let bb = Memory.page m pb in
+      let rec scan j =
+        if j >= chunk then go (k + chunk)
+        else
+          let x = Char.code (Bytes.unsafe_get ba (oa + j)) in
+          let y = Char.code (Bytes.unsafe_get bb (ob + j)) in
+          if x <> y then compare x y else scan (j + 1)
+      in
+      scan 0
+    end
   in
   go 0
 
@@ -151,10 +198,24 @@ let fn_strchr ctx args =
   let a = arg args 0 and c = arg args 1 land 0xff in
   let n = checked_strlen ctx a in
   State.tick ctx.st (Cost.str_op n);
+  (* scan bytes 0..n (terminator included), page-chunked; all of them
+     were just validated and materialized by checked_strlen *)
+  let m = mem ctx in
+  let total = n + 1 in
   let rec go k =
-    if k > n then 0
-    else if Memory.load_byte (mem ctx) (a + k) = c then a + k
-    else go (k + 1)
+    if k >= total then 0
+    else begin
+      let addr = a + k in
+      let off = addr land (Layout46.page_size - 1) in
+      let chunk = min (total - k) (Layout46.page_size - off) in
+      let p = Memory.page m addr in
+      let rec scan j =
+        if j >= chunk then go (k + chunk)
+        else if Char.code (Bytes.unsafe_get p (off + j)) = c then a + k + j
+        else scan (j + 1)
+      in
+      scan 0
+    end
   in
   go 0
 
@@ -312,9 +373,8 @@ let fn_recv ctx args =
   if max < 0 then bad_args "recv";
   let data = Input.recv ctx.st.State.input ~max in
   check ctx buf (String.length data);
-  String.iteri
-    (fun k c -> Memory.store_byte (mem ctx) (buf + k) (Char.code c))
-    data;
+  Memory.blit_from_bytes (mem ctx) (Bytes.unsafe_of_string data) buf
+    (String.length data);
   State.tick ctx.st (Cost.mem_op max);
   String.length data
 
@@ -363,4 +423,11 @@ let table : (string * (ctx -> int array -> int)) list =
     "abort", fn_abort; "time", fn_time;
   ]
 
-let find name = List.assoc_opt name table
+(* hashed: [find] runs on every named call, and a linear scan over the
+   table was a measurable per-call floor on string-heavy kernels *)
+let tbl : (string, ctx -> int array -> int) Hashtbl.t =
+  let h = Hashtbl.create (2 * List.length table) in
+  List.iter (fun (k, v) -> Hashtbl.replace h k v) table;
+  h
+
+let find name = Hashtbl.find_opt tbl name

@@ -1,5 +1,17 @@
-(* The interpreter: executes a Tir module under a sanitizer runtime with
-   the deterministic cost model. *)
+(* The machine: executes a Tir module under a sanitizer runtime with
+   the deterministic cost model, through one of two backends sharing
+   the same resolved code ({!Vcode}):
+
+   - [Interp], the reference interpreter (this file's exec_func);
+   - [Jit], the threaded-code backend ({!Jit}), required to be
+     observably identical instruction for instruction.
+
+   Module resolution is cached on the Ir itself (Vcode.resolve_cached),
+   so creating many machines over one compiled module -- or running one
+   module many times -- pays resolution once.  What cannot be shared is
+   the runtime binding: intrinsic implementations belong to this
+   machine's runtime, so each machine materializes its own [itab]
+   mapping the resolved code's intrinsic slots to implementations. *)
 
 open Tir.Ir
 
@@ -15,163 +27,44 @@ type outcome =
   | Bug of Report.t
   | Fault of Report.trap
 
-(* Functions are "loaded" in two phases.  [load_func] computes the frame
-   layout and registers the function; a second pass then pre-resolves the
-   code, turning per-execution hashtable lookups into load-time work:
-
-   - [Glob] operands whose symbol is known become [Imm] addresses
-     (globals have fixed addresses once placed);
-   - direct-call targets are resolved to the callee's [loaded_func]
-     ([Vdirect]) -- only genuinely external callees keep the by-name
-     slow path ([Vnamed]);
-   - intrinsics are resolved to the runtime's implementation, with the
-     site id pre-appended to the argument vector.
-
-   Unknown globals and unregistered intrinsics stay lazy so they still
-   trap at execution time (not at load time), as before. *)
-
-type loaded_func = {
-  lf : func;
-  mutable code : vinstr array array;   (* per block; filled by [resolve] *)
-  mutable terms : term array;
-  (* per-block cycle cost: instruction count EXCLUDING telemetry markers,
-     precomputed so markers are free in the deterministic cost model *)
-  mutable costs : int array;
-  frame_size : int;
-  slot_off : int array;
-}
-
-and vinstr =
-  | Vplain of instr                    (* operands pre-resolved *)
-  | Vcall of { dst : int option; target : vtarget; args : opnd array }
-  | Vintrin of {
-      dst : int option;
-      mutable fn : Runtime.intrinsic option;  (* memoized re-resolution *)
-      name : string;
-      args : opnd array;               (* site id appended as [Imm] *)
-    }
-  (* a Checkopt telemetry marker: executed natively (no runtime dispatch,
-     zero cycles), bumps the per-site elided/covered counter *)
-  | Vtelem of { kind : int; site : int }  (* 0 = elided, 1 = covered *)
-
-and vtarget = Vdirect of loaded_func | Vnamed of string
+type backend = Interp | Jit
 
 type t = {
   st : State.t;
   md : modul;
   rt : Runtime.t;
-  funcs : (string, loaded_func) Hashtbl.t;
-  globals : (string, int) Hashtbl.t;
+  vc : Vcode.t;
+  itab : Runtime.intrinsic option array;
   mutable ctx : Libc.ctx;
   externs : (string, State.t -> int array -> int) Hashtbl.t;
   mutable depth : int;
 }
 
-let align_up n a = (n + a - 1) / a * a
 let align_down n a = n / a * a
 
-let load_func (f : func) : loaded_func =
-  let nslots = List.length f.f_slots in
-  let slot_off = Array.make nslots 0 in
-  let off = ref 0 in
-  List.iter
-    (fun s ->
-       off := align_up !off (max s.s_align 1);
-       slot_off.(s.s_id) <- !off;
-       off := !off + s.s_size)
-    f.f_slots;
-  {
-    lf = f;
-    code = [||];
-    costs = [||];
-    terms = Array.map (fun b -> b.b_term) f.f_blocks;
-    (* a minimum frame models the saved ra/fp pair *)
-    frame_size = align_up (max !off 32) 16;
-    slot_off;
-  }
-
-let resolve_opnd globals (o : opnd) : opnd =
-  match o with
-  | Glob g ->
-    (match Hashtbl.find_opt globals g with
-     | Some a -> Imm a
-     | None -> o)  (* unknown global: traps at execution, as before *)
-  | Reg _ | Imm _ -> o
-
-let resolve_instr funcs globals rt (i : instr) : vinstr =
-  let r = resolve_opnd globals in
-  match i with
-  | Icall { dst; callee; args } ->
-    let args = Array.of_list (List.map r args) in
-    let target =
-      match Hashtbl.find_opt funcs callee with
-      | Some lf -> Vdirect lf
-      | None -> Vnamed callee
-    in
-    Vcall { dst; target; args }
-  | Iintrin { name; site; _ } when Tir.Ir.is_telemetry_marker name ->
-    Vtelem
-      { kind = (if String.equal name Tir.Ir.telemetry_elided then 0 else 1);
-        site }
-  | Iintrin { dst; name; args; site } ->
-    let args = Array.of_list (List.map r args @ [ Imm site ]) in
-    Vintrin { dst; fn = Runtime.find_intrinsic rt name; name; args }
-  | Imov { dst; src } -> Vplain (Imov { dst; src = r src })
-  | Ibin { op; dst; a; b } -> Vplain (Ibin { op; dst; a = r a; b = r b })
-  | Icmp { op; dst; a; b } -> Vplain (Icmp { op; dst; a = r a; b = r b })
-  | Isext { dst; src; bytes } -> Vplain (Isext { dst; src = r src; bytes })
-  | Iload { dst; addr; size; signed; safe } ->
-    Vplain (Iload { dst; addr = r addr; size; signed; safe })
-  | Istore { addr; src; size; safe } ->
-    Vplain (Istore { addr = r addr; src = r src; size; safe })
-  | Islot _ -> Vplain i
-  | Igep { dst; base; idx; info } ->
-    Vplain (Igep { dst; base = r base; idx = Option.map r idx; info })
-
-let resolve_term globals = function
-  | Tret (Some o) -> Tret (Some (resolve_opnd globals o))
-  | Tcbr (o, a, b) -> Tcbr (resolve_opnd globals o, a, b)
-  | (Tret None | Tbr _) as t -> t
-
-(* Loads globals into the globals region and snapshots the functions. *)
+(* Loads globals into the globals region and binds the resolved code to
+   this runtime. *)
 let create ?(st = State.create ()) ?(rt = Runtime.none) (md : modul) : t =
   st.State.addr_mask <-
     (if rt.Runtime.tbi_bits > 0 then (1 lsl (63 - rt.Runtime.tbi_bits)) - 1
      else -1);
-  let globals = Hashtbl.create 17 in
-  let cursor = ref Layout46.globals_base in
+  let vc = Vcode.resolve_cached md in
+  (* global placement is part of the resolved code; the initializer
+     images are per-machine state and are blitted fresh *)
   List.iter
     (fun g ->
-       cursor := align_up !cursor (max g.g_align 8);
-       Hashtbl.replace globals g.g_name !cursor;
-       Memory.blit_from_bytes st.State.mem g.g_image !cursor g.g_size;
-       cursor := !cursor + g.g_size)
+       match Hashtbl.find_opt vc.Vcode.globals g.g_name with
+       | Some addr ->
+         Memory.blit_from_bytes st.State.mem g.g_image addr g.g_size
+       | None -> ())
     md.m_globals;
-  st.State.globals_end <- align_up !cursor Layout46.page_size;
-  let funcs = Hashtbl.create 17 in
-  iter_funcs md (fun f ->
-      if Array.length f.f_blocks > 0 then
-        Hashtbl.replace funcs f.f_name (load_func f));
-  (* phase 2: every function and global address is known -- resolve *)
-  Hashtbl.iter
-    (fun _ lf ->
-       lf.code <-
-         Array.map
-           (fun b ->
-              Array.of_list
-                (List.map (resolve_instr funcs globals rt) b.b_instrs))
-           lf.lf.f_blocks;
-       lf.costs <-
-         Array.map
-           (fun code ->
-              Array.fold_left
-                (fun n i -> match i with Vtelem _ -> n | _ -> n + 1)
-                0 code)
-           lf.code;
-       lf.terms <- Array.map (resolve_term globals) lf.terms)
-    funcs;
+  st.State.globals_end <- vc.Vcode.globals_end;
+  let itab =
+    Array.map (fun name -> Runtime.find_intrinsic rt name)
+      vc.Vcode.intrin_names
+  in
   let m =
-    { st; md; rt; funcs; globals;
+    { st; md; rt; vc; itab;
       ctx = { Libc.st; malloc = (fun _ -> 0); free = ignore;
               usable = (fun _ -> None) };
       externs = Hashtbl.create 4; depth = 0 }
@@ -198,7 +91,7 @@ let create ?(st = State.create ()) ?(rt = Runtime.none) (md : modul) : t =
 let register_extern m name fn = Hashtbl.replace m.externs name fn
 
 let global_addr m name =
-  match Hashtbl.find_opt m.globals name with
+  match Hashtbl.find_opt m.vc.Vcode.globals name with
   | Some a -> a
   | None -> Report.trap Report.Segfault ~detail:("unknown global " ^ name)
 
@@ -245,7 +138,7 @@ let run_alloc_family m name (args : int array) : int option =
     end
   | _ -> None
 
-let max_call_depth = 6000
+let max_call_depth = Vcode.max_call_depth
 
 (* Top-byte-ignore emulation at the libc boundary: when the runtime asks
    for TBI, pointer arguments are masked before the raw builtin runs (the
@@ -279,7 +172,7 @@ let tbi_wrap m (callee : string) (raw_fn : int array -> int)
   end
 
 let rec exec_call m (callee : string) (args : int array) : int =
-  match Hashtbl.find_opt m.funcs callee with
+  match Hashtbl.find_opt m.vc.Vcode.funcs callee with
   | Some lf -> exec_func m lf args
   | None -> exec_named m callee args
 
@@ -294,30 +187,35 @@ and exec_named m (callee : string) (args : int array) : int =
   | None ->
     (match Libc.find callee with
      | Some raw_fn ->
-       let raw args = tbi_wrap m callee (fun a -> raw_fn m.ctx a) args in
        (match m.rt.Runtime.intercept callee with
-        | Some wrapper -> wrapper st ~raw args
-        | None -> raw args)
+        | Some wrapper ->
+          let raw args = tbi_wrap m callee (fun a -> raw_fn m.ctx a) args in
+          wrapper st ~raw args
+        | None ->
+          (* no interceptor and no TBI: call straight through without
+             building the wrapper closures *)
+          if m.rt.Runtime.tbi_bits = 0 then raw_fn m.ctx args
+          else tbi_wrap m callee (fun a -> raw_fn m.ctx a) args)
      | None ->
        (match Hashtbl.find_opt m.externs callee with
         | Some fn -> fn st args
         | None -> Report.trap (Report.Unresolved_external callee)))
 
-and exec_func m (lf : loaded_func) (args : int array) : int =
+and exec_func m (lf : Vcode.loaded_func) (args : int array) : int =
   let st = m.st in
   m.depth <- m.depth + 1;
   let saved_sp = st.State.sp in
-  let frame_base = align_down (st.State.sp - lf.frame_size) 16 in
+  let frame_base = align_down (st.State.sp - lf.Vcode.frame_size) 16 in
   if frame_base < Layout46.stack_limit || m.depth > max_call_depth then begin
     m.depth <- m.depth - 1;
     st.State.sp <- saved_sp;
     Report.trap ~addr:frame_base Report.Stack_exhausted
   end;
   st.State.sp <- frame_base;
-  let regs = Array.make (max lf.lf.f_nregs 1) 0 in
+  let regs = Array.make (max lf.Vcode.lf.f_nregs 1) 0 in
   List.iteri
     (fun i r -> if i < Array.length args then regs.(r) <- args.(i))
-    lf.lf.f_params;
+    lf.Vcode.lf.f_params;
   let ev = function
     | Reg r -> regs.(r)
     | Imm v -> v
@@ -328,31 +226,31 @@ and exec_func m (lf : loaded_func) (args : int array) : int =
   let block = ref 0 in
   (try
      while not !finished do
-       let code = lf.code.(!block) in
+       let code = lf.Vcode.code.(!block) in
        let n = Array.length code in
        (* baseline: one cycle per instruction; telemetry markers are
           excluded from the precomputed per-block cost *)
-       State.tick st lf.costs.(!block);
+       State.tick st lf.Vcode.costs.(!block);
        for pc = 0 to n - 1 do
          match Array.unsafe_get code pc with
-         | Vtelem { kind; site } ->
+         | Vcode.Vtelem { kind; site } ->
            if kind = 0 then Telemetry.bump_elided st.State.telem site
            else Telemetry.bump_covered st.State.telem site
-         | Vcall { dst; target; args } ->
+         | Vcode.Vcall { dst; target; args } ->
            State.tick st (Cost.call - 1);
            let argv = Array.map ev args in
            let v =
              match target with
-             | Vdirect lf -> exec_func m lf argv
-             | Vnamed callee -> exec_named m callee argv
+             | Vcode.Vdirect lf -> exec_func m lf argv
+             | Vcode.Vnamed callee -> exec_named m callee argv
            in
            (match dst with Some d -> regs.(d) <- v | None -> ())
-         | Vintrin ({ dst; fn; name; args } as vi) ->
+         | Vcode.Vintrin { dst; islot; name; args; site = _ } ->
            let argv = Array.map ev args in  (* site id is the last arg *)
            (* executed bump BEFORE dispatch, so failing checks count *)
            Telemetry.bump_executed st.State.telem
              argv.(Array.length argv - 1);
-           (match fn with
+           (match m.itab.(islot) with
             | Some fn ->
               let v = fn st argv in
               (match dst with Some d -> regs.(d) <- v | None -> ())
@@ -360,13 +258,13 @@ and exec_func m (lf : loaded_func) (args : int array) : int =
               (* registered after load? re-resolve once, else trap *)
               (match Runtime.find_intrinsic m.rt name with
                | Some fn ->
-                 vi.fn <- Some fn;
+                 m.itab.(islot) <- Some fn;
                  let v = fn st argv in
                  (match dst with Some d -> regs.(d) <- v | None -> ())
                | None ->
                  Report.trap
                    (Report.Unresolved_external ("intrinsic " ^ name))))
-         | Vplain i ->
+         | Vcode.Vplain i ->
          match i with
          | Imov { dst; src } -> regs.(dst) <- ev src
          | Ibin { op; dst; a; b } ->
@@ -417,7 +315,7 @@ and exec_func m (lf : loaded_func) (args : int array) : int =
            State.check_mapped st a size;
            Memory.store st.State.mem a size (ev src)
          | Islot { dst; slot } ->
-           regs.(dst) <- frame_base + lf.slot_off.(slot)
+           regs.(dst) <- frame_base + lf.Vcode.slot_off.(slot)
          | Igep { dst; base; idx; info } ->
            let b = ev base in
            regs.(dst) <-
@@ -444,7 +342,7 @@ and exec_func m (lf : loaded_func) (args : int array) : int =
             | None ->
               Report.trap (Report.Unresolved_external ("intrinsic " ^ name)))
        done;
-       (match lf.terms.(!block) with
+       (match lf.Vcode.terms.(!block) with
         | Tret v ->
           result := (match v with Some o -> ev o | None -> 0);
           finished := true
@@ -461,10 +359,13 @@ and exec_func m (lf : loaded_func) (args : int array) : int =
   st.State.sp <- saved_sp;
   !result
 
-(* Runs [entry] (default main).  All ways a run can end are funneled into
-   the [outcome] type.  A clean exit under a Recover sink that recorded
-   findings becomes [Completed_with_bugs]. *)
-let run ?(entry = "main") (m : t) : outcome =
+(* Runs [entry] (default main) under the selected backend.  All ways a
+   run can end are funneled into the [outcome] type.  A clean exit under
+   a Recover sink that recorded findings becomes [Completed_with_bugs].
+   [fuel] meters jit compilation (interpretation needs none); a
+   [Tir.Fuel.Exhausted] escape is a supervision event, not an outcome,
+   and propagates. *)
+let run ?(entry = "main") ?(backend = Interp) ?fuel (m : t) : outcome =
   let finish code =
     m.rt.Runtime.at_exit m.st;
     let sink = m.st.State.sink in
@@ -474,11 +375,37 @@ let run ?(entry = "main") (m : t) : outcome =
           suppressed = Report.sink_suppressed sink }
     else Exit code
   in
+  let no_entry () =
+    Fault { t_kind = Unresolved_external entry; t_addr = 0;
+            t_detail = "no entry point" }
+  in
   match
-    match Hashtbl.find_opt m.funcs entry with
-    | None -> Fault { t_kind = Unresolved_external entry; t_addr = 0;
-                      t_detail = "no entry point" }
-    | Some lf -> finish (exec_func m lf [||])
+    match backend with
+    | Interp ->
+      (match Hashtbl.find_opt m.vc.Vcode.funcs entry with
+       | None -> no_entry ()
+       | Some lf -> finish (exec_func m lf [||]))
+    | Jit ->
+      let prog = Jit.compile_cached ?fuel m.vc in
+      (match Jit.find_func prog entry with
+       | None -> no_entry ()
+       | Some jf ->
+         let c =
+           { Jit.st = m.st; itab = m.itab;
+             named = (fun callee args -> exec_named m callee args);
+             reresolve =
+               (fun islot ->
+                  match
+                    Runtime.find_intrinsic m.rt
+                      m.vc.Vcode.intrin_names.(islot)
+                  with
+                  | Some fn ->
+                    m.itab.(islot) <- Some fn;
+                    Some fn
+                  | None -> None);
+             depth = 0 }
+         in
+         finish (Jit.exec_jfunc c jf [||]))
   with
   | outcome -> outcome
   | exception State.Exited code -> finish code

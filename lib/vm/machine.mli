@@ -1,5 +1,6 @@
-(** The interpreter: executes a Tir module under a sanitizer runtime
-    with the deterministic cost model. *)
+(** The machine: executes a Tir module under a sanitizer runtime with
+    the deterministic cost model, through one of two observably
+    identical backends sharing the same resolved code ({!Vcode}). *)
 
 type outcome =
   | Exit of int            (** normal termination *)
@@ -11,22 +12,27 @@ type outcome =
   | Bug of Report.t        (** a sanitizer reported a violation *)
   | Fault of Report.trap   (** the machine/libc crashed on its own *)
 
-type loaded_func
+type backend =
+  | Interp  (** the reference interpreter *)
+  | Jit     (** the threaded-code backend ({!Jit}) *)
 
 type t = {
   st : State.t;
   md : Tir.Ir.modul;
   rt : Runtime.t;
-  funcs : (string, loaded_func) Hashtbl.t;
-  globals : (string, int) Hashtbl.t;
+  vc : Vcode.t;  (** resolved code, cached on [md] across machines *)
+  itab : Runtime.intrinsic option array;
+      (** this machine's intrinsic-slot bindings (runtime-specific) *)
   mutable ctx : Libc.ctx;
   externs : (string, State.t -> int array -> int) Hashtbl.t;
   mutable depth : int;
 }
 
 val create : ?st:State.t -> ?rt:Runtime.t -> Tir.Ir.modul -> t
-(** Loads globals into the simulated globals region and snapshots the
-    functions.  Applies the runtime's TBI configuration. *)
+(** Loads globals into the simulated globals region and binds the
+    module's resolved code (resolved at most once per module, see
+    {!Vcode.resolve_cached}) to the runtime.  Applies the runtime's TBI
+    configuration. *)
 
 val register_extern : t -> string -> (State.t -> int array -> int) -> unit
 (** Provides an OCaml implementation for an [extern] function with no
@@ -40,9 +46,11 @@ val exec_call : t -> string -> int array -> int
     (routed through runtime hooks), libc builtins (with interception and
     TBI handling), or registered externs. *)
 
-val run : ?entry:string -> t -> outcome
-(** Runs [entry] (default ["main"]); all terminations funnel into
-    [outcome]. *)
+val run : ?entry:string -> ?backend:backend -> ?fuel:Tir.Fuel.t -> t -> outcome
+(** Runs [entry] (default ["main"]) under [backend] (default [Interp]);
+    all terminations funnel into [outcome].  [fuel] meters jit
+    compilation (burned identically on compile-cache hits and misses);
+    [Tir.Fuel.Exhausted] is a supervision event and propagates. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit
 val outcome_is_bug : outcome -> bool

@@ -128,46 +128,127 @@ let store mem a size v =
       store_byte mem (a + k) ((v asr (8 * k)) land 0xff)
     done
 
-(* Bulk operations used by the libc builtins. *)
+(* Bulk operations used by the libc builtins.  All of them work in
+   page-sized chunks (Bytes.blit/Bytes.fill per materialized page)
+   rather than byte-at-a-time: a memcpy otherwise pays two page probes
+   per byte, which dominates copy-heavy workloads on both backends.
+   Chunking touches exactly the pages the byte loop would have, so
+   residency accounting is unchanged. *)
+
+let page_end_room a = Layout46.page_size - (a land (Layout46.page_size - 1))
 
 let blit_from_bytes mem (src : bytes) (dst : int) (len : int) =
-  for k = 0 to len - 1 do
-    store_byte mem (dst + k) (Char.code (Bytes.get src k))
+  let k = ref 0 in
+  while !k < len do
+    let a = dst + !k in
+    let chunk = min (len - !k) (page_end_room a) in
+    Bytes.blit src !k (page mem a) (a land (Layout46.page_size - 1)) chunk;
+    k := !k + chunk
   done
 
 let copy mem ~src ~dst ~len =
-  if dst < src then
-    for k = 0 to len - 1 do
-      store_byte mem (dst + k) (load_byte mem (src + k))
+  (* memmove semantics: chunks advance away from the overlap (forward
+     when dst precedes src, backward otherwise), and Bytes.blit is
+     itself overlap-safe when a chunk's source and destination share a
+     page *)
+  if dst < src then begin
+    let k = ref 0 in
+    while !k < len do
+      let s = src + !k and d = dst + !k in
+      let chunk = min (len - !k) (min (page_end_room s) (page_end_room d)) in
+      Bytes.blit (page mem s) (s land (Layout46.page_size - 1))
+        (page mem d) (d land (Layout46.page_size - 1)) chunk;
+      k := !k + chunk
     done
-  else
-    for k = len - 1 downto 0 do
-      store_byte mem (dst + k) (load_byte mem (src + k))
+  end
+  else if dst > src then begin
+    let k = ref len in
+    while !k > 0 do
+      (* the chunk ends at offset !k; it may not extend below the start
+         of either the source or destination page *)
+      let s_end = src + !k and d_end = dst + !k in
+      let room a = ((a - 1) land (Layout46.page_size - 1)) + 1 in
+      let chunk = min !k (min (room s_end) (room d_end)) in
+      let s = s_end - chunk and d = d_end - chunk in
+      Bytes.blit (page mem s) (s land (Layout46.page_size - 1))
+        (page mem d) (d land (Layout46.page_size - 1)) chunk;
+      k := !k - chunk
     done
+  end
+  else begin
+    (* degenerate self-copy: still materialize the pages the byte loop
+       would have touched (residency is observable) *)
+    let k = ref 0 in
+    while !k < len do
+      let a = dst + !k in
+      let chunk = min (len - !k) (page_end_room a) in
+      ignore (page mem a : bytes);
+      k := !k + chunk
+    done
+  end
 
 let fill mem ~dst ~len v =
-  for k = 0 to len - 1 do
-    store_byte mem (dst + k) v
+  let c = Char.unsafe_chr (v land 0xff) in
+  let k = ref 0 in
+  while !k < len do
+    let a = dst + !k in
+    let chunk = min (len - !k) (page_end_room a) in
+    Bytes.fill (page mem a) (a land (Layout46.page_size - 1)) chunk c;
+    k := !k + chunk
   done
 
 (* C-string helpers: read until NUL; bounded by [max] to avoid infinite
    scans over zero pages. *)
 let strlen mem a =
+  (* page-chunked NUL scan; equivalent to the byte loop: the length is
+     returned iff the first NUL sits at an index <= the cap, and the
+     trap fires otherwise *)
+  let cap = 1 lsl 24 in
   let rec go k =
-    if k > 1 lsl 24 then
-      Report.trap ~addr:a Report.Segfault ~detail:"unterminated string"
-    else if load_byte mem (a + k) = 0 then k
-    else go (k + 1)
+    let addr = a + k in
+    let off = addr land (Layout46.page_size - 1) in
+    let avail = Layout46.page_size - off in
+    match Bytes.index_from_opt (page mem addr) off '\000' with
+    | Some i ->
+      let n = k + (i - off) in
+      if n > cap then
+        Report.trap ~addr:a Report.Segfault ~detail:"unterminated string"
+      else n
+    | None ->
+      if k + avail > cap then
+        Report.trap ~addr:a Report.Segfault ~detail:"unterminated string"
+      else go (k + avail)
   in
   go 0
 
-let read_string mem a =
-  let n = strlen mem a in
-  String.init n (fun k -> Char.chr (load_byte mem (a + k)))
+let read_len mem a n =
+  if n <= 0 then ""
+  else begin
+    let out = Bytes.create n in
+    let k = ref 0 in
+    while !k < n do
+      let addr = a + !k in
+      let off = addr land (Layout46.page_size - 1) in
+      let chunk = min (n - !k) (Layout46.page_size - off) in
+      Bytes.blit (page mem addr) off out !k chunk;
+      k := !k + chunk
+    done;
+    Bytes.unsafe_to_string out
+  end
+
+let read_string mem a = read_len mem a (strlen mem a)
 
 let write_string mem a s =
-  String.iteri (fun k c -> store_byte mem (a + k) (Char.code c)) s;
-  store_byte mem (a + String.length s) 0
+  let n = String.length s in
+  let k = ref 0 in
+  while !k < n do
+    let addr = a + !k in
+    let off = addr land (Layout46.page_size - 1) in
+    let chunk = min (n - !k) (Layout46.page_size - off) in
+    Bytes.blit_string s !k (page mem addr) off chunk;
+    k := !k + chunk
+  done;
+  store_byte mem (a + n) 0
 
 (* wide strings: 4-byte elements *)
 let wcslen mem a =

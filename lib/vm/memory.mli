@@ -23,6 +23,11 @@ val invalidate_cache : t -> unit
     any future page-table mutation that breaks that invariant must call
     this first. *)
 
+val page : t -> int -> bytes
+(** The 4 KiB page backing address [a], materialized on first touch and
+    left in the last-page cache.  Exposed for the jit's inlined access
+    fast path; the returned bytes are always [Layout46.page_size] long. *)
+
 val load_byte : t -> int -> int
 val store_byte : t -> int -> int -> unit
 
@@ -45,6 +50,11 @@ val strlen : t -> int -> int
 (** Unchecked C-string scan, capped to avoid unbounded walks. *)
 
 val read_string : t -> int -> string
+
+val read_len : t -> int -> int -> string
+(** [read_len mem a n] extracts [n] raw bytes starting at [a]
+    (page-chunked; no NUL scan, no mapping check). *)
+
 val write_string : t -> int -> string -> unit
 val wcslen : t -> int -> int
 

@@ -1,0 +1,329 @@
+(* Differential tests of the threaded-code jit backend (Vm.Jit) against
+   the reference interpreter: identical outcomes, diagnostics, cycle
+   counts and telemetry on generated programs across every sanitizer,
+   under fault injection, plus cache regression tests (no re-resolution
+   or re-compilation on repeated runs, fuel burned identically on jit
+   compile-cache hits and misses) and the last-page-cache audit driven
+   through jitted code. *)
+
+let sanitizers () =
+  [ ("cecsan", Cecsan.sanitizer ());
+    ("asan", Baselines.Asan.sanitizer ());
+    ("asan--", Baselines.Asan_minus.sanitizer ());
+    ("hwasan", Baselines.Hwasan.sanitizer ());
+    ("softbound", Baselines.Softbound_cets.sanitizer ());
+    ("pacmem", Baselines.Pacmem.sanitizer ());
+    ("cryptsan", Baselines.Cryptsan.sanitizer ()) ]
+
+let seed_gen = QCheck.(map abs int)
+
+(* Everything observable about a run, as strings, so a mismatch prints
+   both sides verbatim.  The snapshot comparison is byte equality of
+   the deterministic JSON rendering. *)
+type obs = {
+  o_outcome : string;
+  o_output : string;
+  o_cycles : int;
+  o_reports : string list;
+  o_suppressed : int;
+  o_snapshot : string;
+}
+
+let observe (r : Sanitizer.Driver.run_result) =
+  { o_outcome =
+      Format.asprintf "%a" Vm.Machine.pp_outcome r.Sanitizer.Driver.outcome;
+    o_output = r.Sanitizer.Driver.output;
+    o_cycles = r.Sanitizer.Driver.cycles;
+    o_reports =
+      List.map
+        (Format.asprintf "%a" Vm.Report.pp)
+        r.Sanitizer.Driver.reports;
+    o_suppressed = r.Sanitizer.Driver.suppressed;
+    o_snapshot = Telemetry.Snapshot.to_json r.Sanitizer.Driver.snapshot }
+
+(* A run can also end in an injected crash or fuel exhaustion; both are
+   part of the observable surface the backends must agree on. *)
+type run_obs =
+  | Completed of obs
+  | Injected_crash of int
+  | Fuel_out of string * int
+
+let run_obs ~policy ?fault_spec backend san md =
+  let fault =
+    match fault_spec with
+    | None -> None
+    | Some s ->
+      (match Vm.Fault.parse s with
+       | Ok spec -> Some (Vm.Fault.of_specs [ spec ])
+       | Error m -> Alcotest.fail m)
+  in
+  match
+    Sanitizer.Driver.run_module san ~externs:Fuzz.Oracle.externs ~policy
+      ?fault ~backend md
+  with
+  | r -> Completed (observe r)
+  | exception Vm.Fault.Injected_crash { after } -> Injected_crash after
+  | exception Tir.Fuel.Exhausted { phase; budget } -> Fuel_out (phase, budget)
+
+let describe = function
+  | Completed o ->
+    Printf.sprintf "outcome=%s cycles=%d output=%S reports=[%s] sup=%d"
+      o.o_outcome o.o_cycles o.o_output
+      (String.concat "; " o.o_reports)
+      o.o_suppressed
+  | Injected_crash after -> Printf.sprintf "injected-crash after=%d" after
+  | Fuel_out (phase, budget) ->
+    Printf.sprintf "fuel-exhausted phase=%s budget=%d" phase budget
+
+let agree ~ctx a b =
+  let fail part sa sb =
+    QCheck.Test.fail_reportf "%s: %s differs@.interp: %s@.jit:    %s" ctx
+      part sa sb
+  in
+  match (a, b) with
+  | Completed x, Completed y ->
+    if not (String.equal x.o_outcome y.o_outcome) then
+      fail "outcome" x.o_outcome y.o_outcome;
+    if not (String.equal x.o_output y.o_output) then
+      fail "output" x.o_output y.o_output;
+    if x.o_cycles <> y.o_cycles then
+      fail "cycles" (string_of_int x.o_cycles) (string_of_int y.o_cycles);
+    if x.o_reports <> y.o_reports then
+      fail "reports"
+        (String.concat "; " x.o_reports)
+        (String.concat "; " y.o_reports);
+    if x.o_suppressed <> y.o_suppressed then
+      fail "suppressed"
+        (string_of_int x.o_suppressed)
+        (string_of_int y.o_suppressed);
+    if not (String.equal x.o_snapshot y.o_snapshot) then
+      fail "telemetry snapshot" x.o_snapshot y.o_snapshot;
+    true
+  | a, b ->
+    if a <> b then fail "termination" (describe a) (describe b);
+    true
+
+let program_of_seed seed =
+  Fuzz.Gen.generate ~inject:(seed land 1 = 1) (Fuzz.Tape.fresh ~seed)
+
+(* Half the draws exercise the Recover sink (reports list, suppression
+   counter); the other half Halt (the finding is the outcome). *)
+let policy_of_seed seed =
+  if seed land 2 = 0 then Vm.Report.Halt
+  else
+    Vm.Report.Recover { max_reports = Vm.Report.default_max_reports }
+
+let differential_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make
+         ~name:"interp and jit agree on generated programs x 7 sanitizers"
+         ~count:200 seed_gen
+         (fun seed ->
+            let p = program_of_seed seed in
+            let policy = policy_of_seed seed in
+            List.for_all
+              (fun (sname, san) ->
+                 match Sanitizer.Driver.build san p.Fuzz.Gen.src with
+                 | exception Sanitizer.Spec.Unsupported _ -> true
+                 | md ->
+                   let ctx = Printf.sprintf "seed %d, %s" seed sname in
+                   agree ~ctx
+                     (run_obs ~policy Vm.Machine.Interp san md)
+                     (run_obs ~policy Vm.Machine.Jit san md))
+              (sanitizers ())));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make
+         ~name:"interp and jit agree under crash:N / tagflip:N faults"
+         ~count:60 seed_gen
+         (fun seed ->
+            let p = program_of_seed seed in
+            let policy = policy_of_seed seed in
+            let san = Cecsan.sanitizer () in
+            match Sanitizer.Driver.build san p.Fuzz.Gen.src with
+            | exception Sanitizer.Spec.Unsupported _ -> true
+            | md ->
+              List.for_all
+                (fun spec ->
+                   let ctx =
+                     Printf.sprintf "seed %d, cecsan, %s" seed spec
+                   in
+                   agree ~ctx
+                     (run_obs ~policy ~fault_spec:spec Vm.Machine.Interp
+                        san md)
+                     (run_obs ~policy ~fault_spec:spec Vm.Machine.Jit san
+                        md))
+                [ "crash:2"; "tagflip:2"; "oom:3" ]));
+    Alcotest.test_case "fuel:N exhausts identically on both backends"
+      `Quick (fun () ->
+        let src =
+          "int main() { int s = 0; for (int i = 0; i < 9; i++) s += i; \
+           return s; }"
+        in
+        let san = Cecsan.sanitizer () in
+        let go backend budget =
+          Sanitizer.Driver.clear_compile_cache ();
+          match
+            Sanitizer.Driver.run san ~backend
+              ~fault:(Vm.Fault.of_specs
+                        [ (match Vm.Fault.parse
+                                   (Printf.sprintf "fuel:%d" budget)
+                           with
+                           | Ok s -> s
+                           | Error m -> Alcotest.fail m) ])
+              src
+          with
+          | r ->
+            Printf.sprintf "exit %s"
+              (Format.asprintf "%a" Vm.Machine.pp_outcome
+                 r.Sanitizer.Driver.outcome)
+          | exception Tir.Fuel.Exhausted { phase; budget } ->
+            Printf.sprintf "fuel-exhausted %s %d" phase budget
+        in
+        (* a one-step budget dies in the front end on both backends; an
+           ample one completes on both *)
+        List.iter
+          (fun budget ->
+             Alcotest.(check string)
+               (Printf.sprintf "budget %d" budget)
+               (go Vm.Machine.Interp budget)
+               (go Vm.Machine.Jit budget))
+          [ 1; 10_000_000 ])
+  ]
+
+(* --- cache regressions ---------------------------------------------------- *)
+
+let cache_tests =
+  [
+    Alcotest.test_case "repeated runs re-pay neither resolution nor \
+                        jit compilation" `Quick (fun () ->
+        let san = Cecsan.sanitizer () in
+        let md =
+          Sanitizer.Driver.build san
+            "int main() { int *p = malloc(40); for (int i = 0; i < 10; \
+             i++) p[i] = i; int s = p[7]; free(p); return s; }"
+        in
+        let r0 = !Vm.Vcode.resolutions and c0 = !Vm.Jit.compilations in
+        ignore (Sanitizer.Driver.run_module san ~backend:Vm.Machine.Interp md);
+        Alcotest.(check int) "first interp run resolves once"
+          (r0 + 1) !Vm.Vcode.resolutions;
+        ignore (Sanitizer.Driver.run_module san ~backend:Vm.Machine.Interp md);
+        Alcotest.(check int) "second interp run hits the cache"
+          (r0 + 1) !Vm.Vcode.resolutions;
+        ignore (Sanitizer.Driver.run_module san ~backend:Vm.Machine.Jit md);
+        Alcotest.(check int) "jit run reuses the resolved form"
+          (r0 + 1) !Vm.Vcode.resolutions;
+        Alcotest.(check int) "first jit run compiles once"
+          (c0 + 1) !Vm.Jit.compilations;
+        ignore (Sanitizer.Driver.run_module san ~backend:Vm.Machine.Jit md);
+        Alcotest.(check int) "second jit run hits the compile cache"
+          (c0 + 1) !Vm.Jit.compilations;
+        ignore (Sanitizer.Driver.run_module san ~backend:Vm.Machine.Interp md);
+        Alcotest.(check int) "backends share the cached resolution"
+          (r0 + 1) !Vm.Vcode.resolutions);
+    Alcotest.test_case "jit compile fuel burns identically on cache hit \
+                        and miss" `Quick (fun () ->
+        let san = Cecsan.sanitizer () in
+        let md =
+          Sanitizer.Driver.build san
+            "int main() { int a[4]; a[1] = 3; return a[1]; }"
+        in
+        let vc = Vm.Vcode.resolve_cached md in
+        let size = Tir.Ir.module_size md in
+        let miss = Tir.Fuel.make ~phase:"compile" ~budget:(size + 7) in
+        ignore (Vm.Jit.compile_cached ~fuel:miss vc);
+        let hit = Tir.Fuel.make ~phase:"compile" ~budget:(size + 7) in
+        ignore (Vm.Jit.compile_cached ~fuel:hit vc);
+        Alcotest.(check int) "hit burned what the miss burned"
+          (Tir.Fuel.remaining miss) (Tir.Fuel.remaining hit);
+        Alcotest.(check int) "burn is the module size" 7
+          (Tir.Fuel.remaining hit);
+        (* and exhaustion below the burn is identical on a warm cache *)
+        let starved = Tir.Fuel.make ~phase:"compile" ~budget:(size - 1) in
+        (match Vm.Jit.compile_cached ~fuel:starved vc with
+         | _ -> Alcotest.fail "expected fuel exhaustion on a warm cache"
+         | exception Tir.Fuel.Exhausted { phase; _ } ->
+           Alcotest.(check string) "phase" "compile" phase))
+  ]
+
+(* --- last-page cache through jitted code ----------------------------------- *)
+
+(* The interpreter's page-cache audit (test_vm.ml) re-driven through
+   the jit: free/realloc recycling between jitted blocks, and the
+   fault-injected table shrink, must be stable and interp-identical. *)
+let page_cache_tests =
+  [
+    Alcotest.test_case "free/realloc recycling between jitted blocks"
+      `Quick (fun () ->
+        let src =
+          "int main() {\n\
+          \  int sum = 0;\n\
+          \  for (int i = 0; i < 24; i++) {\n\
+          \    char *p = malloc(32 + i);\n\
+          \    for (int k = 0; k < 32; k++) p[k] = k + i;\n\
+          \    sum = sum + p[31];\n\
+          \    if (i % 3 == 0) { p = realloc(p, 128); sum = sum + p[0]; }\n\
+          \    free(p);\n\
+          \  }\n\
+          \  printf(\"S:%d\\n\", sum);\n\
+          \  return sum & 63;\n\
+           }\n"
+        in
+        let go backend =
+          let r = Sanitizer.Driver.run (Cecsan.sanitizer ()) ~backend src in
+          (Format.asprintf "%a" Vm.Machine.pp_outcome
+             r.Sanitizer.Driver.outcome,
+           r.Sanitizer.Driver.output, r.Sanitizer.Driver.cycles)
+        in
+        let oi, outi, ci = go Vm.Machine.Interp in
+        let oj, outj, cj = go Vm.Machine.Jit in
+        Alcotest.(check string) "outcome" oi oj;
+        Alcotest.(check string) "output" outi outj;
+        Alcotest.(check int) "cycles" ci cj);
+    Alcotest.test_case "fault-injected table shrink is repeatable under \
+                        the jit" `Quick (fun () ->
+        let src =
+          "int main() {\n\
+          \  int sum = 0;\n\
+          \  for (int i = 0; i < 24; i++) {\n\
+          \    char *p = malloc(32 + i);\n\
+          \    for (int k = 0; k < 32; k++) p[k] = k + i;\n\
+          \    sum = sum + p[31];\n\
+          \    if (i % 3 == 0) { p = realloc(p, 128); sum = sum + p[0]; }\n\
+          \    free(p);\n\
+          \  }\n\
+          \  printf(\"S:%d\\n\", sum);\n\
+          \  return sum & 63;\n\
+           }\n"
+        in
+        let go backend =
+          let fault =
+            match Vm.Fault.parse "table:8" with
+            | Ok s -> Vm.Fault.of_specs [ s ]
+            | Error m -> Alcotest.fail m
+          in
+          let r =
+            Sanitizer.Driver.run (Cecsan.sanitizer ()) ~fault ~backend
+              ~policy:(Vm.Report.Recover
+                         { max_reports = Vm.Report.default_max_reports })
+              src
+          in
+          (Format.asprintf "%a" Vm.Machine.pp_outcome
+             r.Sanitizer.Driver.outcome,
+           r.Sanitizer.Driver.output)
+        in
+        let o1, out1 = go Vm.Machine.Jit and o2, out2 = go Vm.Machine.Jit in
+        Alcotest.(check string) "jit outcome stable" o1 o2;
+        Alcotest.(check string) "jit output stable" out1 out2;
+        let oi, outi = go Vm.Machine.Interp in
+        Alcotest.(check string) "matches interp outcome" oi o1;
+        Alcotest.(check string) "matches interp output" outi out1)
+  ]
+
+let () =
+  Alcotest.run "jit"
+    [
+      "differential", differential_tests;
+      "caches", cache_tests;
+      "page cache", page_cache_tests;
+    ]
