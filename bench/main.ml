@@ -18,6 +18,14 @@
                                                 coverage per SPEC kernel
      dune exec bench/main.exe -- --perf       -- interp-vs-jit wall-clock
                                                 grid (writes BENCH_perf.json)
+     dune exec bench/main.exe -- --serve-sim N
+                                              -- N synthetic requests through
+                                                the serve engine under the
+                                                deterministic simulated clock
+                                                (writes BENCH_serve.json);
+                                                --sim-workers C (default 4)
+                                                and --serve-batch B (default
+                                                16) shape the queue model
      dune exec bench/main.exe -- --smoke      -- <30 s validation subset
 
    Modifiers:
@@ -117,59 +125,64 @@ let run_table1 () =
   section "Experiment: Table I";
   timed "table1" (fun () -> Harness.Tables.table1 fmt ())
 
-let run_table2 ?pool () =
+let run_table2 ?pool ?backend () =
   section "Experiment: Table II (985 cases x 6 sanitizers, bad+good)";
-  let d = timed "table2/run" (fun () -> Harness.Tables.run_table2 ?pool ()) in
+  let d =
+    timed "table2/run" (fun () ->
+        Harness.Tables.run_table2 ?pool ?backend ())
+  in
   Harness.Tables.table2 fmt d
 
-let run_table3 () =
+let run_table3 ?backend () =
   section "Experiment: Table III (Linux-Flaw models under CECSan)";
-  timed "table3" (fun () -> Harness.Tables.table3 fmt ())
+  timed "table3" (fun () -> Harness.Tables.table3 ?backend fmt ())
 
-let run_table4 ?pool () =
+let run_table4 ?pool ?backend () =
   section "Experiment: Table IV (SPEC2006-like kernels)";
   let rows =
     timed "table4/run" (fun () ->
-        Harness.Overhead.measure ?pool Workloads.Spec2006.all)
+        Harness.Overhead.measure ?pool ?backend Workloads.Spec2006.all)
   in
   Harness.Tables.table4 fmt rows;
   profile_rows rows
 
-let run_table5 ?pool () =
+let run_table5 ?pool ?backend () =
   section "Experiment: Table V (SPEC2017-like kernels)";
   let rows =
     timed "table5/run" (fun () ->
-        Harness.Overhead.measure ?pool Workloads.Spec2017.all)
+        Harness.Overhead.measure ?pool ?backend Workloads.Spec2017.all)
   in
   Harness.Tables.table5 fmt rows;
   profile_rows rows
 
-let run_fig3 () =
+let run_fig3 ?backend () =
   section "Experiment: Figure 3";
-  timed "fig3" (fun () -> Harness.Figures.fig3 fmt ())
+  timed "fig3" (fun () -> Harness.Figures.fig3 ?backend fmt ())
 
-let run_fig4 () =
+let run_fig4 ?backend () =
   section "Experiment: Figure 4";
-  timed "fig4" (fun () -> Harness.Figures.fig4 fmt ())
+  timed "fig4" (fun () -> Harness.Figures.fig4 ?backend fmt ())
 
-let run_ablation ?pool () =
+let run_ablation ?pool ?backend () =
   section "Experiment: optimization ablation (section II.F)";
   timed "ablation" (fun () ->
-      Harness.Tables.ablation ?pool fmt Workloads.Spec2006.all)
+      Harness.Tables.ablation ?pool ?backend fmt Workloads.Spec2006.all)
 
-let run_faults ?pool () =
+let run_faults ?pool ?backend () =
   section "Experiment: graceful degradation under injected faults";
-  let d = timed "faults/run" (fun () -> Harness.Faults.run ?pool ()) in
+  let d =
+    timed "faults/run" (fun () -> Harness.Faults.run ?pool ?backend ())
+  in
   Harness.Faults.render fmt d
 
 (* --resilience: the supervised-execution degradation table -- the same
    seeded campaign under none / crash / fuel injection scenarios, with
    the ledger written as a machine-readable artifact for CI. *)
-let run_resilience ?pool () =
+let run_resilience ?pool ?backend () =
   section "Experiment: resilience under injected harness faults";
   let rows =
     timed "resilience" (fun () ->
-        Fuzz.Campaign.resilience ?pool ~seed:!run_seed ())
+        Fuzz.Campaign.resilience ?pool ?backend ~seed:!run_seed ())
   in
   Fuzz.Campaign.render_resilience fmt rows;
   let file = "BENCH_resilience.json" in
@@ -177,10 +190,11 @@ let run_resilience ?pool () =
   Format.printf "@.Resilience table written to %s@." file;
   if not (List.for_all (fun r -> r.Fuzz.Campaign.rs_pass) rows) then exit 1
 
-let run_fuzz ?pool ~jobs n =
+let run_fuzz ?pool ?backend ~jobs n =
   section "Experiment: differential fuzz campaign";
   let s =
-    timed "fuzz" (fun () -> Fuzz.Campaign.run ?pool ~seed:!run_seed ~n ())
+    timed "fuzz" (fun () ->
+        Fuzz.Campaign.run ?pool ?backend ~seed:!run_seed ~n ())
   in
   absorb s.Fuzz.Campaign.snapshot;
   Fuzz.Campaign.render fmt ~jobs s;
@@ -331,9 +345,29 @@ let run_perf () =
   Harness.Jsonio.write ~path:file (Buffer.contents buf);
   Format.printf "  Perf grid written to %s@." file
 
+(* --serve-sim N: replay N synthetic queued requests through the
+   Serve engine under the deterministic simulated clock and emit the
+   BENCH_serve.json latency/throughput artifact.  Every number is
+   byte-identical at any -j: the queue model runs on sc_workers
+   SIMULATED servers, real domains only gather service times faster. *)
+let run_serve_sim ?pool ?backend ~sim_workers ~serve_batch n =
+  section "Experiment: serve load simulation";
+  let cfg =
+    { (Serve.Sim.default_cfg ~seed:!run_seed ~requests:n) with
+      Serve.Sim.sc_workers = sim_workers;
+      sc_batch = serve_batch;
+      sc_backend = backend }
+  in
+  let report = timed "serve-sim" (fun () -> Serve.Sim.run ?pool cfg) in
+  absorb report.Serve.Sim.sr_aggregate.Serve.Engine.agg_snapshot;
+  Serve.Sim.render fmt report;
+  let file = "BENCH_serve.json" in
+  Serve.Sim.write_json ~path:file report;
+  Format.printf "@.Serve simulation written to %s@." file
+
 (* --smoke: a quick validation subset -- one overhead-table row, a few
    Juliet families -- for local sanity checks and CI. *)
-let run_smoke ?pool () =
+let run_smoke ?pool ?backend () =
   section "Smoke: Table I";
   timed "smoke/table1" (fun () -> Harness.Tables.table1 fmt ());
   section "Smoke: Table II subset (CWE415 + CWE416 families)";
@@ -342,13 +376,15 @@ let run_smoke ?pool () =
     @ Juliet.Suite.cases_for Juliet.Case.C416
   in
   let d =
-    timed "smoke/table2" (fun () -> Harness.Tables.run_table2 ?pool ~cases ())
+    timed "smoke/table2" (fun () ->
+        Harness.Tables.run_table2 ?pool ~cases ?backend ())
   in
   Harness.Tables.table2 fmt d;
   section "Smoke: Table IV row (mcf)";
   let rows =
     timed "smoke/table4" (fun () ->
-        Harness.Overhead.measure ?pool [ Workloads.Spec2006.mcf ])
+        Harness.Overhead.measure ?pool ?backend
+          [ Workloads.Spec2006.mcf ])
   in
   Harness.Tables.table4 fmt rows;
   profile_rows rows
@@ -456,54 +492,83 @@ let () =
         Format.eprintf "--seed %s: expected a non-negative integer@." s;
         exit 2)
    | None -> ());
-  (match arg_after "--backend" with
-   | Some "interp" -> Sanitizer.Driver.default_backend := Vm.Machine.Interp
-   | Some "jit" -> Sanitizer.Driver.default_backend := Vm.Machine.Jit
-   | Some s ->
-     Format.eprintf "--backend %s: expected interp or jit@." s;
-     exit 2
-   | None -> ());
+  (* --backend is parsed into a VALUE threaded explicitly through every
+     experiment entry point; nothing here (or anywhere in-tree) mutates
+     [Sanitizer.Driver.default_backend]. *)
+  let backend =
+    match arg_after "--backend" with
+    | Some "interp" -> Some Vm.Machine.Interp
+    | Some "jit" -> Some Vm.Machine.Jit
+    | Some s ->
+      Format.eprintf "--backend %s: expected interp or jit@." s;
+      exit 2
+    | None -> None
+  in
   profile_on := has "--profile";
   Harness.Pool.with_pool ~jobs (fun p ->
       let pool = if jobs > 1 then Some p else None in
       (match (arg_after "--table", arg_after "--fig") with
        | Some "1", _ -> run_table1 ()
-       | Some "2", _ -> run_table2 ?pool ()
-       | Some "3", _ -> run_table3 ()
-       | Some "4", _ -> run_table4 ?pool ()
-       | Some "5", _ -> run_table5 ?pool ()
-       | _, Some "3" -> run_fig3 ()
-       | _, Some "4" -> run_fig4 ()
+       | Some "2", _ -> run_table2 ?pool ?backend ()
+       | Some "3", _ -> run_table3 ?backend ()
+       | Some "4", _ -> run_table4 ?pool ?backend ()
+       | Some "5", _ -> run_table5 ?pool ?backend ()
+       | _, Some "3" -> run_fig3 ?backend ()
+       | _, Some "4" -> run_fig4 ?backend ()
        | _ ->
-         if has "--ablation" then run_ablation ?pool ()
-         else if has "--faults" then run_faults ?pool ()
-         else if has "--resilience" then run_resilience ?pool ()
+         if has "--ablation" then run_ablation ?pool ?backend ()
+         else if has "--faults" then run_faults ?pool ?backend ()
+         else if has "--resilience" then run_resilience ?pool ?backend ()
          else if has "--micro" then microbenches ()
          else if has "--fuzz" then begin
            match Option.bind (arg_after "--fuzz") int_of_string_opt with
-           | Some n when n > 0 -> run_fuzz ?pool ~jobs n
+           | Some n when n > 0 -> run_fuzz ?pool ?backend ~jobs n
            | _ ->
              Format.eprintf "--fuzz: expected a positive program count@.";
              exit 2
          end
+         else if has "--serve-sim" then begin
+           let int_opt ~default flag =
+             match arg_after flag with
+             | None -> default
+             | Some s ->
+               (match int_of_string_opt s with
+                | Some v when v > 0 -> v
+                | _ ->
+                  Format.eprintf "%s %s: expected a positive integer@."
+                    flag s;
+                  exit 2)
+           in
+           match
+             Option.bind (arg_after "--serve-sim") int_of_string_opt
+           with
+           | Some n when n > 0 ->
+             run_serve_sim ?pool ?backend
+               ~sim_workers:(int_opt ~default:4 "--sim-workers")
+               ~serve_batch:(int_opt ~default:16 "--serve-batch") n
+           | _ ->
+             Format.eprintf "--serve-sim: expected a positive request \
+                             count@.";
+             exit 2
+         end
          else if has "--verify" then run_verify ()
          else if has "--perf" then run_perf ()
-         else if has "--smoke" then run_smoke ?pool ()
+         else if has "--smoke" then run_smoke ?pool ?backend ()
          else if has "--profile" then begin
            (* bare --profile: the overhead tables, with hot-site tables *)
-           run_table4 ?pool ();
-           run_table5 ?pool ()
+           run_table4 ?pool ?backend ();
+           run_table5 ?pool ?backend ()
          end
          else begin
            run_table1 ();
-           run_table2 ?pool ();
-           run_table3 ();
-           run_table4 ?pool ();
-           run_table5 ?pool ();
-           run_fig3 ();
-           run_fig4 ();
-           run_ablation ?pool ();
-           run_faults ?pool ();
+           run_table2 ?pool ?backend ();
+           run_table3 ?backend ();
+           run_table4 ?pool ?backend ();
+           run_table5 ?pool ?backend ();
+           run_fig3 ?backend ();
+           run_fig4 ?backend ();
+           run_ablation ?pool ?backend ();
+           run_faults ?pool ?backend ();
            microbenches ();
            Format.printf "@.All experiments completed.@."
          end);

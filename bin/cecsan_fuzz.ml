@@ -132,10 +132,12 @@ let backend =
 let run_cmd n seed jobs smoke tools max_shrink repro_dir write_corpus
     corpus_dir corpus_count telemetry_json faults checkpoint resume
     shard_size max_retries backend =
-  Sanitizer.Driver.default_backend := backend;
+  (* The backend is threaded explicitly into every campaign entry point;
+     [Sanitizer.Driver.default_backend] is never mutated. *)
   if write_corpus then begin
     let paths =
-      Fuzz.Campaign.write_corpus ~dir:corpus_dir ~seed ~count:corpus_count ()
+      Fuzz.Campaign.write_corpus ~dir:corpus_dir ~seed ~count:corpus_count
+        ~backend ()
     in
     Fmt.pr "Corpus: seed=0x%x, %d entries under %s@." seed
       (List.length paths) corpus_dir;
@@ -187,7 +189,7 @@ let run_cmd n seed jobs smoke tools max_shrink repro_dir write_corpus
         let pool = if jobs > 1 then Some p else None in
         Fuzz.Campaign.run ?pool ~tool_names ~max_shrink
           ~faults:fault_specs ~policy ?checkpoint ~resume ~shard_size
-          ~seed ~n ())
+          ~backend ~seed ~n ())
   in
   Fuzz.Campaign.render Format.std_formatter ~jobs summary;
   (match checkpoint with

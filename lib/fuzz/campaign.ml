@@ -98,7 +98,7 @@ let fuel_budget_of_specs specs =
    additionally puts the generator under a fresh [b]-step budget (the
    compile/verify phases get theirs inside Driver.run, bridged from the
    injector). *)
-let run_one ~tool_names ~fault_specs ~campaign_seed i
+let run_one ~tool_names ~fault_specs ~campaign_seed ?backend i
   : row * Telemetry.Snapshot.t =
   let tools = tools_of_names tool_names in
   let seed = Tape.mix campaign_seed i in
@@ -116,7 +116,7 @@ let run_one ~tool_names ~fault_specs ~campaign_seed i
     Gen.generate ~inject:(inject_of_index i) ?fuel:gen_fuel
       (Tape.fresh ~seed)
   in
-  let fs, snap = Oracle.evaluate_full ~tools ?fault p in
+  let fs, snap = Oracle.evaluate_full ~tools ?fault ?backend p in
   ( { index = i; seed; plan = p.Gen.plan;
       failures = List.map Oracle.failure_name fs },
     snap )
@@ -125,13 +125,13 @@ let run_one ~tool_names ~fault_specs ~campaign_seed i
    that still exhibits every one of the original failure labels.  The
    row's fault injector (if any) threads into every candidate
    evaluation, and [fuel] bounds the whole minimization. *)
-let shrink_failure ~tool_names ?fault ?fuel ~inject (p : Gen.program)
-    (failures : Oracle.failure list) : shrunk option =
+let shrink_failure ~tool_names ?fault ?fuel ?backend ~inject
+    (p : Gen.program) (failures : Oracle.failure list) : shrunk option =
   let tools = tools_of_names tool_names in
   let wanted = List.map Oracle.failure_name failures in
   let evaluate_tape tape =
     let p' = Gen.generate ~inject (Tape.replay tape) in
-    (p', Oracle.evaluate ~tools ?fault p')
+    (p', Oracle.evaluate ~tools ?fault ?backend p')
   in
   let still_fails tape =
     let _, fs = evaluate_tape tape in
@@ -325,8 +325,8 @@ let fuel_exhausted_count quarantine =
 
 let run ?pool ?(tool_names = []) ?(max_shrink = 5) ?(faults = [])
     ?(policy = Harness.Supervise.default_policy) ?checkpoint
-    ?(resume = false) ?(shard_size = 256) ?stop_after_shards ~seed ~n ()
-  : summary =
+    ?(resume = false) ?(shard_size = 256) ?stop_after_shards ?backend
+    ~seed ~n () : summary =
   let shard_size = max 1 shard_size in
   let fault_strings = List.map Vm.Fault.spec_to_string faults in
   (* restore: a missing/corrupt checkpoint is a fresh start; a
@@ -393,7 +393,7 @@ let run ?pool ?(tool_names = []) ?(max_shrink = 5) ?(faults = [])
            Harness.Supervise.run ~policy ~task:i ~seed:(Tape.mix seed i)
              (fun ~attempt:_ ->
                 run_one ~tool_names ~fault_specs:faults ~campaign_seed:seed
-                  i))
+                  ?backend i))
         indices
     in
     List.iter2
@@ -457,9 +457,9 @@ let run ?pool ?(tool_names = []) ?(max_shrink = 5) ?(faults = [])
                Gen.generate ~inject (Tape.fresh ~seed:r.seed)
              in
              let fs = Oracle.evaluate ~tools:(tools_of_names tool_names)
-                 ?fault p in
+                 ?fault ?backend p in
              match
-               shrink_failure ~tool_names ?fault ?fuel ~inject p fs
+               shrink_failure ~tool_names ?fault ?fuel ?backend ~inject p fs
              with
              | Some s ->
                Some { s with s_row = { s.s_row with index = r.index;
@@ -641,7 +641,7 @@ type resilience_row = {
 (* The supervised counterpart of the Harness.Faults grid: each scenario
    runs the same seeded campaign under one injected harness-fault
    class, and the table shows how much of the grid survives. *)
-let resilience ?pool ?(n = 240) ~seed () : resilience_row list =
+let resilience ?pool ?(n = 240) ?backend ~seed () : resilience_row list =
   (* Calibrated against the generator: most programs allocate only a
      handful of times and compile in well under 2000 fuel steps, so
      crash:3 / fuel:600 kill a slice of the grid, crash:1 / fuel:400
@@ -655,7 +655,7 @@ let resilience ?pool ?(n = 240) ~seed () : resilience_row list =
   in
   List.map
     (fun (name, faults) ->
-       let s = run ?pool ~faults ~max_shrink:0 ~seed ~n () in
+       let s = run ?pool ~faults ~max_shrink:0 ?backend ~seed ~n () in
        { rs_scenario = name;
          rs_n = n;
          rs_completed = List.length s.rows;
@@ -755,14 +755,15 @@ let write_repros ~dir (s : summary) : string list =
    that CECSan detects, each shrunk to the smallest tape on which the
    SAME class is still planted and still detected (with the right
    kind).  Deterministic in [seed]. *)
-let write_corpus ~dir ~seed ~count () : string list =
+let write_corpus ~dir ~seed ~count ?backend () : string list =
   mkdir_p dir;
   let detect_same_class cls tape =
     let p = Gen.generate ~inject:true (Tape.replay tape) in
     match p.Gen.plan with
     | Some pl when pl.Gen.cls = cls ->
       (match
-         Oracle.run_tool (Cecsan.sanitizer ()) ~optimize:true p.Gen.src
+         Oracle.run_tool (Cecsan.sanitizer ()) ?backend ~optimize:true
+           p.Gen.src
        with
        | tr ->
          tr.Oracle.detected

@@ -64,7 +64,8 @@ val run :
   ?pool:Harness.Pool.t -> ?tool_names:string list -> ?max_shrink:int ->
   ?faults:Vm.Fault.spec list -> ?policy:Harness.Supervise.policy ->
   ?checkpoint:string -> ?resume:bool -> ?shard_size:int ->
-  ?stop_after_shards:int -> seed:int -> n:int -> unit -> summary
+  ?stop_after_shards:int -> ?backend:Vm.Machine.backend -> seed:int ->
+  n:int -> unit -> summary
 (** Runs the campaign in shards of [shard_size] (default 256) programs;
     shrinks up to [max_shrink] failures (default 5) sequentially after
     the last shard.
@@ -83,7 +84,11 @@ val run :
 
     [stop_after_shards] processes at most that many further shards and
     returns (shrink skipped) -- the deterministic stand-in for getting
-    killed mid-campaign in tests. *)
+    killed mid-campaign in tests.
+
+    [backend] threads into every run of the grid (explicitly, never via
+    the [Driver.default_backend] ref); verdicts, ledgers and snapshots
+    are bit-for-bit identical on either backend. *)
 
 val passed : summary -> bool
 (** Oracle verdicts only; quarantined tasks are reported, not failed. *)
@@ -111,8 +116,8 @@ type resilience_row = {
   rs_pass : bool;
 }
 
-val resilience : ?pool:Harness.Pool.t -> ?n:int -> seed:int -> unit ->
-  resilience_row list
+val resilience : ?pool:Harness.Pool.t -> ?n:int ->
+  ?backend:Vm.Machine.backend -> seed:int -> unit -> resilience_row list
 (** The degradation table behind [bench --resilience]: the same seeded
     campaign (default 240 programs) under none / crash / fuel injection
     scenarios, showing how much of the grid survives supervision. *)
@@ -125,7 +130,8 @@ val resilience_json : resilience_row list -> string
 
 val shrink_failure :
   tool_names:string list -> ?fault:Vm.Fault.t -> ?fuel:Tir.Fuel.t ->
-  inject:bool -> Gen.program -> Oracle.failure list -> shrunk option
+  ?backend:Vm.Machine.backend -> inject:bool -> Gen.program ->
+  Oracle.failure list -> shrunk option
 (** Minimizes one failing case; [None] if its own tape does not
     reproduce the failure.  [fault] threads into every candidate
     evaluation; [fuel] bounds the whole minimization. *)
@@ -138,7 +144,9 @@ val write_repros : dir:string -> summary -> string list
 (** Writes each shrunk failure as a standalone [.mc] file; returns the
     paths. *)
 
-val write_corpus : dir:string -> seed:int -> count:int -> unit -> string list
+val write_corpus :
+  dir:string -> seed:int -> count:int -> ?backend:Vm.Machine.backend ->
+  unit -> string list
 (** Seeds a regression corpus with the first [count] detected
     bug-injected programs, each shrunk while CECSan still detects the
     same class. *)

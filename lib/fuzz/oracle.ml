@@ -139,10 +139,12 @@ let kind_ok (cls : Gen.bug_class) (k : Vm.Report.bug_kind) =
 
 exception Compile_error of string
 
-let run_tool (san : Sanitizer.Spec.t) ?policy ?fault ~optimize (src : string) :
-  tool_run =
+let run_tool (san : Sanitizer.Spec.t) ?policy ?fault ?backend ~optimize
+    (src : string) : tool_run =
   let tool = san.Sanitizer.Spec.name in
-  match Sanitizer.Driver.run san ~externs ?policy ?fault ~optimize src with
+  match
+    Sanitizer.Driver.run san ~externs ?policy ?fault ?backend ~optimize src
+  with
   | r ->
     let detected =
       Vm.Machine.outcome_is_bug r.Sanitizer.Driver.outcome
@@ -196,7 +198,7 @@ let baseline_of_name = function
 (* Like [evaluate], but also returns the CECSan(-O2) run's telemetry
    snapshot so campaigns can aggregate per-site profiles across the
    whole grid (merged in submission order, deterministic at any -j). *)
-let evaluate_full ?(tools = []) ?fault (p : Gen.program) :
+let evaluate_full ?(tools = []) ?fault ?backend (p : Gen.program) :
   failure list * Telemetry.Snapshot.t =
   match
     let cec () = Cecsan.sanitizer () in
@@ -204,20 +206,24 @@ let evaluate_full ?(tools = []) ?fault (p : Gen.program) :
        including the uninstrumented reference -- so a crash/fuel fault
        kills the whole task rather than biasing one tool's verdict *)
     let ref_run =
-      run_tool Sanitizer.Spec.none ?fault ~optimize:true p.Gen.src
+      run_tool Sanitizer.Spec.none ?fault ?backend ~optimize:true p.Gen.src
     in
-    let cec_on = run_tool (cec ()) ?fault ~optimize:true p.Gen.src in
+    let cec_on =
+      run_tool (cec ()) ?fault ?backend ~optimize:true p.Gen.src
+    in
     let cec_off =
-      { (run_tool (cec ()) ?fault ~optimize:false p.Gen.src) with
+      { (run_tool (cec ()) ?fault ?backend ~optimize:false p.Gen.src) with
         tool = "CECSan-O0" }
     in
     let cec_rec =
-      { (run_tool (cec ()) ?fault ~policy:recover_policy ~optimize:true
-           p.Gen.src)
+      { (run_tool (cec ()) ?fault ?backend ~policy:recover_policy
+           ~optimize:true p.Gen.src)
         with tool = "CECSan-recover" }
     in
     let extras =
-      List.map (fun san -> run_tool san ?fault ~optimize:true p.Gen.src) tools
+      List.map
+        (fun san -> run_tool san ?fault ?backend ~optimize:true p.Gen.src)
+        tools
     in
     (ref_run, cec_on, cec_off, cec_rec, extras)
   with
@@ -292,5 +298,5 @@ let evaluate_full ?(tools = []) ?fault (p : Gen.program) :
         | _ -> ()));
     (List.rev !failures, cec_on.snapshot)
 
-let evaluate ?tools ?fault (p : Gen.program) : failure list =
-  fst (evaluate_full ?tools ?fault p)
+let evaluate ?tools ?fault ?backend (p : Gen.program) : failure list =
+  fst (evaluate_full ?tools ?fault ?backend p)

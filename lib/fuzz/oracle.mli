@@ -45,18 +45,20 @@ exception Compile_error of string
 
 val run_tool :
   Sanitizer.Spec.t -> ?policy:Vm.Report.policy -> ?fault:Vm.Fault.t ->
-  optimize:bool -> string -> tool_run
+  ?backend:Vm.Machine.backend -> optimize:bool -> string -> tool_run
 
 val baseline_of_name : string -> Sanitizer.Spec.t option
 (** CLI names: asan, asan--, hwasan, softbound, pacmem, cryptsan. *)
 
 val evaluate :
-  ?tools:Sanitizer.Spec.t list -> ?fault:Vm.Fault.t -> Gen.program ->
-  failure list
-(** Empty list = the program passes every oracle rule. *)
+  ?tools:Sanitizer.Spec.t list -> ?fault:Vm.Fault.t ->
+  ?backend:Vm.Machine.backend -> Gen.program -> failure list
+(** Empty list = the program passes every oracle rule.  [backend]
+    threads into every run (verdicts are backend-independent). *)
 
 val evaluate_full :
-  ?tools:Sanitizer.Spec.t list -> ?fault:Vm.Fault.t -> Gen.program ->
+  ?tools:Sanitizer.Spec.t list -> ?fault:Vm.Fault.t ->
+  ?backend:Vm.Machine.backend -> Gen.program ->
   failure list * Telemetry.Snapshot.t
 (** [evaluate] plus the CECSan(-O2) run's telemetry snapshot, for
     campaign-level aggregation (merged in submission order).  [fault]

@@ -49,12 +49,13 @@ let fault_of_scenario s =
 let stat telemetry key =
   match List.assoc_opt key telemetry with Some v -> v | None -> 0
 
-let run_cell (san : Sanitizer.Spec.t) (w : Workloads.Spec2006.t) scenario :
-  cell =
+let run_cell ?backend (san : Sanitizer.Spec.t)
+    (w : Workloads.Spec2006.t) scenario : cell =
   let policy = Vm.Report.Recover { max_reports = 16 } in
   match
     Sanitizer.Driver.run san ~budget:200_000_000 ~policy
-      ~fault:(fault_of_scenario scenario) w.Workloads.Spec2006.w_source
+      ~fault:(fault_of_scenario scenario) ?backend
+      w.Workloads.Spec2006.w_source
   with
   | exception Sanitizer.Spec.Unsupported _ ->
     { c_status = "excluded"; c_reports = 0; c_suppressed = 0;
@@ -91,7 +92,8 @@ let run_cell (san : Sanitizer.Spec.t) (w : Workloads.Spec2006.t) scenario :
    fan it out via the total map, regroup by row.  A cell whose task
    died (injected crash, fuel exhaustion) renders as "quarantined:CLASS"
    instead of killing the whole table. *)
-let run ?pool ?(workload = Workloads.Spec2006.perlbench) () : data =
+let run ?pool ?(workload = Workloads.Spec2006.perlbench) ?backend () :
+  data =
   let rows = lineup () in
   let grid =
     List.concat_map
@@ -100,7 +102,7 @@ let run ?pool ?(workload = Workloads.Spec2006.perlbench) () : data =
   in
   let cells =
     Pool.maybe_map_results pool
-      (fun (san, sc) -> run_cell san workload sc)
+      (fun (san, sc) -> run_cell ?backend san workload sc)
       grid
     |> List.map (function
         | Ok c -> c

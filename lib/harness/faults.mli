@@ -27,12 +27,16 @@ val scenarios : string list
 
 val lineup : unit -> (string * Sanitizer.Spec.t) list
 
-val run_cell : Sanitizer.Spec.t -> Workloads.Spec2006.t -> string -> cell
+val run_cell :
+  ?backend:Vm.Machine.backend -> Sanitizer.Spec.t ->
+  Workloads.Spec2006.t -> string -> cell
 (** One sanitizer, one workload, one fault scenario, recover policy. *)
 
-val run : ?pool:Pool.t -> ?workload:Workloads.Spec2006.t -> unit -> data
+val run :
+  ?pool:Pool.t -> ?workload:Workloads.Spec2006.t ->
+  ?backend:Vm.Machine.backend -> unit -> data
 (** The full lineup x scenario grid (default workload:
     [Workloads.Spec2006.perlbench]); [pool] fans the independent cells
-    out across domains. *)
+    out across domains; [backend] threads into every cell. *)
 
 val render : Format.formatter -> data -> unit

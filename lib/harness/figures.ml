@@ -27,12 +27,12 @@ int main() {
 }
 |}
 
-let fig3 fmt () =
+let fig3 ?backend fmt () =
   Fmt.pf fmt "FIGURE 3: sub-object overflow (memcpy with sizeof(struct))@.";
   Fmt.pf fmt "%s@." (String.make 72 '-');
   List.iter
     (fun (san : Sanitizer.Spec.t) ->
-       let r = Sanitizer.Driver.run san fig3_source in
+       let r = Sanitizer.Driver.run san ?backend fig3_source in
        Fmt.pf fmt "  %-16s -> %a@." san.Sanitizer.Spec.name
          Vm.Machine.pp_outcome r.Sanitizer.Driver.outcome)
     [
@@ -74,13 +74,13 @@ let count_checks md =
       String.length n >= 14
       && String.equal (String.sub n 0 14) "__cecsan_check")
 
-let fig4 fmt () =
+let fig4 ?backend fmt () =
   Fmt.pf fmt "FIGURE 4: check optimization (section II.F)@.";
   Fmt.pf fmt "%s@." (String.make 72 '-');
   let run_with config =
     let san = Cecsan.sanitizer ~config () in
     let md = Sanitizer.Driver.build san fig4_source in
-    let r = Sanitizer.Driver.run_module san md in
+    let r = Sanitizer.Driver.run_module san ?backend md in
     (count_checks md, r.Sanitizer.Driver.cycles, r.Sanitizer.Driver.outcome)
   in
   let c0, cy0, o0 = run_with Cecsan.Config.no_opts in
@@ -98,7 +98,7 @@ let fig4 fmt () =
   (* and the safety net: the same optimized build still catches the bad
      variant *)
   let bad =
-    Sanitizer.Driver.run (Cecsan.sanitizer ())
+    Sanitizer.Driver.run (Cecsan.sanitizer ()) ?backend
       {|
 int main() {
   int *data = (int*)malloc(16 * sizeof(int));

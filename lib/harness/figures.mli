@@ -4,13 +4,15 @@
 val fig3_source : string
 (** Figure 3 of the paper, verbatim modulo MiniC syntax. *)
 
-val fig3 : Format.formatter -> unit -> unit
+val fig3 :
+  ?backend:Vm.Machine.backend -> Format.formatter -> unit -> unit
 (** Runs Figure 3 under CECSan and the object-granularity baselines. *)
 
 val fig4_source : string
 
 val count_checks : Tir.Ir.modul -> int
 
-val fig4 : Format.formatter -> unit -> unit
+val fig4 :
+  ?backend:Vm.Machine.backend -> Format.formatter -> unit -> unit
 (** Demonstrates the section II.F optimizations: static sites, dynamic
     cycles, and detection preservation. *)

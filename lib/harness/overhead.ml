@@ -27,9 +27,11 @@ type row = {
    literal), and defaults to the VM-wide constant. *)
 let default_budget = Vm.State.default_budget
 
-let run_workload ?(budget = default_budget) (sans : Sanitizer.Spec.t list)
-    (w : Workloads.Spec2006.t) : row =
-  let base = Sanitizer.Driver.run Sanitizer.Spec.none ~budget w.w_source in
+let run_workload ?(budget = default_budget) ?backend
+    (sans : Sanitizer.Spec.t list) (w : Workloads.Spec2006.t) : row =
+  let base =
+    Sanitizer.Driver.run Sanitizer.Spec.none ~budget ?backend w.w_source
+  in
   let base_ok =
     match base.Sanitizer.Driver.outcome with
     | Vm.Machine.Exit c -> c = w.w_expected
@@ -39,7 +41,7 @@ let run_workload ?(budget = default_budget) (sans : Sanitizer.Spec.t list)
   let measurements =
     List.map
       (fun san ->
-         let r = Sanitizer.Driver.run san ~budget w.w_source in
+         let r = Sanitizer.Driver.run san ~budget ?backend w.w_source in
          (match r.Sanitizer.Driver.outcome with
           | Vm.Machine.Exit c when c = w.w_expected -> ()
           | _ -> correct := false);
@@ -76,9 +78,11 @@ let perf_lineup () : Sanitizer.Spec.t list =
 
 (* Rows are independent (each re-derives its own baseline), so the pool
    fans them out one workload per job. *)
-let measure ?budget ?pool (workloads : Workloads.Spec2006.t list) :
+let measure ?budget ?pool ?backend (workloads : Workloads.Spec2006.t list) :
   row list =
-  Pool.maybe_map pool (run_workload ?budget (perf_lineup ())) workloads
+  Pool.maybe_map pool
+    (run_workload ?budget ?backend (perf_lineup ()))
+    workloads
 
 (* Column extraction + aggregate rows. *)
 let column (rows : row list) (tool : string) (f : measurement -> float) :

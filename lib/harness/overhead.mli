@@ -28,15 +28,19 @@ val default_budget : int
     [?budget]. *)
 
 val run_workload :
-  ?budget:int -> Sanitizer.Spec.t list -> Workloads.Spec2006.t -> row
+  ?budget:int -> ?backend:Vm.Machine.backend -> Sanitizer.Spec.t list ->
+  Workloads.Spec2006.t -> row
 
 val perf_lineup : unit -> Sanitizer.Spec.t list
 (** ASan, ASan--, CECSan: the Table IV/V columns. *)
 
 val measure :
-  ?budget:int -> ?pool:Pool.t -> Workloads.Spec2006.t list -> row list
+  ?budget:int -> ?pool:Pool.t -> ?backend:Vm.Machine.backend ->
+  Workloads.Spec2006.t list -> row list
 (** One row per workload; [pool] fans the rows out across domains
-    (deterministic: identical to the sequential result). *)
+    (deterministic: identical to the sequential result); [backend]
+    threads into every run (cycle counts are backend-invariant, only
+    wall clock moves). *)
 
 val column : row list -> string -> (measurement -> float) -> float list
 

@@ -35,11 +35,13 @@ type table2_data = {
 
 (* Tools run one after another; the pool parallelizes each tool's case
    loop (985 independent bad+good runs per tool). *)
-let run_table2 ?pool ?(cases = Juliet.Suite.all ()) () : table2_data =
+let run_table2 ?pool ?(cases = Juliet.Suite.all ()) ?backend () :
+  table2_data =
   { t2_tools =
       List.map
         (fun san ->
-           Juliet.Runner.run_tool ~map:(Pool.maybe_map pool) san cases)
+           Juliet.Runner.run_tool ~map:(Pool.maybe_map pool) ?backend san
+             cases)
         (Juliet.Runner.lineup ()) }
 
 let paper_table2 =
@@ -92,7 +94,7 @@ let table2 fmt (d : table2_data) =
 
 (* --- Table III: Linux Flaw Project ------------------------------------------ *)
 
-let table3 fmt () =
+let table3 ?backend fmt () =
   Fmt.pf fmt "TABLE III: Vulnerability detection on Linux-Flaw models@.";
   rule fmt 72;
   Fmt.pf fmt "%-16s %-24s %-12s %-10s@." "CVE" "Type" "Detected?"
@@ -101,7 +103,9 @@ let table3 fmt () =
   let cecsan = Cecsan.sanitizer () in
   List.iter
     (fun (m : Workloads.Linux_flaws.t) ->
-       let detected, clean = Workloads.Linux_flaws.evaluate cecsan m in
+       let detected, clean =
+         Workloads.Linux_flaws.evaluate ?backend cecsan m
+       in
        Fmt.pf fmt "%-16s %-24s %-12s %-10s@." m.cve m.kind
          (if detected then "yes" else "NO (!)")
          (if clean then "clean" else "FP (!)"))
@@ -169,7 +173,7 @@ let table5 fmt (rows : Overhead.row list) =
 
 (* --- Ablation: contribution of each optimization (section II.F) ------------- *)
 
-let ablation ?pool fmt (workloads : Workloads.Spec2006.t list) =
+let ablation ?pool ?backend fmt (workloads : Workloads.Spec2006.t list) =
   Fmt.pf fmt "ABLATION: CECSan optimizations (section II.F) on the \
               SPEC2006-like kernels@.";
   rule fmt 76;
@@ -182,7 +186,7 @@ let ablation ?pool fmt (workloads : Workloads.Spec2006.t list) =
     Pool.maybe_map pool
       (fun (w : Workloads.Spec2006.t) ->
          (Sanitizer.Driver.run Sanitizer.Spec.none
-            ~budget:Overhead.default_budget w.w_source)
+            ~budget:Overhead.default_budget ?backend w.w_source)
            .Sanitizer.Driver.cycles)
       workloads
   in
@@ -193,7 +197,7 @@ let ablation ?pool fmt (workloads : Workloads.Spec2006.t list) =
         (fun ((w : Workloads.Spec2006.t), base_cycles) ->
            let r =
              Sanitizer.Driver.run san ~budget:Overhead.default_budget
-               w.w_source
+               ?backend w.w_source
            in
            Stats.percent_overhead ~base:base_cycles
              ~measured:r.Sanitizer.Driver.cycles)

@@ -38,18 +38,18 @@ let excluded_by tool (c : t) =
   | "CryptSan" | "HWASan" -> needs_socket c.flow || needs_fgets c.flow
   | _ -> false
 
-let run_one (san : Sanitizer.Spec.t) (c : t) : case_result =
+let run_one ?backend (san : Sanitizer.Spec.t) (c : t) : case_result =
   if excluded_by san.Sanitizer.Spec.name c then
     { case = c; verdict = Excluded; good_fp = false }
   else
     match
       let bad =
         Sanitizer.Driver.run san ~lines:c.lines ~packets:c.packets
-          ~budget:50_000_000 c.bad_src
+          ~budget:50_000_000 ?backend c.bad_src
       in
       let good =
         Sanitizer.Driver.run san ~lines:c.lines ~packets:c.packets
-          ~budget:50_000_000 c.good_src
+          ~budget:50_000_000 ?backend c.good_src
       in
       (bad, good)
     with
@@ -72,9 +72,9 @@ let run_one (san : Sanitizer.Spec.t) (c : t) : case_result =
    the case loop; cases are independent and results keep submission
    order, so the default List.map and any order-preserving parallel map
    produce identical tables. *)
-let run_tool ?(map = List.map) (san : Sanitizer.Spec.t) (cases : t list) :
-  tool_results =
-  let results = map (run_one san) cases in
+let run_tool ?(map = List.map) ?backend (san : Sanitizer.Spec.t)
+    (cases : t list) : tool_results =
+  let results = map (run_one ?backend san) cases in
   let evaluated =
     List.length (List.filter (fun r -> r.verdict <> Excluded) results)
   in

@@ -26,14 +26,18 @@ val excluded_by : string -> Case.t -> bool
     skip all external-input cases; other exclusions arise from
     [Sanitizer.Spec.Unsupported] at build time. *)
 
-val run_one : Sanitizer.Spec.t -> Case.t -> case_result
+val run_one :
+  ?backend:Vm.Machine.backend -> Sanitizer.Spec.t -> Case.t ->
+  case_result
 
 val run_tool :
   ?map:((Case.t -> case_result) -> Case.t list -> case_result list) ->
-  Sanitizer.Spec.t -> Case.t list -> tool_results
+  ?backend:Vm.Machine.backend -> Sanitizer.Spec.t -> Case.t list ->
+  tool_results
 (** [map] (default [List.map]) runs the per-case loop; the harness
     passes an order-preserving parallel map ([Harness.Pool.map]), which
-    yields identical results because cases are independent. *)
+    yields identical results because cases are independent.  [backend]
+    threads into every run (verdicts are backend-invariant). *)
 
 val rate : tool_results -> Case.cwe -> float option
 (** Detection percentage over the tool's evaluated subset of that CWE. *)

@@ -41,28 +41,46 @@ let compile ?(optimize = true) ?fuel (src : string) : Tir.Ir.modul =
   Tir.Fuel.burn fuel (Tir.Ir.module_size md);
   md
 
-(* The compile cache.  Pristine modules are inserted once and never
-   mutated afterwards; every consumer receives a deep clone.  Concurrent
-   readers of an immutable-after-insert module are safe, so the lock only
-   covers the table itself. *)
-let cache_lock = Mutex.create ()
-let cache : (bool * string, Tir.Ir.modul) Hashtbl.t = Hashtbl.create 256
+(* The compile cache, sharded by key hash: one (mutex, table) pair per
+   shard, so a server-shaped load -- many domains compiling many small
+   distinct sources concurrently -- spreads its lock traffic over
+   [shard_count] locks instead of serializing on one.  Pristine modules
+   are inserted once and never mutated afterwards; every consumer
+   receives a deep clone.  Concurrent readers of an
+   immutable-after-insert module are safe, so each lock only covers its
+   own table. *)
+let shard_count = 16  (* power of two: shard_of masks the key hash *)
 
-(* Safety valve for pathological workloads (the harness compiles a few
-   thousand distinct sources at most). *)
-let cache_capacity = 16_384
+type shard = {
+  s_lock : Mutex.t;
+  s_cache : (bool * string, Tir.Ir.modul) Hashtbl.t;
+}
+
+let shards : shard array =
+  Array.init shard_count (fun _ ->
+      { s_lock = Mutex.create (); s_cache = Hashtbl.create 64 })
+
+(* Safety valve per shard for pathological workloads (the harness
+   compiles a few thousand distinct sources at most). *)
+let shard_capacity = 2_048
+
+let shard_of key = shards.(Hashtbl.hash key land (shard_count - 1))
 
 let clear_compile_cache () =
-  Mutex.lock cache_lock;
-  Hashtbl.reset cache;
-  Mutex.unlock cache_lock
+  Array.iter
+    (fun sh ->
+       Mutex.lock sh.s_lock;
+       Hashtbl.reset sh.s_cache;
+       Mutex.unlock sh.s_lock)
+    shards
 
 let compile_cached ~optimize ?fuel (src : string) : Tir.Ir.modul =
   let key = (optimize, src) in
+  let sh = shard_of key in
   let cached =
-    Mutex.lock cache_lock;
-    let r = Hashtbl.find_opt cache key in
-    Mutex.unlock cache_lock;
+    Mutex.lock sh.s_lock;
+    let r = Hashtbl.find_opt sh.s_cache key in
+    Mutex.unlock sh.s_lock;
     r
   in
   let pristine =
@@ -78,10 +96,11 @@ let compile_cached ~optimize ?fuel (src : string) : Tir.Ir.modul =
          this caller, and compilation is deterministic so a racing
          duplicate insert is harmless (last write wins, same value) *)
       let md = compile ~optimize ?fuel src in
-      Mutex.lock cache_lock;
-      if Hashtbl.length cache >= cache_capacity then Hashtbl.reset cache;
-      Hashtbl.replace cache key md;
-      Mutex.unlock cache_lock;
+      Mutex.lock sh.s_lock;
+      if Hashtbl.length sh.s_cache >= shard_capacity then
+        Hashtbl.reset sh.s_cache;
+      Hashtbl.replace sh.s_cache key md;
+      Mutex.unlock sh.s_lock;
       md
   in
   Tir.Ir.clone pristine
@@ -181,10 +200,13 @@ let build_link (san : Spec.t) ?(optimize = true)
     instrument_verified san primary;
     primary
 
-(* The session-wide backend default, consulted whenever a caller does
-   not pick one explicitly.  This is what lets `bench --backend jit` (or
-   the fuzzer) flip every run it drives -- harness, oracle and workload
-   code paths included -- without threading a parameter through each. *)
+(* The process-wide backend default, consulted whenever a caller does
+   not pick one explicitly.  This ref is a CLI-STARTUP-ONLY convenience:
+   it may be assigned once, before any Harness.Pool domain exists, and
+   never after -- a mid-flight write races against concurrent server
+   requests that selected a different backend.  Every in-tree tool now
+   threads [~backend] explicitly (bench, the fuzzer, the serve daemon),
+   so nothing in this repository mutates it anymore. *)
 let default_backend : Vm.Machine.backend ref = ref Vm.Machine.Interp
 
 (* Runs an instrumented module.  [lines]/[packets] feed the dummy input

@@ -81,9 +81,13 @@ val build_link :
 
 val default_backend : Vm.Machine.backend ref
 (** The backend used when a caller passes no [?backend] (initially
-    [Interp]).  Tools with a [--backend] flag (bench, the fuzzer) set it
-    once so every run they drive -- harness, oracle and workload paths
-    included -- switches with them. *)
+    [Interp]).  CLI-startup-only: assign it at most once, from a single
+    thread, before any [Harness.Pool] domain is spawned -- a later write
+    races against concurrent requests that picked a different backend.
+    Every in-tree tool threads [~backend] explicitly instead (the bench,
+    the fuzzer and the serve daemon pass it through
+    [Harness.Overhead]/[Harness.Tables]/[Fuzz.Campaign]/[Serve.Engine]),
+    so nothing in this repository mutates the ref. *)
 
 val run_module :
   Spec.t ->

@@ -1,0 +1,80 @@
+(** Wire protocol of the analysis service: line-delimited JSON, one
+    value per line, with a deterministic printer (fixed key order,
+    integers only) so equal messages are byte-identical.
+
+    The JSON model is the integer subset the stack already emits
+    everywhere else (telemetry snapshots, bench artifacts): no floats,
+    no unicode escapes beyond the ASCII control range. *)
+
+type value =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Str of string
+  | List of value list
+  | Obj of (string * value) list  (** printed in the order given *)
+
+val to_string : value -> string
+(** Single-line rendering; strings escape quotes, backslashes and
+    control characters.
+    Object keys print in the order stored, so codecs keep a fixed field
+    order and equal messages render byte-identically. *)
+
+val parse : string -> (value, string) result
+(** Strict parser for the subset {!to_string} emits (plus surrounding
+    whitespace); rejects floats, trailing garbage and duplicate-free
+    constraints are NOT enforced (last key wins on lookup). *)
+
+val member : string -> value -> value option
+(** First binding of the key in an [Obj]. *)
+
+(** {1 Requests} *)
+
+type op =
+  | Analyze of { source : string; sanitizer : string; optimize : bool }
+      (** compile + run one MiniC source under one sanitizer *)
+  | Fuzz of { fz_seed : int; inject : bool }
+      (** generate the seeded program and run it under CECSan(-O2) *)
+  | Bench of { kernel : string; sanitizer : string }
+      (** run one SPEC-like kernel under one sanitizer *)
+
+type request = {
+  id : int;                            (** echoed in the response *)
+  op : op;
+  backend : Vm.Machine.backend option;
+      (** [None]: the engine's default backend *)
+}
+
+val encode_request : request -> value
+val decode_request : value -> (request, string) result
+
+(** {1 Responses} *)
+
+type response = {
+  rs_id : int;
+  rs_ok : bool;
+  rs_outcome : string;   (** rendered [Vm.Machine.outcome]; [""] on error *)
+  rs_detected : bool;    (** the sanitizer reported at least one bug *)
+  rs_cycles : int;       (** deterministic cost-model cycles (0 on error) *)
+  rs_reports : int;      (** findings recorded by a [Recover] sink *)
+  rs_error : string;     (** error class + detail; [""] when ok *)
+}
+
+val encode_response : response -> value
+val decode_response : value -> (response, string) result
+
+(** {1 Stream framing} *)
+
+type line =
+  | Request of request
+  | Flush      (** process everything queued, in submission order *)
+  | Snapshot   (** flush, then emit the session aggregate *)
+  | Shutdown   (** flush, respond, stop *)
+
+val decode_line : string -> (line, string) result
+(** One wire line: a request object, or a control object whose [op] is
+    [flush], [snapshot] or [shutdown].  A blank line decodes to
+    [Flush]. *)
+
+val backend_name : Vm.Machine.backend -> string
+val backend_of_name : string -> Vm.Machine.backend option

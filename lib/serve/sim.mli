@@ -1,0 +1,57 @@
+(** Deterministic load simulator for the service ([bench --serve-sim]).
+
+    N synthetic requests -- mixed ops, sanitizers, backends, optimize
+    flags, all drawn from a seeded tape -- are executed through
+    {!Engine.process}, and their latency is computed under a simulated
+    clock: arrivals come from a seeded integer inter-arrival process,
+    service time is each request's deterministic cost-model cycle count,
+    and a FIFO queue feeds [sc_workers] {e simulated} servers.  Real
+    pool parallelism ([-j]) only speeds up gathering the service times;
+    every number in the report, and the BENCH_serve.json bytes, are
+    identical at any job count. *)
+
+type cfg = {
+  sc_seed : int;
+  sc_requests : int;
+  sc_workers : int;
+      (** simulated servers in the queue model -- fixed, NOT the real
+          [-j] (default 4) *)
+  sc_batch : int;   (** requests per pool slot (default 16) *)
+  sc_backend : Vm.Machine.backend option;
+      (** [Some b] overrides the per-request backend mix *)
+}
+
+val default_cfg : seed:int -> requests:int -> cfg
+
+type latency = {
+  l_p50 : int;
+  l_p90 : int;
+  l_p99 : int;
+  l_p999 : int;
+  l_max : int;
+  l_mean : int;  (** integer mean (floor) *)
+}
+
+type report = {
+  sr_cfg : cfg;
+  sr_aggregate : Engine.aggregate;
+  sr_latency : latency;       (** sojourn time, simulated ticks *)
+  sr_makespan : int;          (** last departure tick *)
+  sr_throughput : int;        (** requests per 1e6 simulated ticks *)
+}
+
+val gen_requests : seed:int -> int -> Protocol.request list
+(** The synthetic mix: mostly [analyze] of small generated programs,
+    some [fuzz], occasional [bench] kernels; request [i] derives its
+    whole shape from [Tape.mix seed i]. *)
+
+val run : ?pool:Harness.Pool.t -> cfg -> report
+
+val render : Format.formatter -> report -> unit
+
+val to_json : report -> string
+(** Single-line [cecsan-bench-serve/1] JSON (integers only, fixed key
+    order): byte-identical across reruns and job counts. *)
+
+val write_json : path:string -> report -> unit
+(** Atomic ({!Harness.Jsonio}) BENCH_serve.json emission. *)

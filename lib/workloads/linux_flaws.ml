@@ -245,14 +245,14 @@ int main() {
 (* Runs one model under a sanitizer; returns (bad detected, good clean).
    Stack exhaustion traps count as detected: the runtime's guard page
    catches them and produces a diagnosable crash, as in the paper. *)
-let evaluate (san : Sanitizer.Spec.t) (m : t) : bool * bool =
+let evaluate ?backend (san : Sanitizer.Spec.t) (m : t) : bool * bool =
   let bad =
     Sanitizer.Driver.run san ~lines:m.bad_lines ~packets:m.bad_packets
-      ~budget:100_000_000 m.source
+      ~budget:100_000_000 ?backend m.source
   in
   let good =
     Sanitizer.Driver.run san ~lines:m.good_lines ~packets:m.good_packets
-      ~budget:100_000_000 m.source
+      ~budget:100_000_000 ?backend m.source
   in
   let detected =
     match bad.Sanitizer.Driver.outcome with

@@ -14,6 +14,8 @@ type t = {
 
 val all : t list
 
-val evaluate : Sanitizer.Spec.t -> t -> bool * bool
+val evaluate :
+  ?backend:Vm.Machine.backend -> Sanitizer.Spec.t -> t -> bool * bool
 (** [(bad input detected, benign input clean)].  A stack-exhaustion trap
-    counts as detected (the runtime's guard page diagnoses it). *)
+    counts as detected (the runtime's guard page diagnoses it);
+    [backend] threads into both runs. *)
