@@ -203,7 +203,11 @@ let run_fuzz ?pool ?backend ~jobs n =
 (* --verify: run the Tir.Verify static verifier over every SPEC kernel
    under every sanitizer and report wall time plus how many unsafe
    accesses it proved covered (the translation-validation half of the
-   section II.F story). *)
+   section II.F story).  For tools carrying an absint model the table
+   adds the abstract-interpretation facts proved over the optimized IR,
+   the elision witnesses replayed, and the wall time of the replay-side
+   absint runs; the whole grid (minus wall clock, which would break
+   byte-for-byte artifact determinism) lands in BENCH_verify.json. *)
 let run_verify () =
   section "Experiment: static verification (Tir.Verify, SPEC kernels)";
   let tools =
@@ -215,8 +219,26 @@ let run_verify () =
       Baselines.Pacmem.sanitizer ();
       Baselines.Cryptsan.sanitizer () ]
   in
-  Format.printf "  %-14s %-14s %9s %9s %10s@." "kernel" "tool" "accesses"
-    "covered" "verify";
+  (* independent absint run over the post-optimization module: the same
+     state the verifier replays witnesses against, counted as facts *)
+  let absint_facts (san : Sanitizer.Spec.t) md =
+    match san.Sanitizer.Spec.verify with
+    | Some { Tir.Verify.absint = Some model; hazard_intrinsics; _ } ->
+      let pure =
+        Tir.Analysis.pure_callees md
+          ~is_hazard:(fun n -> List.mem n hazard_intrinsics)
+      in
+      let cx = Tir.Absint.make_ctx model ~pure md in
+      let n = ref 0 in
+      Tir.Ir.iter_funcs md (fun f ->
+          if not f.Tir.Ir.f_external then
+            n := !n + (Tir.Absint.analyze cx f).Tir.Absint.su_facts);
+      !n
+    | _ -> 0
+  in
+  let rows = ref [] in
+  Format.printf "  %-14s %-14s %9s %9s %9s %7s %10s %10s@." "kernel" "tool"
+    "accesses" "covered" "witnesses" "facts" "verify" "absint";
   timed "verify" (fun () ->
       List.iter
         (fun (w : Workloads.Spec2006.t) ->
@@ -235,14 +257,17 @@ let run_verify () =
                   san.Sanitizer.Spec.optimize md;
                   let t2 = Unix.gettimeofday () in
                   let post = Tir.Verify.check ?spec md in
-                  let dt = t1 -. t0 +. (Unix.gettimeofday () -. t2) in
-                  (pre, post, dt)
+                  let t3 = Unix.gettimeofday () in
+                  let facts = absint_facts san md in
+                  let ta = Unix.gettimeofday () -. t3 in
+                  let dt = t1 -. t0 +. (t3 -. t2) in
+                  (pre, post, facts, dt, ta)
                 with
                 | exception Sanitizer.Spec.Unsupported _ ->
                   Format.printf "  %-14s %-14s %9s@."
                     w.Workloads.Spec2006.w_name san.Sanitizer.Spec.name
                     "excluded"
-                | pre, post, dt ->
+                | pre, post, facts, dt, ta ->
                   let issues =
                     List.length pre.Tir.Verify.r_errors
                     + List.length post.Tir.Verify.r_errors
@@ -251,14 +276,39 @@ let run_verify () =
                        then 1
                        else 0)
                   in
-                  Format.printf "  %-14s %-14s %9d %9d %7.1f ms%s@."
+                  rows :=
+                    (w.Workloads.Spec2006.w_name, san.Sanitizer.Spec.name,
+                     post.Tir.Verify.r_accesses, post.Tir.Verify.r_covered,
+                     post.Tir.Verify.r_witnesses, facts, issues)
+                    :: !rows;
+                  Format.printf
+                    "  %-14s %-14s %9d %9d %9d %7d %7.1f ms %7.1f ms%s@."
                     w.Workloads.Spec2006.w_name san.Sanitizer.Spec.name
                     post.Tir.Verify.r_accesses post.Tir.Verify.r_covered
-                    (dt *. 1000.)
+                    post.Tir.Verify.r_witnesses facts (dt *. 1000.)
+                    (ta *. 1000.)
                     (if issues = 0 then ""
                      else Printf.sprintf "  (%d issue(s))" issues))
              tools)
-        (Workloads.Spec2006.all @ Workloads.Spec2017.all))
+        (Workloads.Spec2006.all @ Workloads.Spec2017.all));
+  let rows = List.rev !rows in
+  let file = "BENCH_verify.json" in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n  \"schema\": \"cecsan-bench-verify/1\",\n";
+  Buffer.add_string buf "  \"rows\": [\n";
+  List.iteri
+    (fun i (k, s, acc, cov, wit, facts, issues) ->
+       Buffer.add_string buf
+         (Printf.sprintf
+            "    {\"kernel\": %S, \"sanitizer\": %S, \"accesses\": %d, \
+             \"covered\": %d, \"witnesses\": %d, \"absint_facts\": %d, \
+             \"issues\": %d}%s\n"
+            k s acc cov wit facts issues
+            (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string buf "  ]\n}\n";
+  Harness.Jsonio.write ~path:file (Buffer.contents buf);
+  Format.printf "@.Verification grid written to %s@." file
 
 (* --perf: the backend perf trajectory.  Each SPEC2006 kernel runs on
    both backends (uninstrumented and under CECSan), best-of-N after a

@@ -79,6 +79,16 @@ let verify =
                  optimizations, print the report and exit (0 verified, \
                  4 rejected) without executing the program.")
 
+let dump_absint =
+  Arg.(value & flag
+       & info [ "dump-absint" ]
+           ~doc:"Print the whole-program abstract-interpretation summary \
+                 (per-function abstract objects, per-site register \
+                 states, proved facts) over the fully optimized IR \
+                 instead of running -- the exact state Tir.Verify \
+                 replays elision witnesses against.  Requires a \
+                 sanitizer with an absint model (cecsan, asan--).")
+
 let stats =
   Arg.(value & flag
        & info [ "stats" ] ~doc:"Print cycle and memory statistics.")
@@ -147,8 +157,8 @@ let backend =
                  differs.")
 
 let run_cmd (san : Sanitizer.Spec.t) src_file lines packets dump_ir dump_tir
-    verify stats profile telemetry_json no_opt budget recover max_reports
-    inject fuel_budget backend =
+    verify dump_absint stats profile telemetry_json no_opt budget recover
+    max_reports inject fuel_budget backend =
   let src =
     let ic = open_in_bin src_file in
     let n = in_channel_length ic in
@@ -165,6 +175,46 @@ let run_cmd (san : Sanitizer.Spec.t) src_file lines packets dump_ir dump_tir
   (* Static modes: --dump-tir and --verify drive the phases by hand
      (instrument, then optimize) instead of going through the one-shot
      [Driver.build] gate, so they can observe the IR between the two. *)
+  if dump_absint then begin
+    match
+      let md =
+        Sanitizer.Driver.compile_cached ~optimize:(not no_opt) ?fuel src
+      in
+      san.Sanitizer.Spec.instrument md;
+      san.Sanitizer.Spec.optimize md;
+      md
+    with
+    | exception Minic.Sema.Error (m, l) ->
+      Fmt.epr "%s:%d: error: %s@." src_file l m;
+      exit 2
+    | exception Tir.Lower.Error m ->
+      Fmt.epr "%s: lowering error: %s@." src_file m;
+      exit 2
+    | exception Sanitizer.Spec.Unsupported m ->
+      Fmt.epr "%s: %s cannot compile this program: %s@." src_file
+        san.Sanitizer.Spec.name m;
+      exit 3
+    | exception Tir.Fuel.Exhausted { phase; budget } ->
+      Fmt.epr "==FUEL== exhausted in %s (budget %d steps)@." phase budget;
+      exit 5
+    | md ->
+      (match san.Sanitizer.Spec.verify with
+       | Some { Tir.Verify.absint = Some model; hazard_intrinsics; _ } ->
+         let pure =
+           Tir.Analysis.pure_callees md
+             ~is_hazard:(fun n -> List.mem n hazard_intrinsics)
+         in
+         let cx = Tir.Absint.make_ctx model ~pure md in
+         Tir.Ir.iter_funcs md (fun f ->
+             if not f.Tir.Ir.f_external then
+               Fmt.pr "%a@." Tir.Absint.pp_summary
+                 (Tir.Absint.analyze ?fuel cx f));
+         exit 0
+       | _ ->
+         Fmt.epr "--dump-absint: %s carries no abstract-interpretation \
+                  model@." san.Sanitizer.Spec.name;
+         exit 3)
+  end;
   if dump_tir <> None || verify then begin
     match
       let md =
@@ -201,9 +251,10 @@ let run_cmd (san : Sanitizer.Spec.t) src_file lines packets dump_ir dump_tir
     | pre, post ->
       let report stage (r : Tir.Verify.report) =
         Fmt.pr "[verify] %s/%s: %d function(s), %d/%d unsafe accesses \
-                covered@."
+                covered, %d witness(es) replayed@."
           san.Sanitizer.Spec.name stage r.Tir.Verify.r_funcs
-          r.Tir.Verify.r_covered r.Tir.Verify.r_accesses;
+          r.Tir.Verify.r_covered r.Tir.Verify.r_accesses
+          r.Tir.Verify.r_witnesses;
         List.iter
           (fun e -> Fmt.pr "[verify] %s: %s@." stage
               (Tir.Verify.error_to_string e))
@@ -337,8 +388,8 @@ let cmd =
   Cmd.v
     (Cmd.info "cecsan_cli" ~version:"1.0" ~doc)
     Term.(const run_cmd $ sanitizer $ file $ stdin_lines $ packets
-          $ dump_ir $ dump_tir $ verify $ stats $ profile $ telemetry_json
-          $ no_opt $ budget $ recover $ max_reports $ inject
-          $ fuel_budget $ backend)
+          $ dump_ir $ dump_tir $ verify $ dump_absint $ stats $ profile
+          $ telemetry_json $ no_opt $ budget $ recover $ max_reports
+          $ inject $ fuel_budget $ backend)
 
 let () = exit (Cmd.eval cmd)

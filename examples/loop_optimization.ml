@@ -5,6 +5,11 @@
 
    - the monotonic loop's per-iteration checks collapse to two endpoint
      checks in the preheader (the statically-determined-limit case);
+   - the abstract interpreter (Tir.Absint, DESIGN.md section 16) then
+     proves both endpoints in bounds of the stack array and elides them
+     too, leaving zero-cost __telemetry_elided markers plus bare tag
+     strips — each elision certified by a witness the Strict verifier
+     replays;
    - the constant in-bounds access buf_good[15] is never instrumented;
    - redundant checks within a block are eliminated. *)
 

@@ -403,6 +403,7 @@ let verify_spec : Tir.Verify.spec = {
   may_hoist_stores = false;
   hazard_intrinsics = [ "__asan_poison"; "__asan_unpoison" ];
   extcall_strip = None;
+  absint = None;
 }
 
 let sanitizer ?quarantine_cap () : Sanitizer.Spec.t =

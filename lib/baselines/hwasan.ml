@@ -400,6 +400,7 @@ let verify_spec : Tir.Verify.spec = {
   hazard_intrinsics =
     [ "__hwasan_tag_stack"; "__hwasan_untag_stack"; "__hwasan_tag_global" ];
   extcall_strip = None;
+  absint = None;
 }
 
 let sanitizer () : Sanitizer.Spec.t =

@@ -524,6 +524,7 @@ let verify_spec (pol : policy) : Tir.Verify.spec =
       [ pre ^ "_malloc"; pre ^ "_free"; pre ^ "_calloc"; pre ^ "_realloc";
         pre ^ "_stack_seal"; pre ^ "_stack_retire"; pre ^ "_global_seal" ];
     extcall_strip = Some (pre ^ "_strip");
+    absint = None;
   }
 
 let sanitizer (pol : policy) : Sanitizer.Spec.t =

@@ -418,6 +418,7 @@ let verify_spec : Tir.Verify.spec = {
     [ "__sb_malloc"; "__sb_free"; "__sb_calloc"; "__sb_realloc";
       "__sb_stack_create"; "__sb_stack_destroy"; "__sb_global_create" ];
   extcall_strip = None;
+  absint = None;
 }
 
 let sanitizer () : Sanitizer.Spec.t =

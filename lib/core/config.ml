@@ -10,6 +10,7 @@ type t = {
   opt_redundant : bool;   (* section II.F: redundant check elimination *)
   opt_loop : bool;        (* section II.F.1: invariant + monotonic checks *)
   opt_typeinfo : bool;    (* section II.F.2: statically-safe check removal *)
+  opt_absint : bool;      (* DESIGN.md 16: certified elision via Tir.Absint *)
   check_step : int;       (* monotonic check grouping factor (paper: 5) *)
   (* section V.1 future work: on table exhaustion, chain conflicting
      metadata off shared indices instead of degrading to unprotected *)
@@ -26,6 +27,7 @@ let default = {
   opt_redundant = true;
   opt_loop = true;
   opt_typeinfo = true;
+  opt_absint = true;
   check_step = 5;
   chain_overflow = false;
   policy = Vm.Report.Halt;
@@ -36,6 +38,7 @@ let no_opts = {
   opt_redundant = false;
   opt_loop = false;
   opt_typeinfo = false;
+  opt_absint = false;
 }
 
 let no_subobject = { default with subobject = false }
@@ -51,9 +54,9 @@ let recover =
 
 let to_string c =
   Printf.sprintf
-    "subobject=%b stack=%b globals=%b redundant=%b loop=%b typeinfo=%b      step=%d chain=%b policy=%s"
+    "subobject=%b stack=%b globals=%b redundant=%b loop=%b typeinfo=%b      absint=%b step=%d chain=%b policy=%s"
     c.subobject c.protect_stack c.protect_globals c.opt_redundant c.opt_loop
-    c.opt_typeinfo c.check_step c.chain_overflow
+    c.opt_typeinfo c.opt_absint c.check_step c.chain_overflow
     (match c.policy with
      | Vm.Report.Halt -> "halt"
      | Vm.Report.Recover { max_reports } ->

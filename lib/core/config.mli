@@ -9,6 +9,8 @@ type t = {
   opt_loop : bool;        (** loop-invariant hoisting + monotonic
                               grouping (II.F.1) *)
   opt_typeinfo : bool;    (** statically-safe check removal (II.F.2) *)
+  opt_absint : bool;      (** certified elision from whole-program
+                              abstract interpretation (DESIGN.md 16) *)
   check_step : int;       (** grouping factor of II.F.1 (paper: 5) *)
   chain_overflow : bool;
       (** the section V.1 future-work extension: on metadata-table

@@ -5,6 +5,9 @@
 
 let check = 24            (* dependent, often-cold table load + fused compare + strip *)
 let check_filtered = 2    (* monotonic grouped check, filtered iteration *)
+let check_spatial = 16    (* temporal half proven statically: the entry cannot
+                             be invalidated before this site, so the table load
+                             stays warm/hoistable; compare + strip remain *)
 let malloc_extra = 12     (* entry allocation in the metadata table *)
 let free_extra = 10       (* Algorithm 2 + entry invalidation *)
 let stack_make = 13

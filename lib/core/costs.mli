@@ -5,6 +5,9 @@
 
 val check : int
 val check_filtered : int
+val check_spatial : int
+  (* spatial-only downgraded check (DESIGN.md 16): same fused compare,
+     but the statically-proven temporal half keeps the entry load warm *)
 val malloc_extra : int
 val free_extra : int
 val stack_make : int

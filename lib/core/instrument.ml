@@ -256,11 +256,15 @@ let instrument ?(config = Config.default) (md : modul) : unit =
   insert_gpt_init md slots
 
 let optimize ?(config = Config.default) (md : modul) : unit =
+  let pure = Opt.purity md in
   if config.Config.opt_redundant then
-    iter_funcs md (fun f -> if not f.f_external then Opt.redundant md f);
+    iter_funcs md (fun f -> if not f.f_external then Opt.redundant ~pure md f);
   if config.Config.opt_loop then
     iter_funcs md (fun f ->
-        if not f.f_external then Opt.loops md config f)
+        if not f.f_external then Opt.loops ~pure md config f);
+  (* certified elision last: the passes above key on the original check
+     names, and every rewrite here leaves a replayable witness *)
+  if config.Config.opt_absint then ignore (Opt.absint md)
 
 let run ?(config = Config.default) (md : modul) : unit =
   instrument ~config md;

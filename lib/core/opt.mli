@@ -4,5 +4,18 @@
 
 val spec : Sanitizer.Checkopt.spec
 
-val redundant : Tir.Ir.modul -> Tir.Ir.func -> unit
-val loops : Tir.Ir.modul -> Config.t -> Tir.Ir.func -> unit
+val model : Tir.Absint.model
+(** Abstract-interpretation model of the CECSan intrinsics, also
+    carried inside [spec.absint]. *)
+
+val purity : Tir.Ir.modul -> string -> bool
+(** Memoized [Tir.Analysis.pure_callees] closure over [spec]'s hazard
+    set; share one closure across the passes of a pipeline run. *)
+
+val redundant : ?pure:(string -> bool) -> Tir.Ir.modul -> Tir.Ir.func -> unit
+val loops :
+  ?pure:(string -> bool) -> Tir.Ir.modul -> Config.t -> Tir.Ir.func -> unit
+
+val absint : Tir.Ir.modul -> Sanitizer.Checkopt.absint_stats
+(** Certified check elision over the whole module (DESIGN.md section
+    16); run after {!redundant} and {!loops}. *)

@@ -38,9 +38,9 @@ let classify_oob ~write tbl idx _raw =
   else Vm.Report.Oob_read
 [@@inline]
 
-let check_deref rt st ~write ~size ?(site = -1) ptr =
+let check_deref rt st ~write ~size ?(site = -1) ?(cost = Costs.check) ptr =
   let tbl = get_table rt st in
-  Vm.State.tick st Costs.check;
+  Vm.State.tick st cost;
   let idx = L.tag_of ptr in
   if idx = 0 then rt.entry0_hits <- rt.entry0_hits + 1;
   let raw = L.strip ptr in
@@ -467,6 +467,17 @@ let intrinsic_table rt : (string * Vm.Runtime.intrinsic) list =
     (fun st a -> check_deref rt st ~write:false ~size:a.(1) ~site:a.(2) a.(0));
     "__cecsan_check_store",
     (fun st a -> check_deref rt st ~write:true ~size:a.(1) ~site:a.(2) a.(0));
+    (* spatial-only downgrades (DESIGN.md 16): detection-identical to the
+       fused check -- same Algorithm 1 over the same entry -- at the lower
+       cost the statically-certified temporal half buys *)
+    "__cecsan_check_load_spatial",
+    (fun st a ->
+       check_deref rt st ~write:false ~size:a.(1) ~site:a.(2)
+         ~cost:Costs.check_spatial a.(0));
+    "__cecsan_check_store_spatial",
+    (fun st a ->
+       check_deref rt st ~write:true ~size:a.(1) ~site:a.(2)
+         ~cost:Costs.check_spatial a.(0));
     "__cecsan_malloc", (fun st a -> cecsan_malloc rt st a.(0));
     "__cecsan_free", (fun st a -> cecsan_free rt st a.(0); 0);
     "__cecsan_calloc",

@@ -27,12 +27,16 @@ type t = {
 val get_table : t -> Vm.State.t -> Meta_table.t
 
 val check_deref :
-  t -> Vm.State.t -> write:bool -> size:int -> ?site:int -> int -> int
+  t -> Vm.State.t -> write:bool -> size:int -> ?site:int -> ?cost:int ->
+  int -> int
 (** Algorithm 1: the optimized dereference check.  Returns the STRIPPED
     address for the access.  A spatial or temporal violation (a freed
     entry's INVALID low bound makes the same fused compare fail) goes to
     the run's sink: it raises [Vm.Report.Bug] under [Halt] and records
-    then proceeds with the stripped access under [Recover]. *)
+    then proceeds with the stripped access under [Recover].  [cost]
+    (default [Costs.check]) is the cycle charge; the spatial-only
+    downgraded intrinsics pass [Costs.check_spatial] -- detection is
+    identical, only the charge differs. *)
 
 val check_range : t -> Vm.State.t -> write:bool -> int -> int -> int
 (** [check_range t st ~write ptr len] validates [ptr, ptr+len) against

@@ -95,7 +95,7 @@ let failure_detail = function
    spatial that is not adjacent. *)
 let must_catch ~tool (p : Gen.plan) =
   match tool with
-  | "CECSan" | "CECSan-noopt" | "CECSan-chain" -> true
+  | "CECSan" | "CECSan-noopt" | "CECSan-chain" | "CECSan-noabsint" -> true
   | "CECSan-nosubobj" -> p.cls <> Gen.Subobject
   | "ASan" | "ASan--" ->
     (match p.cls with
@@ -220,12 +220,23 @@ let evaluate_full ?(tools = []) ?fault ?backend (p : Gen.program) :
            ~optimize:true p.Gen.src)
         with tool = "CECSan-recover" }
     in
+    (* certified elision must be invisible: same detections, same
+       telemetry law, never more cycles than the absint-off pipeline *)
+    let cec_noabs =
+      { (run_tool
+           (Cecsan.sanitizer
+              ~config:
+                { Cecsan.Config.default with Cecsan.Config.opt_absint = false }
+              ())
+           ?fault ?backend ~optimize:true p.Gen.src)
+        with tool = "CECSan-noabsint" }
+    in
     let extras =
       List.map
         (fun san -> run_tool san ?fault ?backend ~optimize:true p.Gen.src)
         tools
     in
-    (ref_run, cec_on, cec_off, cec_rec, extras)
+    (ref_run, cec_on, cec_off, cec_rec, cec_noabs, extras)
   with
   | exception Compile_error m ->
     ([ Gen_invalid (sp "does not compile: %s" m) ], Telemetry.Snapshot.empty)
@@ -238,7 +249,7 @@ let evaluate_full ?(tools = []) ?fault ?backend (p : Gen.program) :
               sp "%s: %s" stage
                 (match errors with e :: _ -> e | [] -> "rejected") } ],
       Telemetry.Snapshot.empty )
-  | ref_run, cec_on, cec_off, cec_rec, extras ->
+  | ref_run, cec_on, cec_off, cec_rec, cec_noabs, extras ->
     let failures = ref [] in
     let flag f = failures := f :: !failures in
     (match p.Gen.plan with
@@ -272,7 +283,7 @@ let evaluate_full ?(tools = []) ?fault ?backend (p : Gen.program) :
                                tr.out_text
                                (Telemetry.Snapshot.delta_summary
                                   ref_run.snapshot tr.snapshot) }))
-            (cec_on :: cec_off :: cec_rec :: extras))
+            (cec_on :: cec_off :: cec_rec :: cec_noabs :: extras))
      | Some plan ->
        let check_tool ~matrix_tool tr =
          if (not tr.excluded) && must_catch ~tool:matrix_tool plan
@@ -282,6 +293,7 @@ let evaluate_full ?(tools = []) ?fault ?backend (p : Gen.program) :
        check_tool ~matrix_tool:"CECSan" cec_on;
        check_tool ~matrix_tool:"CECSan" cec_off;
        check_tool ~matrix_tool:"CECSan" cec_rec;
+       check_tool ~matrix_tool:"CECSan" cec_noabs;
        List.iter (fun tr -> check_tool ~matrix_tool:tr.tool tr) extras;
        if cec_on.detected <> cec_off.detected then
          flag (Opt_unsound
@@ -289,6 +301,13 @@ let evaluate_full ?(tools = []) ?fault ?backend (p : Gen.program) :
                      sp "opt-on %s vs opt-off %s; %s" cec_on.outcome
                        cec_off.outcome
                        (Telemetry.Snapshot.delta_summary cec_off.snapshot
+                          cec_on.snapshot) });
+       if cec_on.detected <> cec_noabs.detected then
+         flag (Opt_unsound
+                 { detail =
+                     sp "absint-on %s vs absint-off %s; %s" cec_on.outcome
+                       cec_noabs.outcome
+                       (Telemetry.Snapshot.delta_summary cec_noabs.snapshot
                           cec_on.snapshot) });
        (match cec_on.first_kind with
         | Some k when not (kind_ok plan.Gen.cls k) ->

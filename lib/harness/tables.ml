@@ -218,6 +218,8 @@ let ablation ?pool ?backend fmt (workloads : Workloads.Spec2006.t list) =
       { Cecsan.Config.default with Cecsan.Config.opt_redundant = false };
       "no type-info elim",
       { Cecsan.Config.default with Cecsan.Config.opt_typeinfo = false };
+      "no absint",
+      { Cecsan.Config.default with Cecsan.Config.opt_absint = false };
       "no optimizations", Cecsan.Config.no_opts;
       "no sub-object", Cecsan.Config.no_subobject;
       "overflow chains on", Cecsan.Config.with_chain;

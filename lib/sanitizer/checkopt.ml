@@ -28,6 +28,7 @@ type spec = Tir.Verify.spec = {
   may_hoist_stores : bool;
   hazard_intrinsics : string list;(* runtime calls that change metadata *)
   extcall_strip : string option;  (* tag strip required at external calls *)
+  absint : Tir.Absint.model option; (* abstract-interpretation model *)
 }
 
 let is_check spec name =
@@ -46,9 +47,11 @@ let opnd_key = function
 (* Within a block: a second check on the same pointer with a size no
    larger than an already-performed one is dropped (replaced by a move of
    the stripped address when the sanitizer's checks produce one).  Any
-   call, or any runtime operation that can invalidate metadata, clears
-   the knowledge. *)
-let redundant (spec : spec) (f : func) : int =
+   call to a callee that can touch metadata, or any runtime operation
+   that can invalidate it, clears the knowledge; metadata-pure callees
+   (per [Tir.Analysis.pure_callees], the closure Verify also consults)
+   are transparent. *)
+let redundant (spec : spec) ?(pure = fun _ -> false) (f : func) : int =
   let removed = ref 0 in
   Array.iter
     (fun b ->
@@ -112,7 +115,7 @@ let redundant (spec : spec) (f : func) : int =
                  | _ ->
                    Hashtbl.replace known key (size, dst);
                    [ i ])
-              | Icall _ ->
+              | Icall { callee; _ } when not (pure callee) ->
                 Hashtbl.reset known;
                 [ i ]
               | Iintrin { name; _ } when is_hazard spec name ->
@@ -129,8 +132,8 @@ let redundant (spec : spec) (f : func) : int =
 
 type loop_stats = { hoisted : int; endpoints : int; grouped : int }
 
-let loops (spec : spec) ?(check_step = 5) (md : modul) (f : func) :
-  loop_stats =
+let loops (spec : spec) ?(check_step = 5) ?(pure = fun _ -> false)
+    (md : modul) (f : func) : loop_stats =
   ignore check_step;
   let stats = ref { hoisted = 0; endpoints = 0; grouped = 0 } in
   let cfg0 = Cfg.build f in
@@ -152,7 +155,7 @@ let loops (spec : spec) ?(check_step = 5) (md : modul) (f : func) :
            (fun bid ->
               List.exists
                 (function
-                  | Icall _ -> true
+                  | Icall { callee; _ } -> not (pure callee)
                   | Iintrin { name; _ } -> is_hazard spec name
                   | _ -> false)
                 f.f_blocks.(bid).b_instrs)
@@ -222,12 +225,23 @@ let loops (spec : spec) ?(check_step = 5) (md : modul) (f : func) :
                                    Scev.static_bound f l defs_map ind.iv
                                  in
                                  (match ind.start, bound with
-                                  | Some start, Some n when n > start ->
-                                    (* endpoint grouping *)
+                                  | Some start, Some n
+                                    when Scev.endpoint_offsets ~start
+                                           ~bound:n ~step:ind.step
+                                           ~elem_size ~off:field_off
+                                         <> None ->
+                                    (* endpoint grouping; applicability
+                                       (trip count > 0, no endpoint
+                                       overflow) established through the
+                                       same guarded helper the verifier
+                                       re-derives with *)
                                     let last =
-                                      start
-                                      + ((n - 1 - start) / ind.step
-                                         * ind.step)
+                                      match
+                                        Scev.last_index ~start ~bound:n
+                                          ~step:ind.step
+                                      with
+                                      | Some v -> v
+                                      | None -> assert false
                                     in
                                     let ph =
                                       f.f_blocks.(Lazy.force preheader)
@@ -285,3 +299,106 @@ let loops (spec : spec) ?(check_step = 5) (md : modul) (f : func) :
        end)
     all_loops;
   !stats
+
+(* --- certified elision from abstract interpretation ----------------------- *)
+
+type absint_stats = { elided : int; downgraded : int; facts : int }
+
+(* The whole-module pass consuming [Tir.Absint]: a check whose pointer
+   provably stays inside a live, non-escaping object is removed (Welide,
+   both halves proved) or renamed to its spatial-only variant
+   (Wdowngrade, temporal half proved) -- each carrying a
+   [Tir.Witness.t] that Verify independently replays on the result.
+   Must run LAST among the check optimizations: the earlier passes key
+   on the original check names.
+
+   Elision soundness is an exact-behavior argument against this VM:
+   a proven-in-bounds access to a live object passes its check by
+   definition, and the degenerate pointers the proofs cannot see behave
+   identically with or without the check (a NULL from an injected OOM
+   is untagged, and untagged pointers resolve to metadata entry 0,
+   which every check passes -- the raw access then faults the same
+   way either side of the elision). *)
+let absint (md : modul) (spec : spec) : absint_stats =
+  match spec.absint with
+  | None -> { elided = 0; downgraded = 0; facts = 0 }
+  | Some model ->
+    let pure = Tir.Analysis.pure_callees md ~is_hazard:(is_hazard spec) in
+    let ctx = Tir.Absint.make_ctx model ~pure md in
+    let elided = ref 0 and downgraded = ref 0 and facts = ref 0 in
+    iter_funcs md (fun f ->
+        if not f.f_external then begin
+          let su = Tir.Absint.analyze ctx f in
+          facts := !facts + su.Tir.Absint.su_facts;
+          Array.iter
+            (fun b ->
+               b.b_instrs <-
+                 List.concat_map
+                   (fun i ->
+                      match i with
+                      | Iintrin
+                          { dst; name; args = [ Reg p; Imm size ]; site }
+                        when List.mem_assoc name
+                            model.Tir.Absint.am_checks ->
+                        (match Hashtbl.find_opt su.Tir.Absint.su_sites site
+                         with
+                         | None -> [ i ]
+                         | Some st ->
+                           (match Tir.Absint.regval st p with
+                            | Tir.Absint.Vptr { obj; lo; hi } ->
+                              let o = su.Tir.Absint.su_objs.(obj) in
+                              let freed =
+                                Tir.Absint.Int_set.mem obj
+                                  st.Tir.Absint.s_freed
+                              in
+                              if o.Tir.Absint.o_escapes || freed then [ i ]
+                              else begin
+                                let witness kind =
+                                  { Tir.Witness.w_site = site;
+                                    w_func = f.f_name; w_kind = kind;
+                                    w_reg = p; w_dst = dst; w_size = size;
+                                    w_obj = o.Tir.Absint.o_desc;
+                                    w_lo = lo; w_hi = hi;
+                                    w_objsize = o.Tir.Absint.o_size;
+                                    w_temporal = true; w_escapes = false }
+                                in
+                                if
+                                  Tir.Absint.in_bounds ~lo ~hi ~size
+                                    ~objsize:o.Tir.Absint.o_size
+                                then begin
+                                  incr elided;
+                                  md.m_witnesses <-
+                                    witness Tir.Witness.Welide
+                                    :: md.m_witnesses;
+                                  Iintrin
+                                    { dst = None; name = telemetry_elided;
+                                      args = []; site }
+                                  :: (match dst with
+                                      | Some d ->
+                                        [ Ibin { op = And; dst = d;
+                                                 a = Reg p;
+                                                 b = Imm spec.strip_mask } ]
+                                      | None -> [])
+                                end
+                                else
+                                  match
+                                    List.assoc name
+                                      model.Tir.Absint.am_checks
+                                  with
+                                  | Some spatial ->
+                                    incr downgraded;
+                                    md.m_witnesses <-
+                                      witness Tir.Witness.Wdowngrade
+                                      :: md.m_witnesses;
+                                    [ Iintrin
+                                        { dst; name = spatial;
+                                          args = [ Reg p; Imm size ];
+                                          site } ]
+                                  | None -> [ i ]
+                              end
+                            | _ -> [ i ]))
+                      | _ -> [ i ])
+                   b.b_instrs)
+            f.f_blocks
+        end);
+    { elided = !elided; downgraded = !downgraded; facts = !facts }

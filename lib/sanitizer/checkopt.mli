@@ -27,15 +27,35 @@ type spec = Tir.Verify.spec = {
   extcall_strip : string option;
       (** tag-strip intrinsic required on pointer args of external
           calls; used by the verifier, ignored by the optimizer *)
+  absint : Tir.Absint.model option;
+      (** abstract-interpretation model of the tool's intrinsics,
+          enabling the certified-elision pass ({!absint}) *)
 }
 
-val redundant : spec -> Tir.Ir.func -> int
-(** Block-local elimination; returns the number of checks removed. *)
+val redundant : spec -> ?pure:(string -> bool) -> Tir.Ir.func -> int
+(** Block-local elimination; returns the number of checks removed.
+    [pure] (default: nothing is pure) marks callees that cannot touch
+    metadata, making calls to them transparent; pass the
+    [Tir.Analysis.pure_callees] closure so the verifier agrees. *)
 
 type loop_stats = { hoisted : int; endpoints : int; grouped : int }
 
-val loops : spec -> ?check_step:int -> Tir.Ir.modul -> Tir.Ir.func ->
-  loop_stats
+val loops : spec -> ?check_step:int -> ?pure:(string -> bool) ->
+  Tir.Ir.modul -> Tir.Ir.func -> loop_stats
 (** Loop-invariant hoisting and endpoint grouping over the function's
-    natural loops.  Loops containing calls or hazard intrinsics are left
-    alone (their metadata could change mid-loop). *)
+    natural loops.  Loops containing hazard intrinsics or calls to
+    non-[pure] callees are left alone (their metadata could change
+    mid-loop). *)
+
+type absint_stats = { elided : int; downgraded : int; facts : int }
+
+val absint : Tir.Ir.modul -> spec -> absint_stats
+(** Certified check elision from whole-program abstract interpretation
+    (DESIGN.md section 16).  A check whose pointer provably stays in
+    bounds of a live, non-escaping object is replaced by a zero-cost
+    elided marker (plus a tag-strip of its destination); one whose
+    temporal half alone is proved is renamed to the model's
+    spatial-only variant at the same site.  Every rewrite appends a
+    {!Tir.Witness.t} to the module for [Tir.Verify] to replay.  No-op
+    when the spec carries no model.  Must run after {!redundant} and
+    {!loops}, which key on the original check names. *)

@@ -1,0 +1,122 @@
+(** Tir.Absint: flow-sensitive abstract interpretation for certified
+    check elision (DESIGN.md section 16).
+
+    Three cooperating domains over a sanitizer-instrumented function:
+
+    - {b value ranges}: integer registers carry intervals, pointer
+      registers carry an abstract object plus a byte-offset interval;
+    - {b points-to / escape}: every allocation site (stack slot,
+      allocator intrinsic, modeled allocator call, global) becomes an
+      abstract object; a flow-insensitive closure decides which objects
+      each register may derive from and which objects escape;
+    - {b temporal liveness}: the flow-sensitive freed-set tracks which
+      objects a modeled free may already have released at each point.
+
+    The sanitizer under analysis is described by a {!model} -- which
+    intrinsics check, allocate, free, alias or are metadata-neutral --
+    so the same interpreter serves any tool that provides one.
+    [Sanitizer.Checkopt] uses the results to elide or downgrade checks
+    (each with a {!Witness.t}), and [Tir.Verify] independently re-runs
+    the analysis on the post-optimization IR to replay every witness. *)
+
+module Int_map : Map.S with type key = int
+module Int_set : Set.S with type elt = int
+
+(** How a modeled allocator derives its byte size from its argument
+    list: [Sarg k] reads argument [k], [Sprod (i, j)] multiplies
+    arguments [i] and [j] (calloc). Non-immediate arguments or
+    overflowing products yield an unknown size. *)
+type size_rule = Sarg of int | Sprod of int * int
+
+(** Metadata semantics of one sanitizer's intrinsics and runtime
+    calls.  Any intrinsic not classified here is treated as worst-case:
+    its arguments escape and every escaped object may be freed. *)
+type model = {
+  am_checks : (string * string option) list;
+      (** check intrinsic name -> its spatial-only variant, if the tool
+          has one ([None] = not downgradable). Spatial variants must
+          themselves appear as keys mapping to [None]. *)
+  am_check_alias : bool;
+      (** checks return the (possibly stripped) checked pointer in
+          their destination register *)
+  am_allocs : (string * size_rule) list;
+      (** intrinsics whose destination is a fresh object *)
+  am_frees : string list;
+      (** intrinsics that free the object of argument 0 (a name may
+          appear in both [am_allocs] and [am_frees]: realloc) *)
+  am_aliases : string list;
+      (** intrinsics whose destination aliases argument 0 *)
+  am_opaque : string list;
+      (** metadata-neutral intrinsics; destination becomes unknown *)
+  am_call_allocs : (string * size_rule) list;
+      (** ordinary calls (builtin allocators) returning fresh objects *)
+  am_call_frees : string list;
+      (** ordinary calls freeing the object of argument 0 *)
+  am_gpt_load : string option;
+      (** intrinsic loading a tagged global pointer from the GPT; its
+          immediate argument indexes the table built by
+          [am_global_make] sites *)
+  am_global_make : string option;
+      (** intrinsic registering global [Glob g; size; Imm index] *)
+  am_strip_mask : int option;
+      (** [p land mask] preserves the pointed-to object *)
+  am_slots : bool;
+      (** [Islot] results point at the declared slot ([false] when the
+          tool relocates slot data, e.g. redzone-padded slots) *)
+}
+
+(** Abstract value of a register. *)
+type aval =
+  | Vtop  (** unknown *)
+  | Vint of int * int  (** integer in [lo, hi] *)
+  | Vptr of { obj : int; lo : int; hi : int }
+      (** pointer into object [obj] at byte offset in [lo, hi] *)
+
+(** An abstract object.  [o_desc] is a stable descriptor (stable across
+    Checkopt's own rewrites, so optimizer and verifier agree):
+    "slot:<name>:<id>", "<intrinsic>#<site>", "call:<callee>:b<id>:<n>"
+    or "global:<name>".  [o_size] is -1 when unknown. *)
+type obj = {
+  o_id : int;
+  o_desc : string;
+  o_size : int;
+  mutable o_escapes : bool;
+}
+
+type state = {
+  s_regs : aval Int_map.t;  (** missing register = [Vtop] *)
+  s_freed : Int_set.t;      (** objects a free may have released *)
+}
+
+type summary = {
+  su_func : string;
+  su_objs : obj array;
+  su_block_in : state option array;
+      (** fixpoint state at each block entry; [None] = unreachable *)
+  su_sites : (int, state) Hashtbl.t;
+      (** state immediately before each intrinsic site *)
+  su_facts : int;
+      (** check sites whose pointer argument carries a [Vptr] fact *)
+}
+
+type ctx
+
+val make_ctx : model -> pure:(string -> bool) -> Ir.modul -> ctx
+(** Whole-program context: scans the module for [am_global_make] sites
+    (GPT index -> global) and global sizes.  [pure] is the
+    metadata-purity closure from {!Analysis.pure_callees}. *)
+
+val analyze : ?fuel:Fuel.t -> ctx -> Ir.func -> summary
+(** Run all three domains to fixpoint (widening after a bounded number
+    of joins per block, so termination is unconditional). *)
+
+val regval : state -> int -> aval
+
+val in_bounds : lo:int -> hi:int -> size:int -> objsize:int -> bool
+(** Overflow-guarded: every access of [size] bytes at an offset in
+    [lo, hi] stays inside an object of [objsize] bytes.  The single
+    bounds predicate shared by Checkopt's elision and Verify's witness
+    replay. *)
+
+val pp_summary : Format.formatter -> summary -> unit
+(** Human-readable dump backing [cecsan_cli --dump-absint]. *)

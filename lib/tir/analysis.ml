@@ -170,6 +170,64 @@ let blocks_using (f : func) : (int, Int_set.t) Hashtbl.t =
     f.f_blocks;
   map
 
+(* --- interprocedural metadata purity ------------------------------------ *)
+
+(* Builtins that cannot touch sanitizer metadata: they neither allocate
+   nor free, and only read the memory their pointer arguments describe.
+   A call to one of these leaves every tag-check fact intact -- the
+   checked registers, the metadata table and any shadow state are
+   exactly as before the call. *)
+let metadata_neutral_builtins =
+  [ "printf"; "puts"; "putchar"; "getchar"; "strlen"; "strcmp"; "strncmp";
+    "memcmp"; "wcslen"; "wcscmp"; "abs"; "atoi"; "rand"; "srand" ]
+
+(* [pure_callees m ~is_hazard] memoizes, for every callee name, whether
+   a call to it can disturb sanitizer metadata.  A function is pure when
+   its body (transitively) contains no hazard intrinsic and calls only
+   pure things; an undefined callee is pure only when it is a
+   metadata-neutral builtin (the allocator family in particular is
+   not); external stubs and recursive cycles are conservatively impure.
+   Both Checkopt (keeping straight-line facts live across calls) and
+   Verify (accepting exactly those facts) use this same closure, so the
+   optimizer cannot out-reason its certifier. *)
+let pure_callees (m : modul) ~(is_hazard : string -> bool) :
+  string -> bool =
+  let memo : (string, bool) Hashtbl.t = Hashtbl.create 17 in
+  let in_progress : (string, unit) Hashtbl.t = Hashtbl.create 7 in
+  let rec pure name =
+    match Hashtbl.find_opt memo name with
+    | Some v -> v
+    | None ->
+      if Hashtbl.mem in_progress name then false
+      else begin
+        let v =
+          match Hashtbl.find_opt m.m_funcs name with
+          | None -> List.mem name metadata_neutral_builtins
+          | Some f when f.f_external -> false
+          | Some f ->
+            Hashtbl.replace in_progress name ();
+            let ok = ref true in
+            Array.iter
+              (fun b ->
+                 List.iter
+                   (fun i ->
+                      match i with
+                      | Iintrin { name = n; _ } ->
+                        if is_hazard n then ok := false
+                      | Icall { callee; _ } ->
+                        if not (pure callee) then ok := false
+                      | _ -> ())
+                   b.b_instrs)
+              f.f_blocks;
+            Hashtbl.remove in_progress name;
+            !ok
+        in
+        Hashtbl.replace memo name v;
+        v
+      end
+  in
+  pure
+
 let run (m : modul) : unit =
   iter_funcs m (fun f -> if not f.f_external then compute_slot_safety f);
   compute_global_safety m

@@ -16,5 +16,18 @@ val blocks_using : Ir.func -> (int, Int_set.t) Hashtbl.t
 (** For each register, the set of block ids where it appears as a use
     (needed by sub-object narrowing to prove block-locality). *)
 
+val metadata_neutral_builtins : string list
+(** Builtins that neither allocate/free nor write through pointer
+    arguments: calls to them cannot disturb sanitizer metadata. *)
+
+val pure_callees :
+  Ir.modul -> is_hazard:(string -> bool) -> string -> bool
+(** Memoized interprocedural metadata purity: [pure name] is true when
+    calling [name] cannot touch sanitizer metadata (no hazard intrinsic
+    reachable, only metadata-neutral builtins called).  External stubs,
+    the allocator family and recursive cycles are conservatively
+    impure.  Shared by Checkopt and Verify so both reason from the same
+    closure. *)
+
 val run : Ir.modul -> unit
 (** Slot safety for every defined function plus global safety. *)

@@ -111,6 +111,8 @@ type modul = {
   m_funcs : (string, func) Hashtbl.t;
   m_layouts : Minic.Layout.env;
   mutable m_next_site : int;     (* generator for Iintrin site ids *)
+  mutable m_witnesses : Witness.t list;
+    (* elision certificates attached by Checkopt, replayed by Verify *)
   mutable m_vcache : vm_cache list;
 }
 
@@ -169,6 +171,7 @@ let clone m =
     m_funcs = funcs;
     m_layouts = Hashtbl.copy m.m_layouts;
     m_next_site = m.m_next_site;
+    m_witnesses = m.m_witnesses;
     (* a clone is made to be mutated: cached derived code of the
        original must never leak into it *)
     m_vcache = [];

@@ -104,6 +104,10 @@ type modul = {
   m_funcs : (string, func) Hashtbl.t;
   m_layouts : Minic.Layout.env;
   mutable m_next_site : int;
+  mutable m_witnesses : Witness.t list;
+      (** elision certificates attached by the optimizer (Checkopt's
+          absint phase); {!clone} shares the list, and [Verify] replays
+          every entry in Strict mode *)
   mutable m_vcache : vm_cache list;
       (** derived-code memos; see {!vm_cache} and {!clear_vcache} *)
 }

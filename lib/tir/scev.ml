@@ -52,6 +52,60 @@ let const_of (defs_map : defs) r : int option =
   | Some (Some (Isext { src = Imm v; _ })) -> Some v
   | _ -> None
 
+(* --- overflow-guarded endpoint arithmetic ------------------------------- *)
+
+(* OCaml ints wrap silently; endpoint math near max_int must not.  Each
+   helper returns None instead of a wrapped result, and both the
+   optimizer and the verifier go through the SAME functions so neither
+   can accept an endpoint the other would reject. *)
+
+let add_no_ov a b =
+  let s = a + b in
+  if (b > 0 && s < a) || (b < 0 && s > a) then None else Some s
+
+let sub_no_ov a b =
+  let s = a - b in
+  if (b < 0 && s < a) || (b > 0 && s > a) then None else Some s
+
+let mul_no_ov a b =
+  if a = 0 || b = 0 then Some 0
+  else if a = min_int || b = min_int then None
+    (* min_int products either wrap or make the [p / b] probe itself
+       overflow (min_int / -1); reject them outright *)
+  else
+    let p = a * b in
+    if p / b = a then Some p else None
+
+(* Last induction value in [start, bound) with stride [step]:
+   start + ((bound - 1 - start) / step) * step.  None on a non-positive
+   stride, a zero-trip-count loop, or any intermediate overflow. *)
+let last_index ~start ~bound ~step =
+  if step <= 0 || bound <= start then None
+  else
+    match sub_no_ov bound 1 with
+    | None -> None
+    | Some bm1 ->
+      (match sub_no_ov bm1 start with
+       | None -> None
+       | Some span ->
+         (* span >= 0, span/step*step <= span: start + it <= bm1 and
+            cannot wrap *)
+         Some (start + span / step * step))
+
+(* First/last byte offsets of the access pattern
+   [iv*elem_size + off, iv in start..bound) step step].  None whenever
+   the loop has no iterations or any endpoint computation overflows. *)
+let endpoint_offsets ~start ~bound ~step ~elem_size ~off =
+  match last_index ~start ~bound ~step with
+  | None -> None
+  | Some last ->
+    (match mul_no_ov start elem_size, mul_no_ov last elem_size with
+     | Some a, Some b ->
+       (match add_no_ov a off, add_no_ov b off with
+        | Some x, Some y -> Some (x, y)
+        | _ -> None)
+     | _ -> None)
+
 type induction = { iv : int; start : int option; step : int }
 
 (* The unique start value of [iv] found from definitions outside the
@@ -123,7 +177,8 @@ let static_bound (f : func) (l : Cfg.loop) (defs_map : defs) iv : int option =
        when canon defs_map x = iv -> bound_value b
      | Some (Some (Icmp { op = Le; a = Reg x; b; _ }))
        when canon defs_map x = iv ->
-       Option.map (fun n -> n + 1) (bound_value b)
+       (* iv <= max_int has no representable exclusive bound *)
+       Option.bind (bound_value b) (fun n -> add_no_ov n 1)
      | _ -> None)
   | _ -> None
 

@@ -18,6 +18,27 @@ val canon : ?strip_mask:int -> defs -> int -> int
 val const_of : defs -> int -> int option
 (** Compile-time constant value of a register, through [canon]. *)
 
+val add_no_ov : int -> int -> int option
+(** [a + b], or [None] if the native addition wrapped. *)
+
+val sub_no_ov : int -> int -> int option
+(** [a - b], or [None] if the native subtraction wrapped. *)
+
+val mul_no_ov : int -> int -> int option
+(** [a * b], or [None] if the product is not representable ([min_int]
+    factors are rejected outright). *)
+
+val last_index : start:int -> bound:int -> step:int -> int option
+(** Last induction value in [start, bound) with stride [step]; [None]
+    on a non-positive stride, zero-trip-count loop, or overflow. *)
+
+val endpoint_offsets :
+  start:int -> bound:int -> step:int -> elem_size:int -> off:int ->
+  (int * int) option
+(** First/last byte offsets of [iv*elem_size + off] over the loop range;
+    the single endpoint-arithmetic routine shared by Checkopt and
+    Verify, [None] whenever any step would overflow. *)
+
 type induction = { iv : int; start : int option; step : int }
 
 val induction_of : Ir.func -> Cfg.loop -> defs -> int -> induction option

@@ -15,6 +15,13 @@ type spec = {
   extcall_strip : string option;
   (** when set, pointer args of external calls must route through this
       strip intrinsic *)
+  absint : Absint.model option;
+  (** abstract-interpretation model of the tool's intrinsics.  When
+      set, every {!Witness.t} on the module is replayed against an
+      independent [Absint] run over the post-optimization IR, validated
+      witnesses regenerate the elided checks' coverage facts, and every
+      spatial-only (downgraded) check site must carry a valid
+      downgrade certificate.  [None] rejects any witness outright. *)
 }
 
 type error = {
@@ -28,6 +35,7 @@ type report = {
   r_accesses : int;               (** unsafe accesses under obligation *)
   r_covered : int;                (** accesses proven covered *)
   r_funcs : int;                  (** non-external functions examined *)
+  r_witnesses : int;              (** elision witnesses successfully replayed *)
 }
 
 val pp_error : Format.formatter -> error -> unit

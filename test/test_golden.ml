@@ -86,17 +86,20 @@ let table2_golden () =
    baseline. *)
 let expected_ablation =
   [
-    "CECSan (full)", Cecsan.Config.default, 181.1;
+    "CECSan (full)", Cecsan.Config.default, 173.6;
     "no loop opt",
-    { Cecsan.Config.default with Cecsan.Config.opt_loop = false }, 198.3;
+    { Cecsan.Config.default with Cecsan.Config.opt_loop = false }, 185.2;
     "no redundant elim",
     { Cecsan.Config.default with Cecsan.Config.opt_redundant = false },
-    181.5;
+    174.0;
     "no type-info elim",
     { Cecsan.Config.default with Cecsan.Config.opt_typeinfo = false },
-    190.5;
+    183.1;
+    (* absint off reproduces the pre-certified-elision full pipeline *)
+    "no absint",
+    { Cecsan.Config.default with Cecsan.Config.opt_absint = false }, 181.1;
     "no optimizations", Cecsan.Config.no_opts, 222.9;
-    "no sub-object", Cecsan.Config.no_subobject, 179.7;
+    "no sub-object", Cecsan.Config.no_subobject, 172.2;
   ]
 
 let ablation_golden () =

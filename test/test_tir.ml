@@ -111,15 +111,24 @@ let checkopt_tests =
            "int main() { int *p = (int*)malloc(8); *p = 1; *p = 2; \
             *p = *p + 3; int r = *p; free(p); return r; }"
          in
+         (* absint off on both sides: it would elide every check of this
+            trivial program and hide the redundant-elimination delta *)
          let with_elim =
-           Sanitizer.Driver.build (Cecsan.sanitizer ()) src
+           Sanitizer.Driver.build
+             (Cecsan.sanitizer
+                ~config:
+                  { Cecsan.Config.default with
+                    Cecsan.Config.opt_absint = false }
+                ())
+             src
          in
          let without =
            Sanitizer.Driver.build
              (Cecsan.sanitizer
                 ~config:
                   { Cecsan.Config.default with
-                    Cecsan.Config.opt_redundant = false }
+                    Cecsan.Config.opt_redundant = false;
+                    Cecsan.Config.opt_absint = false }
                 ())
              src
          in
