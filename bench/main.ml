@@ -14,6 +14,11 @@
      dune exec bench/main.exe -- --micro      -- bechamel microbenches
      dune exec bench/main.exe -- --fuzz N     -- N-program differential
                                                 fuzz campaign
+     dune exec bench/main.exe -- --fuzz-guided N
+                                              -- coverage-guided campaign vs
+                                                the blind baseline at the
+                                                same budget (writes
+                                                BENCH_fuzzcov.json)
      dune exec bench/main.exe -- --verify     -- Tir.Verify wall time and
                                                 coverage per SPEC kernel
      dune exec bench/main.exe -- --perf       -- interp-vs-jit wall-clock
@@ -198,6 +203,32 @@ let run_fuzz ?pool ?backend ~jobs n =
   in
   absorb s.Fuzz.Campaign.snapshot;
   Fuzz.Campaign.render fmt ~jobs s;
+  if not (Fuzz.Campaign.passed s) then exit 1
+
+(* --fuzz-guided N: the coverage-guided campaign against the blind
+   baseline at the same program budget.  Shard size is pinned at 10 so
+   the feedback cadence (and hence the artifact) does not depend on the
+   default; BENCH_fuzzcov.json carries no wall clock and is
+   byte-identical at any -j, including after kill-and-resume. *)
+let run_fuzz_guided ?pool ?backend ~jobs n =
+  section "Experiment: coverage-guided fuzz campaign";
+  let s =
+    timed "fuzz-guided" (fun () ->
+        Fuzz.Campaign.run ?pool ?backend ~guided:true ~shard_size:10
+          ~seed:!run_seed ~n ())
+  in
+  absorb s.Fuzz.Campaign.snapshot;
+  Fuzz.Campaign.render fmt ~jobs s;
+  let blind =
+    timed "fuzz-blind" (fun () ->
+        Fuzz.Campaign.blind_coverage ?pool ?backend ~seed:!run_seed ~n ())
+  in
+  Format.printf "  blind baseline    : %d bits over %d sites@."
+    (Fuzz.Coverage.cardinal blind) (Fuzz.Coverage.sites blind);
+  let file = "BENCH_fuzzcov.json" in
+  Harness.Jsonio.write ~path:file
+    (Fuzz.Campaign.fuzzcov_json ~blind s ^ "\n");
+  Format.printf "@.Coverage artifact written to %s@." file;
   if not (Fuzz.Campaign.passed s) then exit 1
 
 (* --verify: run the Tir.Verify static verifier over every SPEC kernel
@@ -575,6 +606,16 @@ let () =
            | Some n when n > 0 -> run_fuzz ?pool ?backend ~jobs n
            | _ ->
              Format.eprintf "--fuzz: expected a positive program count@.";
+             exit 2
+         end
+         else if has "--fuzz-guided" then begin
+           match
+             Option.bind (arg_after "--fuzz-guided") int_of_string_opt
+           with
+           | Some n when n > 0 -> run_fuzz_guided ?pool ?backend ~jobs n
+           | _ ->
+             Format.eprintf
+               "--fuzz-guided: expected a positive program count@.";
              exit 2
          end
          else if has "--serve-sim" then begin

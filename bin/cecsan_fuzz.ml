@@ -11,6 +11,8 @@
      dune exec bin/cecsan_fuzz.exe -- --smoke -j 2
      dune exec bin/cecsan_fuzz.exe -- -n 200 --tools asan,hwasan
      dune exec bin/cecsan_fuzz.exe -- --write-corpus --corpus-dir test/corpus
+     dune exec bin/cecsan_fuzz.exe -- -n 200 --guided --checkpoint /tmp/cov
+     dune exec bin/cecsan_fuzz.exe -- --min-corpus --corpus-dir test/corpus
 *)
 
 open Cmdliner
@@ -80,6 +82,31 @@ let corpus_count =
        & info [ "corpus-count" ] ~docv:"N"
            ~doc:"Corpus entries to write under $(b,--write-corpus).")
 
+let guided =
+  Arg.(value & flag
+       & info [ "guided" ]
+           ~doc:"Coverage-guided campaign: shards alternate seeded \
+                 generation and corpus-tape mutation, admitting \
+                 coverage-novel tapes to a deterministic corpus kept in \
+                 $(b,--checkpoint) DIR.  Corpus, bitmap and ledgers are \
+                 byte-identical at any -j, including after \
+                 kill-and-resume.")
+
+let mutate_only =
+  Arg.(value & flag
+       & info [ "mutate-only" ]
+           ~doc:"With $(b,--guided): after the first corpus admission, \
+                 every shard mutates corpus tapes (no fresh \
+                 generation).")
+
+let min_corpus =
+  Arg.(value & flag
+       & info [ "min-corpus" ]
+           ~doc:"Instead of a campaign, check that the .mc corpus in \
+                 $(b,--corpus-dir) is set-cover minimal (every entry's \
+                 bitmap, rebuilt from its tape header, survives \
+                 $(b,Corpus.minimize)).  Exit 0 if minimal, 1 if not.")
+
 let telemetry_json =
   Arg.(value & opt (some string) None
        & info [ "telemetry-json" ] ~docv:"FILE"
@@ -130,10 +157,21 @@ let backend =
                  ledgers are bit-for-bit identical on both.")
 
 let run_cmd n seed jobs smoke tools max_shrink repro_dir write_corpus
-    corpus_dir corpus_count telemetry_json faults checkpoint resume
-    shard_size max_retries backend =
+    corpus_dir corpus_count guided mutate_only min_corpus telemetry_json
+    faults checkpoint resume shard_size max_retries backend =
   (* The backend is threaded explicitly into every campaign entry point;
      [Sanitizer.Driver.default_backend] is never mutated. *)
+  if min_corpus then begin
+    match Fuzz.Campaign.check_corpus_minimal ~dir:corpus_dir ~backend () with
+    | Ok [] ->
+      Fmt.pr "corpus %s: minimal@." corpus_dir;
+      exit 0
+    | Ok redundant ->
+      Fmt.epr "corpus %s: NOT minimal; redundant entries:@." corpus_dir;
+      List.iter (fun f -> Fmt.epr "  %s@." f) redundant;
+      exit 1
+    | Error msg -> Fmt.epr "--min-corpus: %s@." msg; exit 2
+  end;
   if write_corpus then begin
     let paths =
       Fuzz.Campaign.write_corpus ~dir:corpus_dir ~seed ~count:corpus_count
@@ -189,7 +227,7 @@ let run_cmd n seed jobs smoke tools max_shrink repro_dir write_corpus
         let pool = if jobs > 1 then Some p else None in
         Fuzz.Campaign.run ?pool ~tool_names ~max_shrink
           ~faults:fault_specs ~policy ?checkpoint ~resume ~shard_size
-          ~backend ~seed ~n ())
+          ~backend ~guided ~mutate_only ~seed ~n ())
   in
   Fuzz.Campaign.render Format.std_formatter ~jobs summary;
   (match checkpoint with
@@ -217,7 +255,8 @@ let cmd =
     (Cmd.info "cecsan_fuzz" ~version:"1.0" ~doc)
     Term.(const run_cmd $ n_programs $ seed $ jobs $ smoke $ tools
           $ max_shrink $ repro_dir $ write_corpus $ corpus_dir
-          $ corpus_count $ telemetry_json $ faults $ checkpoint $ resume
+          $ corpus_count $ guided $ mutate_only $ min_corpus
+          $ telemetry_json $ faults $ checkpoint $ resume
           $ shard_size $ max_retries $ backend)
 
 let () = Cmd.eval cmd |> exit

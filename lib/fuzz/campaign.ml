@@ -58,6 +58,15 @@ type shrunk = {
   s_lines : int;
 }
 
+(* One coverage-over-time sample, recorded after each guided shard. *)
+type cov_row = {
+  cr_shard : int;
+  cr_phase : string;           (* "gen" or "mutate" *)
+  cr_bits : int;               (* accumulated bitmap cardinality *)
+  cr_sites : int;              (* distinct site ids in the bitmap *)
+  cr_corpus : int;             (* corpus size after the shard *)
+}
+
 type summary = {
   campaign_seed : int;
   n : int;
@@ -72,6 +81,16 @@ type summary = {
   (* CECSan(-O2) telemetry over the whole grid, merged in submission
      order: identical at any job count *)
   snapshot : Telemetry.Snapshot.t;
+  (* guided-mode state: empty/zero for a blind campaign *)
+  guided : bool;
+  mutate_only : bool;
+  coverage : Coverage.t;   (* accumulated bitmap, submission order *)
+  corpus : Corpus.t;
+  cov_rows : cov_row list; (* one per shard, oldest first *)
+  gen_programs : int;      (* programs run in generation shards *)
+  mut_programs : int;      (* programs run in mutation shards *)
+  gen_admitted : int;      (* corpus admissions from generation *)
+  mut_admitted : int;      (* corpus admissions from mutation *)
   clean : int;
   buggy : int;
   false_positives : int;
@@ -120,6 +139,69 @@ let run_one ~tool_names ~fault_specs ~campaign_seed ?backend i
   ( { index = i; seed; plan = p.Gen.plan;
       failures = List.map Oracle.failure_name fs },
     snap )
+
+(* --- guided jobs ----------------------------------------------------------- *)
+
+type phase = Gen_phase | Mut_phase
+
+let phase_name = function Gen_phase -> "gen" | Mut_phase -> "mutate"
+
+(* One guided job's result: the blind row plus everything the
+   sequential admission loop needs. *)
+type gres = {
+  g_row : row;
+  g_snap : Telemetry.Snapshot.t;
+  g_cov : Coverage.t;
+  g_phase : string;            (* "gen" or "mutate:<op>" *)
+  g_tape : int array;          (* normalized (recorded) decision tape *)
+}
+
+(* The guided counterpart of [run_one].  A generation-phase job is
+   byte-identical to the blind job at the same index (same derived
+   seed, same parity-planted bug); a mutation-phase job derives its
+   whole schedule -- base pick, partner pick, operator, operator
+   randomness -- from the same per-program seed over the corpus
+   snapshot taken at shard start, so it is a pure function of
+   (campaign_seed, i, corpus-at-shard-start) and independent of pool
+   interleaving.  [Mut_phase] requires a nonempty corpus. *)
+let run_one_guided ~tool_names ~fault_specs ~campaign_seed ?backend
+    ~phase ~corpus i : gres =
+  let tools = tools_of_names tool_names in
+  let seed = Tape.mix campaign_seed i in
+  let fault =
+    match fault_specs with
+    | [] -> None
+    | specs -> Some (Vm.Fault.of_specs ~seed specs)
+  in
+  let gen_fuel =
+    Option.map
+      (fun b -> Tir.Fuel.make ~phase:"gen" ~budget:b)
+      (fuel_budget_of_specs fault_specs)
+  in
+  let inject = inject_of_index i in
+  let g_phase, p =
+    match phase with
+    | Gen_phase ->
+      "gen", Gen.generate ~inject ?fuel:gen_fuel (Tape.fresh ~seed)
+    | Mut_phase ->
+      let size = Corpus.size corpus in
+      if size = 0 then invalid_arg "Campaign: mutation over empty corpus";
+      let rng = Tape.fresh ~seed in
+      let favored = Corpus.favored corpus in
+      let base =
+        (List.nth favored (Tape.draw rng (List.length favored))).Corpus.e_tape
+      in
+      let partner = Corpus.nth_tape corpus (Tape.draw rng size) in
+      let op, tape = Mutate.mutate ~rng ~partner base in
+      ( sp "mutate:%s" (Mutate.op_name op),
+        Gen.generate ~inject ?fuel:gen_fuel (Tape.replay tape) )
+  in
+  (* the snapshot merged into the campaign stays the CECSan(-O2) one,
+     exactly as in blind mode *)
+  let fs, snap, cov = Oracle.evaluate_cov ~tools ?fault ?backend p in
+  { g_row = { index = i; seed; plan = p.Gen.plan;
+              failures = List.map Oracle.failure_name fs };
+    g_snap = snap; g_cov = cov; g_phase; g_tape = p.Gen.tape }
 
 (* Shrinks a failing case: the minimized tape must regenerate a program
    that still exhibits every one of the original failure labels.  The
@@ -178,6 +260,18 @@ type ckpt = {
   ck_rows : row list;
   ck_quarantine : Harness.Supervise.entry list;
   ck_snapshot : Telemetry.Snapshot.t;
+  (* guided extension (schema-v1-compatible: the extra lines appear
+     only in guided checkpoints, and a blind checkpoint's bytes are
+     unchanged) *)
+  ck_guided : bool;
+  ck_mutate_only : bool;
+  ck_coverage : Coverage.t;
+  ck_corpus : Corpus.t;  (* embedded: checkpoint + corpus commit atomically *)
+  ck_cov_rows : cov_row list;
+  ck_gen_programs : int;
+  ck_mut_programs : int;
+  ck_gen_admitted : int;
+  ck_mut_admitted : int;
 }
 
 let csv_or_dash = function [] -> "-" | xs -> String.concat "," xs
@@ -206,6 +300,19 @@ let plan_of_field = function
 let row_to_line r =
   sp "row index=%d seed=%x plan=%s failures=%s" r.index r.seed
     (plan_to_field r.plan) (csv_or_dash r.failures)
+
+let cov_row_to_line c =
+  sp "covrow shard=%d phase=%s bits=%d sites=%d corpus=%d" c.cr_shard
+    c.cr_phase c.cr_bits c.cr_sites c.cr_corpus
+
+let cov_row_of_line line : cov_row option =
+  match
+    Scanf.sscanf line "covrow shard=%d phase=%s bits=%d sites=%d corpus=%d"
+      (fun s p b st c -> (s, p, b, st, c))
+  with
+  | cr_shard, cr_phase, cr_bits, cr_sites, cr_corpus ->
+    Some { cr_shard; cr_phase; cr_bits; cr_sites; cr_corpus }
+  | exception _ -> None
 
 let row_of_line line : row option =
   match
@@ -236,6 +343,16 @@ let write_checkpoint ~dir (ck : ckpt) =
       line "shards_done %d" ck.ck_shards_done;
       line "resumed_shards %d" ck.ck_resumed_shards;
       line "retries %d" ck.ck_retries;
+      if ck.ck_guided then begin
+        line "guided mutate_only=%d gen=%d mut=%d gen_adm=%d mut_adm=%d"
+          (Bool.to_int ck.ck_mutate_only) ck.ck_gen_programs
+          ck.ck_mut_programs ck.ck_gen_admitted ck.ck_mut_admitted;
+        line "bitmap %s" (Coverage.to_string ck.ck_coverage);
+        List.iter (fun c -> line "%s" (cov_row_to_line c)) ck.ck_cov_rows;
+        List.iter
+          (fun e -> line "corpus %s" (Corpus.entry_to_line e))
+          (Corpus.entries ck.ck_corpus)
+      end;
       List.iter (fun r -> line "%s" (row_to_line r)) ck.ck_rows;
       List.iter
         (fun e -> line "quarantine %s" (Harness.Supervise.entry_to_line e))
@@ -277,6 +394,10 @@ let read_checkpoint ~dir : ckpt option =
          let ck_retries = scan1 rt_l "retries %d" in
          let rows = ref [] and quarantine = ref [] in
          let snapshot = ref None in
+         let guided = ref None in
+         let bitmap = ref Coverage.empty in
+         let cov_rows = ref [] in
+         let corpus_entries = ref [] in
          let finished = ref false in
          List.iter
            (fun line ->
@@ -286,6 +407,33 @@ let read_checkpoint ~dir : ckpt option =
                 match row_of_line line with
                 | Some r -> rows := r :: !rows
                 | None -> raise Bad
+              else if has_prefix ~prefix:"guided " line then
+                (match
+                   Scanf.sscanf line
+                     "guided mutate_only=%d gen=%d mut=%d gen_adm=%d \
+                      mut_adm=%d"
+                     (fun m g mu ga ma -> (m, g, mu, ga, ma))
+                 with
+                 | m, g, mu, ga, ma -> guided := Some (m = 1, g, mu, ga, ma)
+                 | exception _ -> raise Bad)
+              else if has_prefix ~prefix:"bitmap " line then
+                (match
+                   Coverage.of_string
+                     (String.sub line 7 (String.length line - 7))
+                 with
+                 | Some c -> bitmap := c
+                 | None -> raise Bad)
+              else if has_prefix ~prefix:"covrow " line then
+                (match cov_row_of_line line with
+                 | Some c -> cov_rows := c :: !cov_rows
+                 | None -> raise Bad)
+              else if has_prefix ~prefix:"corpus " line then
+                (match
+                   Corpus.entry_of_line
+                     (String.sub line 7 (String.length line - 7))
+                 with
+                 | Some e -> corpus_entries := e :: !corpus_entries
+                 | None -> raise Bad)
               else if has_prefix ~prefix:"quarantine " line then
                 match
                   Harness.Supervise.entry_of_line
@@ -306,11 +454,22 @@ let read_checkpoint ~dir : ckpt option =
          match !snapshot with
          | None -> None
          | Some ck_snapshot ->
+           let ck_guided, ck_mutate_only, ck_gen_programs,
+               ck_mut_programs, ck_gen_admitted, ck_mut_admitted =
+             match !guided with
+             | None -> (false, false, 0, 0, 0, 0)
+             | Some (m, g, mu, ga, ma) -> (true, m, g, mu, ga, ma)
+           in
            Some
              { ck_seed; ck_n; ck_shard_size; ck_tools; ck_faults;
                ck_shards_done; ck_resumed_shards; ck_retries;
                ck_rows = List.rev !rows;
-               ck_quarantine = List.rev !quarantine; ck_snapshot }
+               ck_quarantine = List.rev !quarantine; ck_snapshot;
+               ck_guided; ck_mutate_only; ck_coverage = !bitmap;
+               ck_corpus = Corpus.of_entries (List.rev !corpus_entries);
+               ck_cov_rows = List.rev !cov_rows;
+               ck_gen_programs; ck_mut_programs; ck_gen_admitted;
+               ck_mut_admitted }
        with Bad -> None)
     | _ -> None
   end
@@ -326,11 +485,14 @@ let fuel_exhausted_count quarantine =
 let run ?pool ?(tool_names = []) ?(max_shrink = 5) ?(faults = [])
     ?(policy = Harness.Supervise.default_policy) ?checkpoint
     ?(resume = false) ?(shard_size = 256) ?stop_after_shards ?backend
-    ~seed ~n () : summary =
+    ?(guided = false) ?(mutate_only = false) ~seed ~n () : summary =
   let shard_size = max 1 shard_size in
+  let mutate_only = guided && mutate_only in
   let fault_strings = List.map Vm.Fault.spec_to_string faults in
   (* restore: a missing/corrupt checkpoint is a fresh start; a
-     checkpoint for a DIFFERENT campaign is a caller error *)
+     checkpoint for a DIFFERENT campaign is a caller error.  The guided
+     corpus is embedded in the checkpoint, so corpus and campaign state
+     restore from one atomic file. *)
   let restored =
     if not resume then None
     else
@@ -345,11 +507,14 @@ let run ?pool ?(tool_names = []) ?(max_shrink = 5) ?(faults = [])
              || ck.ck_shard_size <> shard_size
              || ck.ck_tools <> tool_names
              || ck.ck_faults <> fault_strings
+             || ck.ck_guided <> guided
+             || ck.ck_mutate_only <> mutate_only
            then
              invalid_arg
                (sp
                   "Campaign.run: checkpoint in %s is for a different \
-                   campaign (seed/n/shard_size/tools/faults mismatch)"
+                   campaign (seed/n/shard_size/tools/faults/guided \
+                   mismatch)"
                   dir)
            else Some ck)
   in
@@ -359,6 +524,11 @@ let run ?pool ?(tool_names = []) ?(max_shrink = 5) ?(faults = [])
   let retries = ref 0 in
   let shards_done = ref 0 in
   let resumed_shards = ref 0 in
+  let coverage = ref Coverage.empty in
+  let corpus = ref Corpus.empty in
+  let cov_rows_rev = ref [] in
+  let gen_programs = ref 0 and mut_programs = ref 0 in
+  let gen_admitted = ref 0 and mut_admitted = ref 0 in
   (match restored with
    | None -> ()
    | Some ck ->
@@ -367,6 +537,13 @@ let run ?pool ?(tool_names = []) ?(max_shrink = 5) ?(faults = [])
      snapshot := ck.ck_snapshot;
      retries := ck.ck_retries;
      shards_done := ck.ck_shards_done;
+     coverage := ck.ck_coverage;
+     corpus := ck.ck_corpus;
+     cov_rows_rev := List.rev ck.ck_cov_rows;
+     gen_programs := ck.ck_gen_programs;
+     mut_programs := ck.ck_mut_programs;
+     gen_admitted := ck.ck_gen_admitted;
+     mut_admitted := ck.ck_mut_admitted;
      (* every shard we did NOT recompute this process counts as resumed *)
      resumed_shards := ck.ck_resumed_shards + ck.ck_shards_done);
   let total_shards = (n + shard_size - 1) / shard_size in
@@ -374,6 +551,11 @@ let run ?pool ?(tool_names = []) ?(max_shrink = 5) ?(faults = [])
     match checkpoint with
     | None -> ()
     | Some dir ->
+      (* the standalone corpus file is a derived artifact (for CI cmp
+         and external consumers); resume reads the embedded copy, so a
+         crash between the two atomic writes cannot desynchronize the
+         restored state *)
+      if guided then ignore (Corpus.save ~dir !corpus);
       write_checkpoint ~dir
         { ck_seed = seed; ck_n = n; ck_shard_size = shard_size;
           ck_tools = tool_names; ck_faults = fault_strings;
@@ -381,7 +563,14 @@ let run ?pool ?(tool_names = []) ?(max_shrink = 5) ?(faults = [])
           ck_resumed_shards = !resumed_shards; ck_retries = !retries;
           ck_rows = List.rev !rows_rev;
           ck_quarantine = List.rev !quarantine_rev;
-          ck_snapshot = !snapshot }
+          ck_snapshot = !snapshot;
+          ck_guided = guided; ck_mutate_only = mutate_only;
+          ck_coverage = !coverage; ck_corpus = !corpus;
+          ck_cov_rows = List.rev !cov_rows_rev;
+          ck_gen_programs = !gen_programs;
+          ck_mut_programs = !mut_programs;
+          ck_gen_admitted = !gen_admitted;
+          ck_mut_admitted = !mut_admitted }
   in
   let process_shard sidx =
     let lo = sidx * shard_size in
@@ -419,6 +608,75 @@ let run ?pool ?(tool_names = []) ?(max_shrink = 5) ?(faults = [])
     incr shards_done;
     save ()
   in
+  (* Guided shards alternate generation (even) and mutation (odd);
+     mutation needs a nonempty corpus to draw from, so early shards
+     fall back to generation, and [mutate_only] makes every shard after
+     the first admission a mutation shard.  The corpus snapshot is
+     taken once at shard start, so every job in the shard is a pure
+     function of (seed, index, snapshot) regardless of -j; admission
+     and accounting happen sequentially in submission order. *)
+  let process_shard_guided sidx =
+    let lo = sidx * shard_size in
+    let hi = min n (lo + shard_size) in
+    let indices = List.init (hi - lo) (fun k -> lo + k) in
+    let corpus_snapshot = !corpus in
+    let phase =
+      if Corpus.size corpus_snapshot = 0 then Gen_phase
+      else if mutate_only then Mut_phase
+      else if sidx land 1 = 0 then Gen_phase
+      else Mut_phase
+    in
+    let outcomes =
+      Harness.Pool.maybe_map_results pool
+        (fun i ->
+           Harness.Supervise.run ~policy ~task:i ~seed:(Tape.mix seed i)
+             (fun ~attempt:_ ->
+                run_one_guided ~tool_names ~fault_specs:faults
+                  ~campaign_seed:seed ?backend ~phase
+                  ~corpus:corpus_snapshot i))
+        indices
+    in
+    List.iter2
+      (fun i outcome ->
+         match outcome with
+         | Ok { Harness.Supervise.result = Ok g; retries = r } ->
+           rows_rev := g.g_row :: !rows_rev;
+           snapshot := Telemetry.Snapshot.merge !snapshot g.g_snap;
+           retries := !retries + r;
+           coverage := Coverage.union !coverage g.g_cov;
+           (match phase with
+            | Gen_phase -> incr gen_programs
+            | Mut_phase -> incr mut_programs);
+           let corpus', admitted =
+             Corpus.admit !corpus ~seed:g.g_row.seed ~phase:g.g_phase
+               ~tape:g.g_tape ~cov:g.g_cov
+           in
+           corpus := corpus';
+           if admitted then
+             (match phase with
+              | Gen_phase -> incr gen_admitted
+              | Mut_phase -> incr mut_admitted)
+         | Ok { result = Error entry; retries = r } ->
+           quarantine_rev := entry :: !quarantine_rev;
+           retries := !retries + r
+         | Error e ->
+           let cls, phase' = Harness.Supervise.classify e in
+           quarantine_rev :=
+             { Harness.Supervise.q_task = i; q_seed = Tape.mix seed i;
+               q_class = cls; q_phase = phase'; q_attempts = 1;
+               q_detail = Printexc.to_string e }
+             :: !quarantine_rev)
+      indices outcomes;
+    cov_rows_rev :=
+      { cr_shard = sidx; cr_phase = phase_name phase;
+        cr_bits = Coverage.cardinal !coverage;
+        cr_sites = Coverage.sites !coverage;
+        cr_corpus = Corpus.size !corpus }
+      :: !cov_rows_rev;
+    incr shards_done;
+    save ()
+  in
+  let process_shard = if guided then process_shard_guided else process_shard in
   let last_shard =
     match stop_after_shards with
     | None -> total_shards
@@ -433,7 +691,10 @@ let run ?pool ?(tool_names = []) ?(max_shrink = 5) ?(faults = [])
      regenerated from their seeds, so a resumed campaign shrinks
      exactly what an uninterrupted one would *)
   let shrunk =
-    if !shards_done < total_shards then []
+    (* guided rows from mutation shards are not regenerable from their
+       seeds alone (the tape came from the corpus), so guided
+       campaigns report failures through the ledger unshrunk *)
+    if guided || !shards_done < total_shards then []
     else begin
       let failing = List.filter (fun r -> r.failures <> []) rows in
       let failing =
@@ -516,6 +777,15 @@ let run ?pool ?(tool_names = []) ?(max_shrink = 5) ?(faults = [])
     fuel_exhausted;
     resumed_shards = !resumed_shards;
     snapshot;
+    guided;
+    mutate_only;
+    coverage = !coverage;
+    corpus = !corpus;
+    cov_rows = List.rev !cov_rows_rev;
+    gen_programs = !gen_programs;
+    mut_programs = !mut_programs;
+    gen_admitted = !gen_admitted;
+    mut_admitted = !mut_admitted;
     clean = List.length (List.filter (fun r -> r.plan = None) rows);
     buggy = List.length (List.filter (fun r -> r.plan <> None) rows);
     false_positives = count_kind rows (has_prefix ~prefix:"false-positive");
@@ -529,6 +799,64 @@ let run ?pool ?(tool_names = []) ?(max_shrink = 5) ?(faults = [])
 let passed s =
   s.false_positives = 0 && s.false_negatives = 0 && s.divergences = 0
   && s.opt_unsound = 0 && s.misclassified = 0 && s.gen_invalid = 0
+
+(* The blind baseline at the same program budget: the bitmap a plain
+   generation-only grid reaches.  Each program is the exact blind
+   program at its index, so this is the control arm of the
+   guided-beats-blind inequality. *)
+let blind_coverage ?pool ?(tool_names = []) ?backend ~seed ~n ()
+  : Coverage.t =
+  let covs =
+    Harness.Pool.maybe_map_results pool
+      (fun i ->
+         (run_one_guided ~tool_names ~fault_specs:[] ~campaign_seed:seed
+            ?backend ~phase:Gen_phase ~corpus:Corpus.empty i)
+           .g_cov)
+      (List.init n Fun.id)
+  in
+  List.fold_left
+    (fun acc r ->
+       match r with Ok c -> Coverage.union acc c | Error _ -> acc)
+    Coverage.empty covs
+
+(* The BENCH_fuzzcov.json artifact (schema cecsan-bench-fuzzcov/1):
+   every field derives from submission-order state -- no wall clock,
+   no job count -- so the artifact is byte-identical at any -j and
+   across kill-and-resume. *)
+let fuzzcov_json ~blind (s : summary) : string =
+  let mismatches =
+    List.length (List.filter (fun r -> r.failures <> []) s.rows)
+  in
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (sp "{\"schema\":\"cecsan-bench-fuzzcov/1\",\"seed\":\"0x%x\",\
+         \"n\":%d,\"mutate_only\":%b,"
+       s.campaign_seed s.n s.mutate_only);
+  Buffer.add_string b
+    (sp "\"guided\":{\"bits\":%d,\"sites\":%d,\"corpus\":%d,\
+         \"mismatches\":%d,"
+       (Coverage.cardinal s.coverage)
+       (Coverage.sites s.coverage)
+       (Corpus.size s.corpus) mismatches);
+  Buffer.add_string b
+    (sp "\"phases\":{\"gen\":{\"programs\":%d,\"admitted\":%d},\
+         \"mutate\":{\"programs\":%d,\"admitted\":%d}}},"
+       s.gen_programs s.gen_admitted s.mut_programs s.mut_admitted);
+  Buffer.add_string b
+    (sp "\"blind\":{\"bits\":%d,\"sites\":%d},"
+       (Coverage.cardinal blind)
+       (Coverage.sites blind));
+  Buffer.add_string b "\"rows\":[";
+  List.iteri
+    (fun i c ->
+       if i > 0 then Buffer.add_char b ',';
+       Buffer.add_string b
+         (sp "{\"shard\":%d,\"phase\":\"%s\",\"bits\":%d,\"sites\":%d,\
+              \"corpus\":%d}"
+            c.cr_shard c.cr_phase c.cr_bits c.cr_sites c.cr_corpus))
+    s.cov_rows;
+  Buffer.add_string b "]}";
+  Buffer.contents b
 
 (* --- final ledgers -------------------------------------------------------- *)
 
@@ -604,6 +932,17 @@ let render fmt ~jobs (s : summary) =
     Format.fprintf fmt "  fuel-exhausted    : %d@." s.fuel_exhausted;
   if s.resumed_shards > 0 then
     Format.fprintf fmt "  resumed shards    : %d@." s.resumed_shards;
+  if s.guided then begin
+    Format.fprintf fmt "  coverage          : %d bits over %d sites@."
+      (Coverage.cardinal s.coverage)
+      (Coverage.sites s.coverage);
+    Format.fprintf fmt
+      "  corpus            : %d entries (%d gen + %d mutate admissions)@."
+      (Corpus.size s.corpus) s.gen_admitted s.mut_admitted;
+    Format.fprintf fmt
+      "  phases            : %d generation + %d mutation programs@."
+      s.gen_programs s.mut_programs
+  end;
   if s.quarantine <> [] then begin
     Format.fprintf fmt "@.  QUARANTINE:@.";
     Harness.Supervise.render fmt s.quarantine
@@ -751,47 +1090,176 @@ let write_repros ~dir (s : summary) : string list =
       s.shrunk
   end
 
-(* Seeds a regression corpus: the first [count] bug-injected programs
-   that CECSan detects, each shrunk to the smallest tape on which the
-   SAME class is still planted and still detected (with the right
-   kind).  Deterministic in [seed]. *)
+let detect_same_class ?backend cls tape =
+  let p = Gen.generate ~inject:true (Tape.replay tape) in
+  match p.Gen.plan with
+  | Some pl when pl.Gen.cls = cls ->
+    (match
+       Oracle.run_tool (Cecsan.sanitizer ()) ?backend ~optimize:true
+         p.Gen.src
+     with
+     | tr ->
+       tr.Oracle.detected
+       && (match tr.Oracle.first_kind with
+           | Some k -> Oracle.kind_ok cls k
+           | None -> false)
+     | exception Oracle.Compile_error _ -> false)
+  | _ -> false
+
+(* [detect_same_class] with the whole planted shape pinned: corpus
+   shrinking preserves class AND far/write/granule16, so each entry
+   stays a faithful witness of its plan-shape marker. *)
+let detect_same_plan ?backend (pl0 : Gen.plan) tape =
+  let p = Gen.generate ~inject:true (Tape.replay tape) in
+  match p.Gen.plan with
+  | Some pl when pl = pl0 ->
+    (match
+       Oracle.run_tool (Cecsan.sanitizer ()) ?backend ~optimize:true
+         p.Gen.src
+     with
+     | tr ->
+       tr.Oracle.detected
+       && (match tr.Oracle.first_kind with
+           | Some k -> Oracle.kind_ok pl.Gen.cls k
+           | None -> false)
+     | exception Oracle.Compile_error _ -> false)
+  | _ -> false
+
+(* One marker bit per planted-plan shape (class x far x write x
+   granule16), in reserved site space far above any real Tir site id.
+   Folding it into the .mc corpus' signature makes the set-cover pass
+   keep at least one witness of every detected bug shape alongside raw
+   coverage breadth (the AFL "coverage + crash signature" dedup key). *)
+let plan_marker_base = 4096
+
+let plan_marker (pl : Gen.plan) : Coverage.t =
+  let cls_index =
+    let rec go i = function
+      | [] -> 0
+      | c :: _ when c = pl.Gen.cls -> i
+      | _ :: rest -> go (i + 1) rest
+    in
+    go 0 Gen.all_classes
+  in
+  let code =
+    (cls_index * 8) + (Bool.to_int pl.Gen.far * 4)
+    + (Bool.to_int pl.Gen.write * 2) + Bool.to_int pl.Gen.granule16
+  in
+  Coverage.of_keys
+    [ Coverage.key ~leg:0 ~site:(plan_marker_base + code)
+        Coverage.Instrumented ]
+
+(* A bug-planted tape's signature for the .mc corpus' set-cover pass:
+   the bitmap over the three CECSan legs plus the plan-shape marker. *)
+let corpus_coverage_of_tape ?backend tape : Coverage.t =
+  let p = Gen.generate ~inject:true (Tape.replay tape) in
+  let marker =
+    match p.Gen.plan with
+    | Some pl -> plan_marker pl
+    | None -> Coverage.empty
+  in
+  match Oracle.evaluate_cov ~tools:[] ?backend p with
+  | _, _, cov -> Coverage.union cov marker
+  | exception _ -> marker
+
+(* Seeds a regression corpus: bug-injected programs that CECSan
+   detects, each shrunk to the smallest tape on which the SAME class is
+   still planted and still detected (with the right kind), admitted on
+   coverage novelty and finally reduced to the greedy set cover -- so
+   the written corpus is a fixed point of [Corpus.minimize].
+   Deterministic in [seed]; writes at most [count] entries. *)
 let write_corpus ~dir ~seed ~count ?backend () : string list =
   mkdir_p dir;
-  let detect_same_class cls tape =
-    let p = Gen.generate ~inject:true (Tape.replay tape) in
-    match p.Gen.plan with
-    | Some pl when pl.Gen.cls = cls ->
-      (match
-         Oracle.run_tool (Cecsan.sanitizer ()) ?backend ~optimize:true
-           p.Gen.src
-       with
-       | tr ->
-         tr.Oracle.detected
-         && (match tr.Oracle.first_kind with
-             | Some k -> Oracle.kind_ok cls k
-             | None -> false)
-       | exception Oracle.Compile_error _ -> false)
-    | _ -> false
-  in
-  let rec go i collected paths =
-    if collected >= count || i > 10_000 then List.rev paths
+  let rec collect i corp =
+    if Corpus.size corp >= count || i > 10_000 then corp
     else
       let pseed = Tape.mix seed i in
       let p = Gen.generate ~inject:true (Tape.fresh ~seed:pseed) in
       match p.Gen.plan with
-      | Some pl when detect_same_class pl.Gen.cls p.Gen.tape ->
+      | Some pl
+        when detect_same_class ?backend pl.Gen.cls p.Gen.tape
+             && Coverage.novel
+                  (corpus_coverage_of_tape ?backend p.Gen.tape)
+                  ~acc:(Corpus.accumulated corp) ->
         let tape =
-          Shrink.minimize ~still_fails:(detect_same_class pl.Gen.cls)
+          Shrink.minimize ~still_fails:(detect_same_plan ?backend pl)
             p.Gen.tape
         in
-        let p_min = Gen.generate ~inject:true (Tape.replay tape) in
-        let path =
-          Filename.concat dir
-            (sp "%02d_%s.mc" collected (Gen.class_name pl.Gen.cls))
+        let corp', _ =
+          Corpus.admit corp ~seed:pseed ~phase:"gen" ~tape
+            ~cov:(corpus_coverage_of_tape ?backend tape)
         in
-        write_file path
-          (corpus_contents ~cls:pl.Gen.cls ~seed:pseed ~tape p_min.Gen.src);
-        go (i + 1) (collected + 1) (path :: paths)
-      | _ -> go (i + 1) collected paths
+        collect (i + 1) corp'
+      | _ -> collect (i + 1) corp
   in
-  go 1 0 []
+  let corp = Corpus.minimize (collect 1 Corpus.empty) in
+  List.mapi
+    (fun k (e : Corpus.entry) ->
+       let p = Gen.generate ~inject:true (Tape.replay e.Corpus.e_tape) in
+       let cls =
+         match p.Gen.plan with
+         | Some pl -> pl.Gen.cls
+         | None -> assert false (* shrink preserved detection *)
+       in
+       let path =
+         Filename.concat dir (sp "%02d_%s.mc" k (Gen.class_name cls))
+       in
+       write_file path
+         (corpus_contents ~cls ~seed:e.Corpus.e_seed ~tape:e.Corpus.e_tape
+            p.Gen.src);
+       path)
+    (Corpus.entries corp)
+
+(* --- committed-corpus minimality check ------------------------------------- *)
+
+let tape_of_corpus_file path : int array option =
+  let ic = open_in path in
+  let found = ref None in
+  (try
+     while !found = None do
+       let line = input_line ic in
+       let prefix = "   tape: " in
+       if has_prefix ~prefix line then
+         found :=
+           Tape.of_string
+             (String.sub line (String.length prefix)
+                (String.length line - String.length prefix))
+     done
+   with End_of_file -> ());
+  close_in ic;
+  !found
+
+(* [Ok []] iff the committed .mc corpus in [dir] is already a fixed
+   point of the set-cover pass: rebuilding each entry's bitmap from its
+   tape header and minimizing drops nothing.  [Ok files] names the
+   redundant entries. *)
+let check_corpus_minimal ~dir ?backend () : (string list, string) result =
+  let files =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".mc")
+    |> List.sort compare
+  in
+  if files = [] then Error (sp "no .mc corpus entries in %s" dir)
+  else
+    let rec build k files acc =
+      match files with
+      | [] -> Ok (List.rev acc)
+      | f :: rest ->
+        (match tape_of_corpus_file (Filename.concat dir f) with
+         | None -> Error (sp "%s: no parseable tape header" f)
+         | Some tape ->
+           build (k + 1) rest
+             ({ Corpus.e_id = k; e_seed = 0; e_phase = "gen";
+                e_tape = tape;
+                e_cov = corpus_coverage_of_tape ?backend tape }
+              :: acc))
+    in
+    match build 0 files [] with
+    | Error e -> Error e
+    | Ok entries ->
+      let kept =
+        List.map
+          (fun (e : Corpus.entry) -> e.Corpus.e_id)
+          (Corpus.entries (Corpus.minimize (Corpus.of_entries entries)))
+      in
+      Ok (List.filteri (fun k _ -> not (List.mem k kept)) files)

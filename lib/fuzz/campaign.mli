@@ -25,6 +25,15 @@ type shrunk = {
   s_lines : int;
 }
 
+type cov_row = {
+  cr_shard : int;
+  cr_phase : string;          (** ["gen"] or ["mutate"] *)
+  cr_bits : int;              (** accumulated bitmap cardinality *)
+  cr_sites : int;             (** distinct site ids in the bitmap *)
+  cr_corpus : int;            (** corpus size after the shard *)
+}
+(** One coverage-over-time sample, recorded after each guided shard. *)
+
 type summary = {
   campaign_seed : int;
   n : int;
@@ -44,6 +53,17 @@ type summary = {
           ([supervise_retries], [supervise_quarantined],
           [supervise_fuel_exhausted], [supervise_resumed_shards]) are
           merged in only when nonzero. *)
+  guided : bool;
+  mutate_only : bool;
+  coverage : Coverage.t;
+      (** accumulated bitmap, unioned in submission order (empty for a
+          blind campaign) *)
+  corpus : Corpus.t;
+  cov_rows : cov_row list;    (** one per guided shard, oldest first *)
+  gen_programs : int;         (** programs run in generation shards *)
+  mut_programs : int;         (** programs run in mutation shards *)
+  gen_admitted : int;         (** corpus admissions from generation *)
+  mut_admitted : int;         (** corpus admissions from mutation *)
   clean : int;
   buggy : int;
   false_positives : int;
@@ -64,7 +84,8 @@ val run :
   ?pool:Harness.Pool.t -> ?tool_names:string list -> ?max_shrink:int ->
   ?faults:Vm.Fault.spec list -> ?policy:Harness.Supervise.policy ->
   ?checkpoint:string -> ?resume:bool -> ?shard_size:int ->
-  ?stop_after_shards:int -> ?backend:Vm.Machine.backend -> seed:int ->
+  ?stop_after_shards:int -> ?backend:Vm.Machine.backend ->
+  ?guided:bool -> ?mutate_only:bool -> seed:int ->
   n:int -> unit -> summary
 (** Runs the campaign in shards of [shard_size] (default 256) programs;
     shrinks up to [max_shrink] failures (default 5) sequentially after
@@ -88,10 +109,36 @@ val run :
 
     [backend] threads into every run of the grid (explicitly, never via
     the [Driver.default_backend] ref); verdicts, ledgers and snapshots
-    are bit-for-bit identical on either backend. *)
+    are bit-for-bit identical on either backend.
+
+    [guided] turns on coverage feedback (DESIGN.md section 17): each
+    program's runs additionally produce a [Coverage] bitmap, shards
+    alternate generation (even) and mutation (odd, tapes drawn from the
+    corpus snapshot at shard start and mutated via [Mutate]), and
+    coverage-novel tapes are admitted to the corpus sequentially in
+    submission order.  [mutate_only] (implies [guided]) makes every
+    shard after the first admission a mutation shard.  The corpus is
+    embedded in the checkpoint (plus a derived standalone
+    [Corpus.corpus_file] in the same directory), so kill-and-resume
+    reproduces corpus, bitmap and ledgers byte for byte at any -j.
+    Guided campaigns skip the shrink phase (mutation rows are not
+    regenerable from their seeds alone). *)
 
 val passed : summary -> bool
 (** Oracle verdicts only; quarantined tasks are reported, not failed. *)
+
+val blind_coverage :
+  ?pool:Harness.Pool.t -> ?tool_names:string list ->
+  ?backend:Vm.Machine.backend -> seed:int -> n:int -> unit -> Coverage.t
+(** The control arm of the guided-beats-blind inequality: the bitmap a
+    plain generation-only grid of [n] programs reaches (program [i] is
+    exactly the blind campaign's program [i]). *)
+
+val fuzzcov_json : blind:Coverage.t -> summary -> string
+(** The BENCH_fuzzcov.json artifact (schema [cecsan-bench-fuzzcov/1]):
+    guided bits/sites/corpus/mismatches, per-phase counts,
+    coverage-over-time rows, and the blind baseline -- no wall clock,
+    byte-identical at any -j and across kill-and-resume. *)
 
 val render : Format.formatter -> jobs:int -> summary -> unit
 (** The header line carries seed, n, jobs, tools and fault specs, so
@@ -147,6 +194,16 @@ val write_repros : dir:string -> summary -> string list
 val write_corpus :
   dir:string -> seed:int -> count:int -> ?backend:Vm.Machine.backend ->
   unit -> string list
-(** Seeds a regression corpus with the first [count] detected
-    bug-injected programs, each shrunk while CECSan still detects the
-    same class. *)
+(** Seeds a regression corpus: detected bug-injected programs, each
+    shrunk while CECSan still detects the same class, admitted on
+    coverage novelty, and reduced to the greedy set cover -- the
+    written corpus is a fixed point of [Corpus.minimize].  Writes at
+    most [count] entries. *)
+
+val check_corpus_minimal :
+  dir:string -> ?backend:Vm.Machine.backend -> unit ->
+  (string list, string) result
+(** [Ok []] iff the committed .mc corpus in [dir] is set-cover minimal
+    (each entry's bitmap rebuilt from its tape header; minimizing drops
+    nothing); [Ok files] names the redundant entries, [Error] an
+    unreadable corpus. *)

@@ -49,6 +49,7 @@ type tool_run = {
   excluded : bool;          (* Spec.Unsupported: outside the tool's set *)
   first_kind : Vm.Report.bug_kind option;
   snapshot : Telemetry.Snapshot.t;  (* the run's telemetry, for deltas *)
+  sites : int list;         (* every instrumented site id, reached or not *)
 }
 
 type failure =
@@ -171,11 +172,12 @@ let run_tool (san : Sanitizer.Spec.t) ?policy ?fault ?backend ~optimize
     in
     { tool; detected; outcome; out_text = r.Sanitizer.Driver.output;
       exit_code; excluded = false; first_kind;
-      snapshot = r.Sanitizer.Driver.snapshot }
+      snapshot = r.Sanitizer.Driver.snapshot;
+      sites = List.map fst r.Sanitizer.Driver.site_labels }
   | exception Sanitizer.Spec.Unsupported _ ->
     { tool; detected = false; outcome = "excluded"; out_text = "";
       exit_code = None; excluded = true; first_kind = None;
-      snapshot = Telemetry.Snapshot.empty }
+      snapshot = Telemetry.Snapshot.empty; sites = [] }
   | exception Minic.Sema.Error (m, l) ->
     raise (Compile_error (sp "line %d: %s" l m))
   | exception Tir.Lower.Error m -> raise (Compile_error m)
@@ -195,11 +197,30 @@ let baseline_of_name = function
   | "cryptsan" -> Some (Baselines.Cryptsan.sanitizer ())
   | _ -> None
 
+(* The guided fuzzer's feedback signal: one bitmap leg per instrumented
+   CECSan pipeline variant (O2 / O0 / noabsint — the legs whose
+   elide/cover split actually differs), then one per extra baseline, in
+   lineup order.  Each leg derives from the FULL site-row view
+   ([Telemetry.Snapshot.sites_full]) so instrumented-but-unreached
+   sites stay distinguishable from uninstrumented ones. *)
+let coverage_of_runs (runs : tool_run list) : Coverage.t =
+  List.fold_left
+    (fun (acc, leg) tr ->
+       if leg >= Coverage.max_legs then (acc, leg)
+       else
+         ( Coverage.union acc
+             (Coverage.of_rows ~leg
+                (Telemetry.Snapshot.sites_full ~sites:tr.sites tr.snapshot)),
+           leg + 1 ))
+    (Coverage.empty, 0) runs
+  |> fst
+
 (* Like [evaluate], but also returns the CECSan(-O2) run's telemetry
    snapshot so campaigns can aggregate per-site profiles across the
-   whole grid (merged in submission order, deterministic at any -j). *)
-let evaluate_full ?(tools = []) ?fault ?backend (p : Gen.program) :
-  failure list * Telemetry.Snapshot.t =
+   whole grid (merged in submission order, deterministic at any -j),
+   and the program's coverage bitmap for guided campaigns. *)
+let evaluate_cov ?(tools = []) ?fault ?backend (p : Gen.program) :
+  failure list * Telemetry.Snapshot.t * Coverage.t =
   match
     let cec () = Cecsan.sanitizer () in
     (* the injector, when given, threads into every run uniformly --
@@ -239,7 +260,8 @@ let evaluate_full ?(tools = []) ?fault ?backend (p : Gen.program) :
     (ref_run, cec_on, cec_off, cec_rec, cec_noabs, extras)
   with
   | exception Compile_error m ->
-    ([ Gen_invalid (sp "does not compile: %s" m) ], Telemetry.Snapshot.empty)
+    ( [ Gen_invalid (sp "does not compile: %s" m) ],
+      Telemetry.Snapshot.empty, Coverage.empty )
   | exception Sanitizer.Driver.Verifier_reject { tool; stage; errors } ->
     (* static certification failed: a first-class verdict on its own,
        and the runs behind it never happened *)
@@ -248,7 +270,7 @@ let evaluate_full ?(tools = []) ?fault ?backend (p : Gen.program) :
             detail =
               sp "%s: %s" stage
                 (match errors with e :: _ -> e | [] -> "rejected") } ],
-      Telemetry.Snapshot.empty )
+      Telemetry.Snapshot.empty, Coverage.empty )
   | ref_run, cec_on, cec_off, cec_rec, cec_noabs, extras ->
     let failures = ref [] in
     let flag f = failures := f :: !failures in
@@ -315,7 +337,13 @@ let evaluate_full ?(tools = []) ?fault ?backend (p : Gen.program) :
                   { tool = cec_on.tool; expected = plan.Gen.cls;
                     got = Vm.Report.kind_to_string k })
         | _ -> ()));
-    (List.rev !failures, cec_on.snapshot)
+    ( List.rev !failures, cec_on.snapshot,
+      coverage_of_runs (cec_on :: cec_off :: cec_noabs :: extras) )
+
+let evaluate_full ?tools ?fault ?backend (p : Gen.program) :
+  failure list * Telemetry.Snapshot.t =
+  let fs, snap, _ = evaluate_cov ?tools ?fault ?backend p in
+  (fs, snap)
 
 let evaluate ?tools ?fault ?backend (p : Gen.program) : failure list =
   fst (evaluate_full ?tools ?fault ?backend p)

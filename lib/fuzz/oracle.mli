@@ -17,6 +17,9 @@ type tool_run = {
   first_kind : Vm.Report.bug_kind option;
   snapshot : Telemetry.Snapshot.t;
       (** the run's telemetry, used for mismatch deltas *)
+  sites : int list;
+      (** every instrumented site id, reached or not — the universe
+          [Telemetry.Snapshot.sites_full] inflates coverage against *)
 }
 
 type failure =
@@ -65,3 +68,16 @@ val evaluate_full :
     threads one injector spec into every run uniformly (each run clones
     it), including the uninstrumented reference; injected
     crash/fuel-exhaustion exceptions escape to the supervision layer. *)
+
+val coverage_of_runs : tool_run list -> Coverage.t
+(** Union of one bitmap leg per run, in list order, each derived from
+    the run's full site-row view (all-zero rows included). *)
+
+val evaluate_cov :
+  ?tools:Sanitizer.Spec.t list -> ?fault:Vm.Fault.t ->
+  ?backend:Vm.Machine.backend -> Gen.program ->
+  failure list * Telemetry.Snapshot.t * Coverage.t
+(** [evaluate_full] plus the program's coverage bitmap: legs 0/1/2 are
+    CECSan O2 / O0 / noabsint, then one leg per extra baseline in
+    lineup order (capped at [Coverage.max_legs]).  Compile errors and
+    verifier rejections yield [Coverage.empty]. *)

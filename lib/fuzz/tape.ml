@@ -63,6 +63,11 @@ let draw t bound =
 
 let bool t = draw t 2 = 1
 
+(* Full-range non-negative draw: the mutation engine uses the tape
+   machinery as its deterministic PRNG and wants raw splitmix output
+   for havoc values, not a bounded choice.  Recorded like any draw. *)
+let rand t = draw t max_int
+
 (* inclusive range *)
 let range t lo hi =
   if hi < lo then invalid_arg "Tape.range";

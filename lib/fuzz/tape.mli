@@ -19,6 +19,11 @@ val draw : t -> int -> int
 (** [draw t bound] is uniform-ish in [0, bound). *)
 
 val bool : t -> bool
+
+val rand : t -> int
+(** Full-range non-negative draw ([draw t max_int]); the deterministic
+    PRNG surface the mutation engine ([Mutate]) is seeded through. *)
+
 val range : t -> int -> int -> int
 (** [range t lo hi] inclusive. *)
 

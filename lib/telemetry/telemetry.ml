@@ -251,6 +251,30 @@ module Snapshot = struct
 
   let merge_all = List.fold_left merge empty
 
+  (* The snapshot (and its pinned JSON) omit all-zero site rows, which
+     makes "instrumented but never reached" indistinguishable from "not
+     instrumented at all".  Coverage consumers need that distinction, so
+     [sites_full] re-inflates the row list against the instrumented-site
+     universe the caller got from [Tir.Ir.site_origins]: one row per
+     known site (zeros where the snapshot has none), plus any nonzero
+     rows for sites outside the given universe, sorted by site id. *)
+  let sites_full ~sites (s : t) : site_row list =
+    let known = List.sort_uniq compare sites in
+    let rec go known rows =
+      match known, rows with
+      | [], rest -> rest
+      | k :: known', [] ->
+        { s_site = k; s_executed = 0; s_elided = 0; s_covered = 0 }
+        :: go known' []
+      | k :: known', r :: rows' ->
+        if r.s_site < k then r :: go known rows'
+        else if r.s_site > k then
+          { s_site = k; s_executed = 0; s_elided = 0; s_covered = 0 }
+          :: go known' rows
+        else r :: go known' rows'
+    in
+    go known s.sites
+
   (* --- deterministic JSON ------------------------------------------------- *)
 
   (* Hand-rolled writer: keys are sorted, integers only, no floats, no

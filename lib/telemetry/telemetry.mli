@@ -83,6 +83,15 @@ module Snapshot : sig
 
   val merge_all : t list -> t
 
+  val sites_full : sites:int list -> t -> site_row list
+  (** The snapshot's site rows re-inflated against the full
+      instrumented-site universe [sites] (from [Tir.Ir.site_origins]):
+      one row per listed site, all-zero where the snapshot omitted it,
+      plus any nonzero rows outside the list; sorted by site id.  The
+      pinned JSON is unchanged — this is the coverage-side view that
+      keeps "instrumented but unreached" distinguishable from "not
+      instrumented". *)
+
   val to_json : t -> string
   (** Deterministic single-line JSON: equal snapshots produce
       byte-identical strings. *)

@@ -200,6 +200,82 @@ let shrink_tests =
         Alcotest.(check (array int)) "same minimum" t1 t2);
   ]
 
+(* --- mutation --------------------------------------------------------------- *)
+
+(* Mutators inherit the "any int array is a valid tape" contract: no
+   matter which operator rewrites a recorded tape, replaying the result
+   must still produce a type-checking, terminating MiniC program.
+   count 334 x 6 operators > 2000 mutated tapes. *)
+let mutate_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make
+         ~name:"every mutator yields valid terminating programs"
+         ~count:334 seed_gen
+         (fun seed ->
+            let base = (clean_program seed).Fuzz.Gen.tape in
+            let partner =
+              (clean_program (Fuzz.Tape.mix seed 1)).Fuzz.Gen.tape
+            in
+            let rng = Fuzz.Tape.fresh ~seed:(Fuzz.Tape.mix seed 2) in
+            List.for_all
+              (fun op ->
+                 let tape = Fuzz.Mutate.apply op ~rng ~partner base in
+                 let p =
+                   Fuzz.Gen.generate ~inject:false (Fuzz.Tape.replay tape)
+                 in
+                 (match Minic.Sema.parse_and_check p.Fuzz.Gen.src with
+                  | _ -> ()
+                  | exception Minic.Sema.Error (m, l) ->
+                    QCheck.Test.fail_reportf "seed %d %s: line %d: %s@.%s"
+                      seed (Fuzz.Mutate.op_name op) l m p.Fuzz.Gen.src);
+                 let r =
+                   Sanitizer.Driver.run Sanitizer.Spec.none
+                     ~externs:Fuzz.Oracle.externs p.Fuzz.Gen.src
+                 in
+                 match r.Sanitizer.Driver.outcome with
+                 | Vm.Machine.Exit _ -> true
+                 | o ->
+                   QCheck.Test.fail_reportf "seed %d %s: %a@.%s" seed
+                     (Fuzz.Mutate.op_name op) Vm.Machine.pp_outcome o
+                     p.Fuzz.Gen.src)
+              Fuzz.Mutate.all_ops));
+    Alcotest.test_case "shrink converges on mutated repro tapes" `Quick
+      (fun () ->
+        (* mutate an injected tape, then shrink against "still plants
+           the same class": must terminate at a fixed point that still
+           satisfies the predicate *)
+        let rec find i =
+          if i > 500 then Alcotest.fail "no mutated injected case found"
+          else
+            let p = injected_program (Fuzz.Tape.mix 0x3117 i) in
+            let rng =
+              Fuzz.Tape.fresh ~seed:(Fuzz.Tape.mix 0x3117 (i + 1000))
+            in
+            let _, tape = Fuzz.Mutate.mutate ~rng p.Fuzz.Gen.tape in
+            let p' =
+              Fuzz.Gen.generate ~inject:true (Fuzz.Tape.replay tape)
+            in
+            match p'.Fuzz.Gen.plan with
+            | Some pl -> (tape, pl.Fuzz.Gen.cls)
+            | None -> find (i + 1)
+        in
+        let tape, cls = find 0 in
+        let same_class t =
+          let p = Fuzz.Gen.generate ~inject:true (Fuzz.Tape.replay t) in
+          match p.Fuzz.Gen.plan with
+          | Some pl -> pl.Fuzz.Gen.cls = cls
+          | None -> false
+        in
+        let t1 = Fuzz.Shrink.minimize ~still_fails:same_class tape in
+        Alcotest.(check bool) "minimum still plants the class" true
+          (same_class t1);
+        let t2 = Fuzz.Shrink.minimize ~still_fails:same_class t1 in
+        Alcotest.(check (array int)) "fixed point" t1 t2;
+        Alcotest.(check bool) "no longer than the mutant" true
+          (Array.length t1 <= Array.length tape));
+  ]
+
 (* --- corpus replay ---------------------------------------------------------- *)
 
 (* Every corpus entry replays under CECSan: Halt reports the planted
@@ -272,5 +348,6 @@ let () =
       "detection", detection_tests;
       "campaign", campaign_tests;
       "shrink", shrink_tests;
+      "mutate", mutate_tests;
       "corpus", corpus_tests;
     ]

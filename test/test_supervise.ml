@@ -276,6 +276,54 @@ let checkpoint_tests =
              | (_ : Fuzz.Campaign.summary) ->
                Alcotest.fail "expected Invalid_argument"
              | exception Invalid_argument _ -> ()));
+    Alcotest.test_case
+      "guided interrupt + resume reproduces corpus, bitmap and ledger"
+      `Quick
+      (fun () ->
+         with_tmp_dir (fun dir ->
+             let seed = 0x5EED and n = 60 in
+             let uninterrupted =
+               Fuzz.Campaign.run ~guided:true ~seed ~n ~shard_size:10 ()
+             in
+             (* die after two shards, resume at a different -j *)
+             ignore
+               (Fuzz.Campaign.run ~guided:true ~seed ~n ~shard_size:10
+                  ~checkpoint:dir ~stop_after_shards:2 ());
+             let resumed =
+               Harness.Pool.with_pool ~jobs:4 (fun p ->
+                   Fuzz.Campaign.run ~pool:p ~guided:true ~seed ~n
+                     ~shard_size:10 ~checkpoint:dir ~resume:true ())
+             in
+             Alcotest.(check bool) "shards were restored" true
+               (resumed.Fuzz.Campaign.resumed_shards > 0);
+             Alcotest.(check string) "accumulated bitmap"
+               (Fuzz.Coverage.to_string uninterrupted.Fuzz.Campaign.coverage)
+               (Fuzz.Coverage.to_string resumed.Fuzz.Campaign.coverage);
+             Alcotest.(check (list string)) "corpus lines"
+               (Fuzz.Corpus.to_lines uninterrupted.Fuzz.Campaign.corpus)
+               (Fuzz.Corpus.to_lines resumed.Fuzz.Campaign.corpus);
+             Alcotest.check mismatch_pair "ledger lines"
+               (ledgers uninterrupted) (ledgers resumed);
+             (* the derived on-disk corpus matches the in-memory one *)
+             match Fuzz.Corpus.load ~dir with
+             | Some c ->
+               Alcotest.(check (list string)) "on-disk corpus"
+                 (Fuzz.Corpus.to_lines uninterrupted.Fuzz.Campaign.corpus)
+                 (Fuzz.Corpus.to_lines c)
+             | None -> Alcotest.fail "no corpus file written"));
+    Alcotest.test_case "guided flag mismatch on resume is rejected" `Quick
+      (fun () ->
+         with_tmp_dir (fun dir ->
+             ignore
+               (Fuzz.Campaign.run ~guided:true ~seed:0x5EED ~n:20
+                  ~shard_size:10 ~checkpoint:dir ~stop_after_shards:1 ());
+             match
+               Fuzz.Campaign.run ~seed:0x5EED ~n:20 ~shard_size:10
+                 ~checkpoint:dir ~resume:true ()
+             with
+             | (_ : Fuzz.Campaign.summary) ->
+               Alcotest.fail "expected Invalid_argument"
+             | exception Invalid_argument _ -> ()));
     Alcotest.test_case "resume without a checkpoint file starts fresh"
       `Quick
       (fun () ->
